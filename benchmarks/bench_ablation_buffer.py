@@ -1,0 +1,21 @@
+"""Ablation benchmark: the minimum-requirement buffer-allocation strategy.
+
+Compares the paper's exact-requirement buffer allocation against the naive
+"fill the leftover area with L2" policy on ResNet-18 at edge resources
+(DESIGN.md experiment A2).  Expected shape: exact allocation reaches lower
+latency because area not wasted on oversized buffers can be spent on PEs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_buffer_allocation_ablation
+
+
+def test_buffer_allocation_ablation_edge(benchmark, settings):
+    result = run_once(
+        benchmark, run_buffer_allocation_ablation, "edge", settings, ("resnet18",)
+    )
+    print()
+    print(result.report("Ablation A2 - buffer allocation strategy (latency-area product)"))
+    assert set(result.latency["resnet18"]) == {"exact", "fill"}

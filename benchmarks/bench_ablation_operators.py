@@ -1,0 +1,26 @@
+"""Ablation benchmark: contribution of DiGamma's specialised operators.
+
+Compares full DiGamma against variants with the HW operator or the
+structured mapping operators disabled, and against the blind standard GA,
+on ResNet-18 and Mnasnet at edge resources (DESIGN.md experiment A1).
+Expected shape: full DiGamma achieves the lowest latency; removing the
+structured operators hurts the most.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import ABLATION_MODELS, run_operator_ablation
+
+
+def test_operator_ablation_edge(benchmark, settings):
+    result = run_once(benchmark, run_operator_ablation, "edge", settings, ABLATION_MODELS)
+    print()
+    print(result.report("Ablation A1 - DiGamma operators (latency, cycles)"))
+    for model_name in ABLATION_MODELS:
+        assert set(result.latency[model_name]) == {
+            "DiGamma",
+            "no-HW-op",
+            "no-struct-ops",
+            "stdGA",
+        }

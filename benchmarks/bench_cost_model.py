@@ -1,0 +1,39 @@
+"""Microbenchmarks of the analytical cost model.
+
+The co-optimization loop only works because one fitness evaluation is cheap
+(the paper quotes ~20 CPU-minutes for 40K samples, i.e. tens of evaluations
+per second including the search overhead).  These benchmarks measure the
+evaluator's single-layer and whole-model throughput so regressions in the
+hot path are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.maestro import CostModel
+from repro.mapping.dataflows import dla_like
+from repro.workloads.layer import Layer
+from repro.workloads.registry import get_model
+
+COST_MODEL = CostModel()
+
+
+def test_single_layer_evaluation_throughput(benchmark):
+    layer = Layer.conv2d("resnet_block", 256, 256, 14, 3)
+    mapping = dla_like(layer, (16, 16))
+    report = benchmark(
+        COST_MODEL.evaluate_layer, layer, mapping, 64.0, 16.0
+    )
+    assert report.latency > 0
+
+
+@pytest.mark.parametrize("model_name", ["resnet18", "bert", "mobilenet_v2"])
+def test_whole_model_evaluation_throughput(benchmark, model_name):
+    model = get_model(model_name)
+    reference_layer = model.unique_layers()[0]
+    mapping = dla_like(reference_layer, (16, 16))
+    performance = benchmark(
+        COST_MODEL.evaluate_model, model, mapping, 64.0, 16.0
+    )
+    assert performance.latency > 0

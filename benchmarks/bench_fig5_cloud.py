@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 5 (cloud platform).
+
+Same layout as the edge benchmark but under the 7.0 mm^2 cloud budget, where
+the design space is wider.  Expected reproduction shape: DiGamma's advantage
+over the best baseline grows compared to the edge setting, and more
+baselines fail to find valid designs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_cloud(benchmark, settings):
+    result = run_once(benchmark, run_fig5, "cloud", settings)
+    print()
+    print(result.report())
+    normalized = result.normalized_latency()
+    for model_name in settings.models:
+        assert model_name in normalized
+    assert "GeoMean" in normalized

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 5 (edge platform).
+
+Latency and latency-area-product of the nine optimization algorithms across
+the seven DNN models, normalized to CMA.  Expected reproduction shape:
+DiGamma has the lowest geomean in both tables, several baselines produce
+``N/A`` or large values, and CMA is the strongest generic baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_edge(benchmark, settings):
+    result = run_once(benchmark, run_fig5, "edge", settings)
+    print()
+    print(result.report())
+    # Structural sanity: every model row exists and the reference column is 1.
+    normalized = result.normalized_latency()
+    for model_name in settings.models:
+        assert model_name in normalized
+    assert "GeoMean" in normalized

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Fig. 6 (cloud platform).
+
+Same layout as the edge benchmark under the cloud budget.  Expected
+reproduction shape: the co-optimization advantage widens (the paper reports
+2.0x over the best Mapping-opt baseline at cloud vs 1.25x at edge).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_cloud(benchmark, settings):
+    result = run_once(benchmark, run_fig6, "cloud", settings)
+    print()
+    print(result.report())
+    assert "GeoMean" in result.normalized_latency()

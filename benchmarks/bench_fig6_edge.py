@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 6 (edge platform).
+
+Latency of HW-opt (grid-searched HW + dla/shi/eye-like fixed mappings),
+Mapping-opt (fixed HW + GAMMA) and DiGamma co-optimization, normalized to
+the strongest non-co-opt scheme.  Expected reproduction shape: DiGamma's
+geomean is below 1.0, the shi-like fixed dataflow is orders of magnitude
+worse, and compute-focused HW is the strongest Mapping-opt baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import run_fig6, scheme_names
+
+
+def test_fig6_edge(benchmark, settings):
+    result = run_once(benchmark, run_fig6, "edge", settings)
+    print()
+    print(result.report())
+    normalized = result.normalized_latency()
+    assert "GeoMean" in normalized
+    assert set(result.latency[settings.models[0]]) == set(scheme_names())

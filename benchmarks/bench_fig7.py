@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 7 (solution inspection, Mnasnet at edge).
+
+Prints the encoded solutions found by one representative of each scheme
+(HW-opt, Mapping-opt, co-opt) together with latency, area, latency-area
+product and the PE:buffer area split.  Expected reproduction shape: the
+co-optimized design has the lowest latency-area product and a more balanced
+compute-to-buffer split than the HW-opt design.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_mnasnet_edge(benchmark, settings):
+    result = run_once(benchmark, run_fig7, "mnasnet", "edge", settings)
+    print()
+    print(result.report())
+    assert len(result.solutions) == 3
+    digamma = result.solutions["HW-Map-co-opt (DiGamma)"]
+    assert digamma.found_valid
+    assert digamma.row()["area"] <= result.area_budget_um2

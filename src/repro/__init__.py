@@ -1,0 +1,68 @@
+"""DiGamma reproduction: HW-Mapping co-optimization for DNN accelerators.
+
+Reproduction of "DiGamma: Domain-aware Genetic Algorithm for HW-Mapping
+Co-optimization for DNN Accelerators" (DATE 2022).  The top-level package
+re-exports the pieces most users need:
+
+>>> from repro import CoOptimizationFramework, DiGamma, get_model, EDGE
+>>> framework = CoOptimizationFramework(get_model("resnet18"), EDGE)
+>>> result = framework.search(DiGamma(), sampling_budget=500, seed=0)
+>>> result.found_valid
+True
+"""
+
+from repro.arch import CLOUD, EDGE, AreaModel, EnergyModel, HardwareConfig, Platform, get_platform
+from repro.cost import CostModel
+from repro.encoding import Genome, GenomeSpace, VectorCodec
+from repro.framework import (
+    AcceleratorDesign,
+    CoOptimizationFramework,
+    DesignEvaluator,
+    Objective,
+    SearchResult,
+)
+from repro.mapping import Mapping, get_dataflow
+from repro.optim import (
+    CMAES,
+    DiGamma,
+    GammaMapper,
+    HardwareGridSearch,
+    available_optimizers,
+    get_optimizer,
+)
+from repro.workloads import Layer, Model, ModelSuite, available_models, get_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorDesign",
+    "AreaModel",
+    "CLOUD",
+    "CMAES",
+    "CoOptimizationFramework",
+    "CostModel",
+    "DesignEvaluator",
+    "DiGamma",
+    "EDGE",
+    "EnergyModel",
+    "GammaMapper",
+    "Genome",
+    "GenomeSpace",
+    "HardwareConfig",
+    "HardwareGridSearch",
+    "Layer",
+    "Mapping",
+    "Model",
+    "ModelSuite",
+    "Objective",
+    "Platform",
+    "SearchResult",
+    "VectorCodec",
+    "available_models",
+    "available_optimizers",
+    "get_dataflow",
+    "get_model",
+    "get_optimizer",
+    "get_platform",
+    "__version__",
+]

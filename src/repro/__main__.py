@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+
+``models``
+    List the built-in DNN workloads with layer and MAC counts.
+``search``
+    Co-optimize HW and mapping for one model (or a suite) and optionally
+    save the best design as JSON.
+``evaluate``
+    Evaluate a fixed dataflow template on a model with a given PE array —
+    a search-free sanity check of the cost model.
+``fig5`` / ``fig6`` / ``fig7`` / ``ablations``
+    Regenerate the paper's figures (thin wrappers over
+    ``repro.experiments``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.arch.platform import get_platform
+from repro.experiments import ablations as ablations_module
+from repro.experiments import fig5 as fig5_module
+from repro.experiments import fig6 as fig6_module
+from repro.experiments import fig7 as fig7_module
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.objective import Objective
+from repro.mapping.dataflows import DATAFLOW_STYLES, get_dataflow
+from repro.optim.registry import available_optimizers, get_optimizer
+from repro.serialization import save_json, search_result_to_dict
+from repro.workloads.registry import available_models, get_model
+from repro.workloads.suite import ModelSuite
+
+
+def _cmd_models(_: argparse.Namespace) -> int:
+    print(f"{'model':<16} {'layers':>7} {'unique':>7} {'GMACs':>8}")
+    print("-" * 42)
+    for name in available_models():
+        model = get_model(name)
+        print(f"{name:<16} {len(model.layers):>7d} {len(model.unique_layers()):>7d} "
+              f"{model.total_macs / 1e9:>8.2f}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    if len(args.model) == 1:
+        model = get_model(args.model[0])
+    else:
+        model = ModelSuite.from_names("suite", args.model).as_model()
+    platform = get_platform(args.platform)
+    framework = CoOptimizationFramework(
+        model, platform, objective=Objective.from_name(args.objective)
+    )
+    optimizer = get_optimizer(args.optimizer)
+    result = framework.search(optimizer, sampling_budget=args.budget, seed=args.seed)
+    print(result.summary())
+    if result.found_valid:
+        print()
+        print(result.best.design.describe())
+        if args.output:
+            path = save_json(search_result_to_dict(result), args.output)
+            print(f"\nSaved search result to {path}")
+    return 0 if result.found_valid else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    platform = get_platform(args.platform)
+    framework = CoOptimizationFramework(model, platform)
+    template = get_dataflow(args.dataflow)
+    pe_array = (args.pe_rows, args.pe_cols)
+    evaluation = framework.evaluator.evaluate_mapping(
+        lambda layer: template(layer, pe_array), pe_array=pe_array
+    )
+    status = "valid" if evaluation.valid else "INVALID (over budget)"
+    print(f"{args.dataflow}-like on {args.pe_rows}x{args.pe_cols} PEs "
+          f"({platform.name}): {status}")
+    print(evaluation.design.describe())
+    return 0 if evaluation.valid else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("models", help="list built-in DNN workloads")
+
+    search = subparsers.add_parser("search", help="co-optimize HW and mapping")
+    search.add_argument("--model", nargs="+", default=["resnet18"],
+                        help="model name(s); several names form a suite")
+    search.add_argument("--platform", choices=("edge", "cloud"), default="edge")
+    search.add_argument("--optimizer", default="digamma",
+                        help=f"one of {available_optimizers()}")
+    search.add_argument("--objective", default="latency",
+                        choices=[objective.value for objective in Objective])
+    search.add_argument("--budget", type=int, default=2000, help="sampling budget")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--output", default=None,
+                        help="optional path for the JSON result")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate a fixed dataflow on a model"
+    )
+    evaluate.add_argument("--model", default="resnet18")
+    evaluate.add_argument("--platform", choices=("edge", "cloud"), default="edge")
+    evaluate.add_argument("--dataflow", choices=DATAFLOW_STYLES, default="dla")
+    evaluate.add_argument("--pe-rows", type=int, default=16)
+    evaluate.add_argument("--pe-cols", type=int, default=16)
+
+    subparsers.add_parser("fig5", add_help=False)
+    subparsers.add_parser("fig6", add_help=False)
+    subparsers.add_parser("fig7", add_help=False)
+    subparsers.add_parser("ablations", add_help=False)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # The figure subcommands forward their remaining arguments unchanged.
+    if argv and argv[0] in ("fig5", "fig6", "fig7", "ablations"):
+        forwarding = {
+            "fig5": fig5_module.main,
+            "fig6": fig6_module.main,
+            "fig7": fig7_module.main,
+            "ablations": ablations_module.main,
+        }
+        return forwarding[argv[0]](argv[1:])
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "search": _cmd_search,
+        "evaluate": _cmd_evaluate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Post-search analysis utilities.
+
+Helpers for turning raw search outcomes into the quantities papers (and
+engineers) actually look at: convergence curves, sample-efficiency
+comparisons, latency/area Pareto fronts and side-by-side design reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.framework.evaluator import EvaluationResult
+from repro.framework.search import SearchResult
+
+
+def convergence_curve(result: SearchResult) -> List[Tuple[int, float]]:
+    """Best objective value (lower is better) after each improving sample.
+
+    The tracker records fitness (higher is better, negated objective); this
+    converts back to objective values and drops invalid-penalty entries, so
+    the curve starts at the first valid design found.
+    """
+    curve: List[Tuple[int, float]] = []
+    for evaluation_index, fitness in result.history:
+        if fitness <= -1e17:  # graded penalty of an invalid design point
+            continue
+        curve.append((evaluation_index, -fitness))
+    return curve
+
+
+def samples_to_reach(result: SearchResult, objective_value: float) -> Optional[int]:
+    """Number of samples the search needed to reach ``objective_value`` or better.
+
+    Returns ``None`` when the search never reached it.  This is the
+    sample-efficiency metric behind the paper's "same sampling budget"
+    argument: a better algorithm reaches a given quality with fewer samples.
+    """
+    for evaluation_index, value in convergence_curve(result):
+        if value <= objective_value:
+            return evaluation_index
+    return None
+
+
+def speedup_over(
+    baseline: SearchResult,
+    candidate: SearchResult,
+) -> float:
+    """Latency speedup of ``candidate``'s best design over ``baseline``'s.
+
+    ``inf`` when only the candidate found a valid design, ``0`` when only
+    the baseline did, ``nan`` when neither did.
+    """
+    if not baseline.found_valid and not candidate.found_valid:
+        return float("nan")
+    if not candidate.found_valid:
+        return 0.0
+    if not baseline.found_valid:
+        return float("inf")
+    return baseline.best_latency / candidate.best_latency
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design on the latency/area trade-off curve."""
+
+    label: str
+    latency: float
+    area: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when this point is at least as good on both axes and better on one."""
+        at_least_as_good = self.latency <= other.latency and self.area <= other.area
+        strictly_better = self.latency < other.latency or self.area < other.area
+        return at_least_as_good and strictly_better
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset of ``points``, sorted by latency."""
+    candidates = list(points)
+    front = [
+        point
+        for point in candidates
+        if not any(other.dominates(point) for other in candidates if other is not point)
+    ]
+    return sorted(front, key=lambda point: (point.latency, point.area))
+
+
+def results_to_pareto_points(
+    results: Mapping[str, SearchResult]
+) -> List[ParetoPoint]:
+    """Turn a label -> search-result mapping into Pareto points (valid only)."""
+    points = []
+    for label, result in results.items():
+        if result.found_valid:
+            points.append(
+                ParetoPoint(
+                    label=label,
+                    latency=result.best_latency,
+                    area=result.best.design.area.total,
+                )
+            )
+    return points
+
+
+def compare_designs(results: Mapping[str, SearchResult]) -> str:
+    """Side-by-side text report of the best design of each labelled search."""
+    lines = [
+        f"{'scheme':<28} {'latency':>12} {'area um^2':>12} {'LAP':>12} "
+        f"{'PEs':>6} {'PE:buf':>8}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for label, result in results.items():
+        if not result.found_valid:
+            lines.append(f"{label:<28} {'N/A':>12}")
+            continue
+        design = result.best.design
+        pe_pct, buffer_pct = design.area.pe_to_buffer_ratio
+        lines.append(
+            f"{label:<28} {design.latency:>12.3e} {design.area.total:>12.3e} "
+            f"{design.latency_area_product:>12.3e} {design.hardware.num_pes:>6d} "
+            f"{pe_pct:>4.0f}:{buffer_pct:<3.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Accelerator hardware abstraction: resources, area and energy models."""
+
+from repro.arch.area import AreaBreakdown, AreaModel
+from repro.arch.energy import EnergyModel
+from repro.arch.hardware import HardwareConfig
+from repro.arch.platform import CLOUD, EDGE, Platform, get_platform
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaModel",
+    "EnergyModel",
+    "HardwareConfig",
+    "Platform",
+    "EDGE",
+    "CLOUD",
+    "get_platform",
+]

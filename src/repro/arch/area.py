@@ -1,0 +1,96 @@
+"""Parametric silicon-area model.
+
+The paper estimates area from RTL synthesis (Nangate 15nm) plus SRAM
+compilation (SAED32).  Here the same role is played by a linear model with
+one coefficient per component: area per PE (MAC, pipeline registers,
+control) and area per byte of L1 / L2 SRAM.  The defaults are calibrated so
+that the paper's edge (0.2 mm^2) and cloud (7.0 mm^2) budgets admit PE
+counts and PE:buffer area ratios in the ranges the paper reports (Fig. 7).
+All areas are in square micrometres (um^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.hardware import HardwareConfig
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area of one design point, in um^2."""
+
+    pe_area: float
+    l1_area: float
+    l2_area: float
+
+    @property
+    def buffer_area(self) -> float:
+        """Total SRAM area (all L1s plus L2)."""
+        return self.l1_area + self.l2_area
+
+    @property
+    def total(self) -> float:
+        """Total accelerator area considered by the budget constraint."""
+        return self.pe_area + self.buffer_area
+
+    @property
+    def pe_to_buffer_ratio(self) -> tuple[float, float]:
+        """(PE %, buffer %) split of the total area, as in the paper's Fig. 7."""
+        total = self.total
+        if total <= 0.0:
+            return (0.0, 0.0)
+        return (100.0 * self.pe_area / total, 100.0 * self.buffer_area / total)
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Linear area model: ``area = PEs * a_pe + L1_bytes * a_l1 + L2_bytes * a_l2``.
+
+    Parameters
+    ----------
+    pe_area_um2:
+        Area of one PE (8-bit MAC, operand registers, small control FSM).
+    l1_area_per_byte_um2:
+        Area per byte of the per-PE L1 scratchpads (small arrays, high
+        overhead per byte).
+    l2_area_per_byte_um2:
+        Area per byte of the shared L2 SRAM (large banked arrays, denser).
+    """
+
+    pe_area_um2: float = 450.0
+    l1_area_per_byte_um2: float = 0.9
+    l2_area_per_byte_um2: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.pe_area_um2 <= 0:
+            raise ValueError("pe_area_um2 must be positive")
+        if self.l1_area_per_byte_um2 <= 0 or self.l2_area_per_byte_um2 <= 0:
+            raise ValueError("SRAM area coefficients must be positive")
+
+    def breakdown(self, hardware: HardwareConfig) -> AreaBreakdown:
+        """Area breakdown of the given hardware configuration."""
+        return AreaBreakdown(
+            pe_area=hardware.num_pes * self.pe_area_um2,
+            l1_area=hardware.total_l1_size * self.l1_area_per_byte_um2,
+            l2_area=hardware.l2_size * self.l2_area_per_byte_um2,
+        )
+
+    def total_area(self, hardware: HardwareConfig) -> float:
+        """Total area of the given hardware configuration, in um^2."""
+        return self.breakdown(hardware).total
+
+    def max_pes_within(self, area_budget_um2: float) -> int:
+        """Largest PE count that fits the budget with no buffers at all.
+
+        This is the upper bound used to size the HW search space.
+        """
+        if area_budget_um2 <= 0:
+            raise ValueError("area budget must be positive")
+        return max(1, int(area_budget_um2 // self.pe_area_um2))
+
+    def max_l2_bytes_within(self, area_budget_um2: float) -> int:
+        """Largest L2 capacity that fits the budget with no PEs at all."""
+        if area_budget_um2 <= 0:
+            raise ValueError("area budget must be positive")
+        return max(1, int(area_budget_um2 // self.l2_area_per_byte_um2))

@@ -1,0 +1,46 @@
+"""Parametric energy model.
+
+Energy is accounted per MAC operation and per byte moved at each level of
+the memory hierarchy.  The default coefficients follow the widely used
+relative costs of on-chip and off-chip accesses (register/L1 accesses are a
+few times a MAC, L2 an order of magnitude, DRAM two orders of magnitude).
+Units are arbitrary (normalised to one MAC); only relative comparisons are
+used by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy coefficients of compute and data movement."""
+
+    mac_energy: float = 1.0
+    l1_energy_per_byte: float = 1.5
+    l2_energy_per_byte: float = 8.0
+    dram_energy_per_byte: float = 150.0
+
+    def __post_init__(self) -> None:
+        for name in ("mac_energy", "l1_energy_per_byte", "l2_energy_per_byte",
+                     "dram_energy_per_byte"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def compute_energy(self, macs: float) -> float:
+        """Energy of performing ``macs`` multiply-accumulates."""
+        return macs * self.mac_energy
+
+    def movement_energy(
+        self,
+        l1_bytes: float,
+        l2_bytes: float,
+        dram_bytes: float,
+    ) -> float:
+        """Energy of moving the given traffic at each hierarchy level."""
+        return (
+            l1_bytes * self.l1_energy_per_byte
+            + l2_bytes * self.l2_energy_per_byte
+            + dram_bytes * self.dram_energy_per_byte
+        )

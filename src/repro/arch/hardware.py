@@ -1,0 +1,107 @@
+"""Hardware resource configuration of a spatial DNN accelerator.
+
+The paper's accelerator template (Fig. 3(d-e)) is a hierarchy of clusters:
+the L2 level instantiates ``pi_l2`` 1-D PE arrays and the L1 level gives each
+array ``pi_l1`` PEs.  Each PE holds a MAC and an L1 buffer; a shared L2
+buffer feeds the array over a NoC and is itself filled from DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """HW resources of one accelerator design point.
+
+    Parameters
+    ----------
+    pe_array:
+        Spatial fan-out per cluster level, outermost first.  A two-level
+        hierarchy ``(pi_l2, pi_l1)`` describes a ``pi_l2 x pi_l1`` PE array;
+        a three-level hierarchy describes several 2-D arrays.
+    l1_size:
+        Per-PE local buffer capacity in bytes.
+    l2_size:
+        Shared global buffer capacity in bytes.
+    noc_bandwidth:
+        Bytes per cycle deliverable from L2 to the PE array (aggregate).
+    dram_bandwidth:
+        Bytes per cycle deliverable from off-chip DRAM into L2.
+    bytes_per_element:
+        Data width of every tensor element (1 = int8, 2 = fp16, ...).
+    frequency_mhz:
+        Clock frequency, used only to convert cycles to wall-clock time in
+        reports.
+    """
+
+    pe_array: Tuple[int, ...] = (16, 16)
+    l1_size: int = 512
+    l2_size: int = 108 * 1024
+    noc_bandwidth: float = 64.0
+    dram_bandwidth: float = 16.0
+    bytes_per_element: int = 1
+    frequency_mhz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not self.pe_array:
+            raise ValueError("pe_array must have at least one level")
+        if any(int(size) < 1 for size in self.pe_array):
+            raise ValueError(f"pe_array entries must be >= 1, got {self.pe_array}")
+        object.__setattr__(self, "pe_array", tuple(int(size) for size in self.pe_array))
+        if self.l1_size < 1 or self.l2_size < 1:
+            raise ValueError("buffer sizes must be positive")
+        if self.noc_bandwidth <= 0 or self.dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.bytes_per_element < 1:
+            raise ValueError("bytes_per_element must be >= 1")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency_mhz must be positive")
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of cluster levels in the hierarchy."""
+        return len(self.pe_array)
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of processing elements."""
+        total = 1
+        for size in self.pe_array:
+            total *= size
+        return total
+
+    @property
+    def total_l1_size(self) -> int:
+        """Aggregate L1 capacity across all PEs, in bytes."""
+        return self.l1_size * self.num_pes
+
+    @property
+    def total_buffer_size(self) -> int:
+        """Aggregate on-chip SRAM (all L1s plus the L2), in bytes."""
+        return self.total_l1_size + self.l2_size
+
+    def with_buffers(self, l1_size: int, l2_size: int) -> "HardwareConfig":
+        """Return a copy with the buffer capacities replaced.
+
+        Used by the minimum-buffer allocation strategy: buffer sizes are
+        derived from the mapping rather than searched.
+        """
+        return replace(self, l1_size=int(l1_size), l2_size=int(l2_size))
+
+    def with_pe_array(self, pe_array: Tuple[int, ...]) -> "HardwareConfig":
+        """Return a copy with a different PE array shape."""
+        return replace(self, pe_array=tuple(int(size) for size in pe_array))
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        shape = "x".join(str(size) for size in self.pe_array)
+        return (
+            f"PEs={self.num_pes} ({shape}), L1={self.l1_size}B/PE, "
+            f"L2={self.l2_size}B, NoC={self.noc_bandwidth:g}B/cyc, "
+            f"DRAM={self.dram_bandwidth:g}B/cyc"
+        )

@@ -1,0 +1,67 @@
+"""Edge and cloud platform presets.
+
+The paper evaluates two platform classes distinguished by their chip-area
+budget for PEs and on-chip buffers: 0.2 mm^2 (edge) and 7.0 mm^2 (cloud).
+A platform also fixes the off-chip bandwidth and the NoC bandwidth scaling
+used by the cost model, which differ between the two classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.area import AreaModel
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A deployment target: an area budget plus bandwidth assumptions."""
+
+    name: str
+    area_budget_um2: float
+    noc_bandwidth: float
+    dram_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.area_budget_um2 <= 0:
+            raise ValueError("area_budget_um2 must be positive")
+        if self.noc_bandwidth <= 0 or self.dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def area_budget_mm2(self) -> float:
+        """Area budget in mm^2 (1 mm^2 = 1e6 um^2)."""
+        return self.area_budget_um2 / 1e6
+
+    def max_pes(self, area_model: AreaModel | None = None) -> int:
+        """Largest PE count that could fit the budget (no buffers)."""
+        model = area_model if area_model is not None else AreaModel()
+        return model.max_pes_within(self.area_budget_um2)
+
+
+#: Edge platform: 0.2 mm^2 for PEs + on-chip buffers (paper Sec. V-A).
+EDGE = Platform(
+    name="edge",
+    area_budget_um2=0.2e6,
+    noc_bandwidth=32.0,
+    dram_bandwidth=8.0,
+)
+
+#: Cloud platform: 7.0 mm^2 for PEs + on-chip buffers (paper Sec. V-A).
+CLOUD = Platform(
+    name="cloud",
+    area_budget_um2=7.0e6,
+    noc_bandwidth=256.0,
+    dram_bandwidth=64.0,
+)
+
+_PLATFORMS: Dict[str, Platform] = {"edge": EDGE, "cloud": CLOUD}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform preset by name (``"edge"`` or ``"cloud"``)."""
+    key = name.strip().lower()
+    if key not in _PLATFORMS:
+        raise KeyError(f"unknown platform {name!r}; available: {', '.join(_PLATFORMS)}")
+    return _PLATFORMS[key]

@@ -1,0 +1,20 @@
+"""MAESTRO-style analytical cost model.
+
+The evaluator takes an accelerator design point (the PE hierarchy implied by
+a :class:`~repro.mapping.mapping.Mapping` plus platform bandwidths) and a
+layer, and produces latency, traffic, energy, utilization and buffer
+requirements from a data-centric reuse analysis.
+"""
+
+from repro.cost.maestro import CostModel
+from repro.cost.performance import LayerPerformance, ModelPerformance
+from repro.cost.reuse import LevelAnalysis, analyze_levels, operand_fetches
+
+__all__ = [
+    "CostModel",
+    "LayerPerformance",
+    "ModelPerformance",
+    "LevelAnalysis",
+    "analyze_levels",
+    "operand_fetches",
+]

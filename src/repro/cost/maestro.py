@@ -1,0 +1,231 @@
+"""The analytical HW performance evaluator.
+
+This module plays the role MAESTRO plays in the paper: given a layer and an
+accelerator design point (PE hierarchy + mapping + platform bandwidths) it
+derives latency, traffic, energy, utilization and minimum buffer
+requirements.  The analysis is data-centric: reuse is inferred from loop
+order, spatial mapping and tile sizes (see :mod:`repro.cost.reuse`), never
+from simulation, so a single evaluation costs microseconds and the
+optimization loop can afford tens of thousands of samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping as TMapping, Union
+
+from repro.arch.energy import EnergyModel
+from repro.cost.performance import LayerPerformance, ModelPerformance
+from repro.cost.reuse import (
+    LevelAnalysis,
+    analyze_levels,
+    operand_fetches,
+    spatial_distinct_factor,
+)
+from repro.mapping.mapping import Mapping
+from repro.mapping.tiles import buffer_requirements, operand_footprint
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model
+
+#: Accepted ways of supplying mappings to :meth:`CostModel.evaluate_model`.
+MappingProvider = Union[Mapping, Callable[[Layer], Mapping], TMapping[str, Mapping]]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """MAESTRO-style analytical evaluator.
+
+    Parameters
+    ----------
+    energy_model:
+        Per-MAC and per-byte energy coefficients.
+    bytes_per_element:
+        Tensor element width in bytes.
+    """
+
+    energy_model: EnergyModel = EnergyModel()
+    bytes_per_element: int = 1
+
+    # -- single layer ------------------------------------------------------
+
+    def evaluate_layer(
+        self,
+        layer: Layer,
+        mapping: Mapping,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> LayerPerformance:
+        """Evaluate one layer under one mapping.
+
+        The mapping's tile sizes are interpreted after clipping to the
+        layer's dimensions, so any syntactically valid mapping can be
+        evaluated (the encoding never produces hard failures, only bad
+        scores).
+        """
+        if noc_bandwidth <= 0 or dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        bpe = self.bytes_per_element
+        analyses = analyze_levels(layer, mapping)
+        relevance = layer.relevance()
+
+        inner = analyses[-1]
+        inner_volume = 1
+        for dim in DIMS:
+            inner_volume *= inner.tile[dim]
+
+        total_steps = 1
+        for analysis in analyses:
+            total_steps *= analysis.total_trips
+        compute_cycles = float(inner_volume * total_steps)
+
+        dram_bytes = self._dram_traffic(layer, analyses[0], relevance)
+        l2_to_l1_bytes = self._on_chip_traffic(layer, analyses, relevance)
+
+        noc_cycles = l2_to_l1_bytes / noc_bandwidth
+        dram_cycles = dram_bytes / dram_bandwidth
+        startup = self._startup_cycles(
+            layer, analyses, noc_bandwidth, dram_bandwidth
+        )
+        latency = max(compute_cycles, noc_cycles, dram_cycles) + startup
+
+        macs = layer.macs
+        l1_access_bytes = 2.0 * macs * bpe + l2_to_l1_bytes
+        l2_access_bytes = l2_to_l1_bytes + dram_bytes
+        energy = self.energy_model.compute_energy(macs) + self.energy_model.movement_energy(
+            l1_bytes=l1_access_bytes,
+            l2_bytes=l2_access_bytes,
+            dram_bytes=dram_bytes,
+        )
+
+        active_pes = 1
+        for analysis in analyses:
+            active_pes *= analysis.active
+
+        requirement = buffer_requirements(layer, mapping, bpe)
+        return LayerPerformance(
+            layer_name=layer.name,
+            latency=latency,
+            compute_cycles=compute_cycles,
+            noc_cycles=noc_cycles,
+            dram_cycles=dram_cycles,
+            macs=macs,
+            l2_to_l1_bytes=l2_to_l1_bytes,
+            dram_bytes=dram_bytes,
+            l1_access_bytes=l1_access_bytes,
+            energy=energy,
+            active_pes=active_pes,
+            num_pes=mapping.num_pes,
+            l1_requirement_bytes=requirement.l1_bytes_per_pe,
+            l2_requirement_bytes=requirement.l2_bytes,
+            count=layer.count,
+        )
+
+    # -- whole model -------------------------------------------------------
+
+    def evaluate_model(
+        self,
+        model: Model,
+        mappings: MappingProvider,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> ModelPerformance:
+        """Evaluate every unique layer of ``model`` and aggregate.
+
+        ``mappings`` may be a single :class:`Mapping` (applied to every
+        layer, clipped to each layer's dimensions), a callable
+        ``layer -> Mapping``, or a dict keyed by layer name.
+        """
+        reports: List[LayerPerformance] = []
+        for layer in model.unique_layers():
+            mapping = _resolve_mapping(mappings, layer)
+            reports.append(
+                self.evaluate_layer(layer, mapping, noc_bandwidth, dram_bandwidth)
+            )
+        return ModelPerformance(model_name=model.name, layers=tuple(reports))
+
+    # -- internals ---------------------------------------------------------
+
+    def _dram_traffic(
+        self,
+        layer: Layer,
+        outer: LevelAnalysis,
+        relevance: Dict[str, tuple],
+    ) -> float:
+        """Off-chip traffic in bytes: reads of W and I, read/write of O."""
+        bpe = self.bytes_per_element
+        macro_footprint = operand_footprint(layer, outer.macro)
+        traffic = 0.0
+        for operand in ("W", "I"):
+            fetches = operand_fetches(outer, relevance[operand])
+            traffic += fetches * macro_footprint[operand] * bpe
+
+        out_fetches = operand_fetches(outer, relevance["O"])
+        out_elements = out_fetches * macro_footprint["O"]
+        final_output = layer.tensor_sizes()["O"]
+        # Final results are written once; any surplus represents partial-sum
+        # tiles spilled to DRAM, each costing a write and a later read.
+        spills = max(0.0, float(out_elements - final_output))
+        traffic += (final_output + 2.0 * spills) * bpe
+        return traffic
+
+    def _on_chip_traffic(
+        self,
+        layer: Layer,
+        analyses: List[LevelAnalysis],
+        relevance: Dict[str, tuple],
+    ) -> float:
+        """Traffic delivered over the NoC from the shared buffer downwards."""
+        if len(analyses) < 2:
+            return 0.0
+        bpe = self.bytes_per_element
+        traffic = 0.0
+        steps_above = analyses[0].total_trips
+        for level_index in range(1, len(analyses)):
+            analysis = analyses[level_index]
+            tile_footprint = operand_footprint(layer, analysis.tile)
+            for operand in ("W", "I", "O"):
+                fetches = operand_fetches(analysis, relevance[operand])
+                distinct = spatial_distinct_factor(
+                    analyses,
+                    level_index,
+                    relevance[operand],
+                    is_output=operand == "O",
+                )
+                traffic += (
+                    steps_above * fetches * tile_footprint[operand] * distinct * bpe
+                )
+            steps_above *= analysis.total_trips
+        return traffic
+
+    def _startup_cycles(
+        self,
+        layer: Layer,
+        analyses: List[LevelAnalysis],
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> float:
+        """Pipeline fill: first L2 tile from DRAM plus first L1 tile over the NoC."""
+        bpe = self.bytes_per_element
+        outer_footprint = operand_footprint(layer, analyses[0].macro)
+        fill_l2 = (outer_footprint["W"] + outer_footprint["I"]) * bpe / dram_bandwidth
+        fill_l1 = 0.0
+        if len(analyses) > 1:
+            inner_footprint = operand_footprint(layer, analyses[-1].tile)
+            fill_l1 = (
+                (inner_footprint["W"] + inner_footprint["I"]) * bpe / noc_bandwidth
+            )
+        return fill_l2 + fill_l1
+
+
+def _resolve_mapping(mappings: MappingProvider, layer: Layer) -> Mapping:
+    """Turn any accepted mapping provider into a concrete per-layer mapping."""
+    if isinstance(mappings, Mapping):
+        return mappings.clipped_to_layer(layer)
+    if callable(mappings):
+        return mappings(layer).clipped_to_layer(layer)
+    try:
+        mapping = mappings[layer.name]
+    except KeyError as error:
+        raise KeyError(f"no mapping provided for layer {layer.name!r}") from error
+    return mapping.clipped_to_layer(layer)

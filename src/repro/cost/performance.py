@@ -1,0 +1,146 @@
+"""Performance report containers produced by the cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class LayerPerformance:
+    """Cost-model output for one layer under one design point.
+
+    All traffic figures are bytes, all latencies are cycles, energy is in
+    the energy model's (normalised) units.
+    """
+
+    layer_name: str
+    latency: float
+    compute_cycles: float
+    noc_cycles: float
+    dram_cycles: float
+    macs: int
+    l2_to_l1_bytes: float
+    dram_bytes: float
+    l1_access_bytes: float
+    energy: float
+    active_pes: int
+    num_pes: int
+    l1_requirement_bytes: int
+    l2_requirement_bytes: int
+    count: int = 1
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of PEs that receive work."""
+        if self.num_pes <= 0:
+            return 0.0
+        return self.active_pes / self.num_pes
+
+    @property
+    def bottleneck(self) -> str:
+        """Which component limits the layer: compute, NoC or DRAM."""
+        pairs = (
+            ("compute", self.compute_cycles),
+            ("noc", self.noc_cycles),
+            ("dram", self.dram_cycles),
+        )
+        return max(pairs, key=lambda pair: pair[1])[0]
+
+    @property
+    def total_latency(self) -> float:
+        """Latency of all ``count`` instances of the layer."""
+        return self.latency * self.count
+
+    @property
+    def total_energy(self) -> float:
+        """Energy of all ``count`` instances of the layer."""
+        return self.energy * self.count
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of one layer instance."""
+        return self.latency * self.energy
+
+
+@dataclass(frozen=True)
+class ModelPerformance:
+    """Aggregated cost-model output for a whole model under one design point."""
+
+    model_name: str
+    layers: Tuple[LayerPerformance, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a model performance report needs at least one layer")
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    @property
+    def latency(self) -> float:
+        """Total latency (cycles) across all layer instances."""
+        return sum(layer.total_latency for layer in self.layers)
+
+    @property
+    def energy(self) -> float:
+        """Total energy across all layer instances."""
+        return sum(layer.total_energy for layer in self.layers)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of the whole model."""
+        return self.latency * self.energy
+
+    @property
+    def macs(self) -> int:
+        """Total MACs across all layer instances."""
+        return sum(layer.macs * layer.count for layer in self.layers)
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total off-chip traffic across all layer instances."""
+        return sum(layer.dram_bytes * layer.count for layer in self.layers)
+
+    @property
+    def l1_requirement_bytes(self) -> int:
+        """Per-PE L1 capacity needed to support every layer."""
+        return max(layer.l1_requirement_bytes for layer in self.layers)
+
+    @property
+    def l2_requirement_bytes(self) -> int:
+        """Shared L2 capacity needed to support every layer."""
+        return max(layer.l2_requirement_bytes for layer in self.layers)
+
+    @property
+    def num_pes(self) -> int:
+        """PE count of the evaluated design point."""
+        return self.layers[0].num_pes
+
+    @property
+    def average_utilization(self) -> float:
+        """Latency-weighted average PE utilization."""
+        total_latency = self.latency
+        if total_latency <= 0:
+            return 0.0
+        weighted = sum(layer.utilization * layer.total_latency for layer in self.layers)
+        return weighted / total_latency
+
+    def per_layer(self) -> Dict[str, LayerPerformance]:
+        """Layer-name keyed view of the per-layer reports."""
+        return {layer.layer_name: layer for layer in self.layers}
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"Model {self.model_name}: latency={self.latency:.3e} cycles, "
+            f"energy={self.energy:.3e}, EDP={self.edp:.3e}",
+            f"  PEs={self.num_pes}, L1 req={self.l1_requirement_bytes}B/PE, "
+            f"L2 req={self.l2_requirement_bytes}B, "
+            f"avg utilization={self.average_utilization:.1%}",
+        ]
+        for layer in self.layers:
+            lines.append(
+                f"  {layer.layer_name:<28s} x{layer.count:<3d} "
+                f"lat={layer.latency:.3e} util={layer.utilization:.1%} "
+                f"bound={layer.bottleneck}"
+            )
+        return "\n".join(lines)

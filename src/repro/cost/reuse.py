@@ -1,0 +1,145 @@
+"""Loop-nest reuse analysis.
+
+For every cluster level the analysis derives, from the mapping's tile sizes
+and spatial fan-out:
+
+* temporal trip counts per dimension (spatial folding of the parallel
+  dimension included),
+* the number of spatially active sub-clusters,
+* per-operand fetch counts from the parent level, driven by the loop order
+  (an operand tile stays resident across consecutive iterations of loops
+  that are irrelevant to it and inner to its innermost relevant loop).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.mapping.mapping import Mapping
+from repro.workloads.dims import DIMS, REDUCTION_DIMS
+from repro.workloads.layer import Layer
+
+
+@dataclass(frozen=True)
+class LevelAnalysis:
+    """Static analysis of one cluster level of a mapping applied to a layer."""
+
+    #: Effective (clipped) per-sub-cluster tile sizes at this level.
+    tile: Dict[str, int]
+    #: Extent covered by all active sub-clusters (macro tile).
+    macro: Dict[str, int]
+    #: Temporal trip count per dimension (parallel dimension folds included).
+    trips: Dict[str, int]
+    #: Loop order at this level (outermost first).
+    order: Tuple[str, ...]
+    #: Dimension spatially distributed at this level.
+    parallel_dim: str
+    #: Sub-clusters instantiated at this level (the HW ``pi`` gene).
+    spatial_size: int
+    #: Sub-clusters that actually receive work.
+    active: int
+
+    @property
+    def total_trips(self) -> int:
+        """Product of all temporal trip counts at this level."""
+        product = 1
+        for dim in DIMS:
+            product *= self.trips[dim]
+        return product
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of this level's sub-clusters doing useful work."""
+        return self.active / self.spatial_size
+
+
+def analyze_levels(layer: Layer, mapping: Mapping) -> List[LevelAnalysis]:
+    """Analyze every level of ``mapping`` applied to ``layer``, outermost first."""
+    analyses: List[LevelAnalysis] = []
+    parent = {dim: layer.dims[dim] for dim in DIMS}
+    for level in mapping.levels:
+        tile = {dim: max(1, min(level.tiles[dim], parent[dim])) for dim in DIMS}
+        parallel = level.parallel_dim
+        chunks = _ceil_div(parent[parallel], tile[parallel])
+        active = min(level.spatial_size, chunks)
+        folds = _ceil_div(chunks, active)
+
+        trips = {}
+        for dim in DIMS:
+            if dim == parallel:
+                trips[dim] = folds
+            else:
+                trips[dim] = _ceil_div(parent[dim], tile[dim])
+
+        macro = dict(tile)
+        macro[parallel] = min(parent[parallel], tile[parallel] * active)
+
+        analyses.append(
+            LevelAnalysis(
+                tile=tile,
+                macro=macro,
+                trips=trips,
+                order=level.order,
+                parallel_dim=parallel,
+                spatial_size=level.spatial_size,
+                active=active,
+            )
+        )
+        parent = tile
+    return analyses
+
+
+def operand_fetches(analysis: LevelAnalysis, relevant_dims: Sequence[str]) -> int:
+    """Times an operand's tile must be fetched from the parent level.
+
+    With single-tile residency, the operand is re-fetched once per iteration
+    of every loop at or outside its innermost *effective* relevant loop
+    (loops with a single trip are transparent).  If no relevant loop
+    iterates more than once, the operand is fetched exactly once.
+    """
+    relevant = set(relevant_dims)
+    innermost_relevant = -1
+    for position, dim in enumerate(analysis.order):
+        if dim in relevant and analysis.trips[dim] > 1:
+            innermost_relevant = position
+    if innermost_relevant < 0:
+        return 1
+    fetches = 1
+    for position in range(innermost_relevant + 1):
+        fetches *= analysis.trips[analysis.order[position]]
+    return fetches
+
+
+def spatial_distinct_factor(
+    analyses: Sequence[LevelAnalysis],
+    up_to_level: int,
+    relevant_dims: Sequence[str],
+    is_output: bool = False,
+) -> int:
+    """Multiplier for spatially distinct copies of an operand.
+
+    Traffic into level ``up_to_level`` multiplies by the number of active
+    sub-clusters at every level whose parallel dimension indexes the operand
+    (distinct data per sub-cluster); levels parallelising an irrelevant
+    dimension multicast one copy.  Output operands additionally count levels
+    that parallelise a reduction dimension, because partial sums from every
+    sub-cluster must be collected and reduced.
+    """
+    relevant = set(relevant_dims)
+    factor = 1
+    for analysis in analyses[: up_to_level + 1]:
+        parallel = analysis.parallel_dim
+        needs_distinct = parallel in relevant
+        if is_output and parallel in REDUCTION_DIMS:
+            needs_distinct = True
+        if needs_distinct:
+            factor *= analysis.active
+    return factor
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-int(numerator) // int(denominator))

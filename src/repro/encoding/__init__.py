@@ -1,0 +1,24 @@
+"""Design-point encoding.
+
+The paper's contribution #2: a compact per-level gene list describing both
+HW (``pi`` spatial sizes; buffers are derived, not encoded) and mapping
+(parallel dimension, loop order, tile sizes).  Two views are provided:
+
+* :class:`~repro.encoding.genome.Genome` — the structured gene list DiGamma
+  and the GAMMA-style operators manipulate directly.
+* :class:`~repro.encoding.vector_codec.VectorCodec` — a fixed-length
+  ``[0, 1]`` real vector so that generic black-box optimizers (CMA, PSO,
+  DE, ...) can be plugged into the same framework.
+"""
+
+from repro.encoding.genome import Genome, GenomeSpace, LevelGenes
+from repro.encoding.repair import repair_genome
+from repro.encoding.vector_codec import VectorCodec
+
+__all__ = [
+    "Genome",
+    "GenomeSpace",
+    "LevelGenes",
+    "VectorCodec",
+    "repair_genome",
+]

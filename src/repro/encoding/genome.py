@@ -1,0 +1,225 @@
+"""Structured genome: the paper's HW-Mapping design-point encoding."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping
+from repro.workloads.dims import DIMS, validate_dim
+from repro.workloads.model import Model
+
+
+@dataclass
+class LevelGenes:
+    """Genes of one cluster level (one "config" row in the paper's Fig. 3).
+
+    ``spatial_size`` is the HW gene (``pi``); ``parallel_dim``, ``order``
+    and ``tiles`` are the mapping genes.  Instances are mutable on purpose:
+    genetic operators perturb them in place on copies.
+    """
+
+    spatial_size: int
+    parallel_dim: str
+    order: List[str]
+    tiles: Dict[str, int]
+
+    def copy(self) -> "LevelGenes":
+        """Deep copy (lists and dicts are not shared)."""
+        return LevelGenes(
+            spatial_size=self.spatial_size,
+            parallel_dim=self.parallel_dim,
+            order=list(self.order),
+            tiles=dict(self.tiles),
+        )
+
+    def to_level_mapping(self) -> LevelMapping:
+        """Freeze into an immutable :class:`LevelMapping`."""
+        return LevelMapping(
+            spatial_size=max(1, int(self.spatial_size)),
+            parallel_dim=self.parallel_dim,
+            order=tuple(self.order),
+            tiles={dim: max(1, int(self.tiles[dim])) for dim in DIMS},
+        )
+
+
+@dataclass
+class Genome:
+    """A complete encoded design point: one :class:`LevelGenes` per level."""
+
+    levels: List[LevelGenes]
+
+    def copy(self) -> "Genome":
+        """Deep copy of the genome."""
+        return Genome(levels=[level.copy() for level in self.levels])
+
+    @property
+    def num_levels(self) -> int:
+        """Number of cluster levels (the clustering gene)."""
+        return len(self.levels)
+
+    @property
+    def num_pes(self) -> int:
+        """Total PEs implied by the HW genes."""
+        total = 1
+        for level in self.levels:
+            total *= max(1, int(level.spatial_size))
+        return total
+
+    @property
+    def pe_array(self) -> Tuple[int, ...]:
+        """Spatial fan-out per level, outermost first."""
+        return tuple(max(1, int(level.spatial_size)) for level in self.levels)
+
+    def to_mapping(self) -> Mapping:
+        """Freeze into an immutable :class:`Mapping`."""
+        return Mapping(levels=tuple(level.to_level_mapping() for level in self.levels))
+
+    @staticmethod
+    def from_mapping(mapping: Mapping) -> "Genome":
+        """Build a genome from an existing mapping (e.g. a dataflow template)."""
+        return Genome(
+            levels=[
+                LevelGenes(
+                    spatial_size=level.spatial_size,
+                    parallel_dim=level.parallel_dim,
+                    order=list(level.order),
+                    tiles=dict(level.tiles),
+                )
+                for level in mapping.levels
+            ]
+        )
+
+    def describe(self) -> str:
+        """Compact rendering in the paper's key/value style."""
+        return self.to_mapping().describe()
+
+
+@dataclass(frozen=True)
+class GenomeSpace:
+    """Bounds of the encoded design space for one model and platform.
+
+    Parameters
+    ----------
+    dim_bounds:
+        Maximum meaningful tile size per dimension: the largest extent of
+        that dimension over the model's unique layers.
+    max_pes:
+        Largest PE count the platform's area budget could possibly afford
+        (with zero buffer area); used to bound the HW genes.
+    num_levels:
+        Number of cluster levels in the hierarchy (2 = the paper's default
+        L2 + L1 accelerator).
+    fixed_pe_array:
+        When set (Fixed-HW use case), the HW genes are pinned to this array
+        and only mapping genes are searched.
+    """
+
+    dim_bounds: Dict[str, int]
+    max_pes: int
+    num_levels: int = 2
+    fixed_pe_array: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        bounds = {dim: max(1, int(self.dim_bounds.get(dim, 1))) for dim in DIMS}
+        object.__setattr__(self, "dim_bounds", bounds)
+        if self.max_pes < 1:
+            raise ValueError("max_pes must be >= 1")
+        if self.num_levels < 1:
+            raise ValueError("num_levels must be >= 1")
+        if self.fixed_pe_array is not None:
+            array = tuple(int(size) for size in self.fixed_pe_array)
+            if len(array) != self.num_levels:
+                raise ValueError(
+                    "fixed_pe_array must have one entry per level "
+                    f"({self.num_levels}), got {array}"
+                )
+            object.__setattr__(self, "fixed_pe_array", array)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_model(
+        model: Model,
+        max_pes: int,
+        num_levels: int = 2,
+        fixed_pe_array: Optional[Sequence[int]] = None,
+    ) -> "GenomeSpace":
+        """Derive tile bounds from a model's unique layers."""
+        bounds = {dim: 1 for dim in DIMS}
+        for layer in model.unique_layers():
+            for dim in DIMS:
+                bounds[dim] = max(bounds[dim], layer.dims[dim])
+        fixed = tuple(fixed_pe_array) if fixed_pe_array is not None else None
+        return GenomeSpace(
+            dim_bounds=bounds,
+            max_pes=max_pes,
+            num_levels=num_levels,
+            fixed_pe_array=fixed,
+        )
+
+    # -- sampling ----------------------------------------------------------
+
+    @property
+    def hw_is_fixed(self) -> bool:
+        """True when the HW genes are pinned (Fixed-HW use case)."""
+        return self.fixed_pe_array is not None
+
+    def spatial_bound(self, level_index: int) -> int:
+        """Upper bound on one level's spatial size gene."""
+        if self.hw_is_fixed:
+            return self.fixed_pe_array[level_index]
+        return max(1, self.max_pes)
+
+    def random_genome(self, rng: np.random.Generator) -> Genome:
+        """Sample a random (legal-by-construction) genome."""
+        levels: List[LevelGenes] = []
+        remaining_pes = self.max_pes
+        for level_index in range(self.num_levels):
+            if self.hw_is_fixed:
+                spatial = self.fixed_pe_array[level_index]
+            else:
+                levels_left = self.num_levels - level_index
+                # Keep the product of spatial sizes within max_pes by sampling
+                # each level in log space against the remaining budget.
+                bound = max(1, int(round(remaining_pes ** (1.0 / levels_left))) * 2)
+                bound = min(bound, remaining_pes)
+                spatial = log_uniform_int(rng, 1, max(1, bound))
+                remaining_pes = max(1, remaining_pes // spatial)
+            order = list(DIMS)
+            rng.shuffle(order)
+            tiles = {
+                dim: log_uniform_int(rng, 1, self.dim_bounds[dim]) for dim in DIMS
+            }
+            parallel_dim = str(rng.choice(DIMS))
+            levels.append(
+                LevelGenes(
+                    spatial_size=int(spatial),
+                    parallel_dim=parallel_dim,
+                    order=order,
+                    tiles=tiles,
+                )
+            )
+        return Genome(levels=levels)
+
+    def random_population(self, size: int, rng: np.random.Generator) -> List[Genome]:
+        """Sample ``size`` independent random genomes."""
+        if size < 1:
+            raise ValueError("population size must be >= 1")
+        return [self.random_genome(rng) for _ in range(size)]
+
+
+def log_uniform_int(rng: np.random.Generator, low: int, high: int) -> int:
+    """Sample an integer log-uniformly from ``[low, high]`` (inclusive)."""
+    if low < 1:
+        raise ValueError("low must be >= 1")
+    if high <= low:
+        return int(low)
+    log_low = math.log(low)
+    log_high = math.log(high + 1)
+    value = int(math.exp(rng.uniform(log_low, log_high)))
+    return max(low, min(high, value))

@@ -1,0 +1,124 @@
+"""Flat real-vector view of the design-point encoding.
+
+Generic black-box optimizers (CMA-ES, PSO, differential evolution, ...) work
+on fixed-length real vectors.  :class:`VectorCodec` maps a ``[0, 1]^n``
+vector to a :class:`Genome` and back:
+
+* one coordinate per level for the spatial size (log scale),
+* one coordinate per level selecting the parallel dimension,
+* six coordinates per level whose ranks give the loop order,
+* six coordinates per level for the tile sizes (log scale).
+
+Every vector decodes to a syntactically valid genome, so the black-box
+algorithms never see hard failures — only the constraint checker's
+penalties, exactly as in the paper's framework.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.encoding.genome import Genome, GenomeSpace, LevelGenes
+from repro.workloads.dims import DIMS
+
+#: Coordinates per level: spatial, parallel-dim selector, 6 order keys, 6 tiles.
+_PER_LEVEL = 1 + 1 + len(DIMS) + len(DIMS)
+
+
+class VectorCodec:
+    """Bidirectional mapping between ``[0, 1]^n`` vectors and genomes."""
+
+    def __init__(self, space: GenomeSpace):
+        self.space = space
+        self.dimension = _PER_LEVEL * space.num_levels
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, vector: np.ndarray) -> Genome:
+        """Decode a real vector into a genome (values are clipped to [0, 1])."""
+        values = np.clip(np.asarray(vector, dtype=float).ravel(), 0.0, 1.0)
+        if values.size != self.dimension:
+            raise ValueError(
+                f"expected a vector of length {self.dimension}, got {values.size}"
+            )
+        levels: List[LevelGenes] = []
+        remaining_pes = self.space.max_pes
+        for level_index in range(self.space.num_levels):
+            chunk = values[level_index * _PER_LEVEL : (level_index + 1) * _PER_LEVEL]
+            spatial = self._decode_spatial(chunk[0], level_index, remaining_pes)
+            remaining_pes = max(1, remaining_pes // spatial)
+            parallel_dim = DIMS[min(len(DIMS) - 1, int(chunk[1] * len(DIMS)))]
+            order_keys = chunk[2 : 2 + len(DIMS)]
+            order = [DIMS[i] for i in np.argsort(order_keys, kind="stable")]
+            tile_keys = chunk[2 + len(DIMS) :]
+            tiles = {
+                dim: _scale_log(tile_keys[i], 1, self.space.dim_bounds[dim])
+                for i, dim in enumerate(DIMS)
+            }
+            levels.append(
+                LevelGenes(
+                    spatial_size=spatial,
+                    parallel_dim=parallel_dim,
+                    order=order,
+                    tiles=tiles,
+                )
+            )
+        return Genome(levels=levels)
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, genome: Genome) -> np.ndarray:
+        """Approximate inverse of :meth:`decode` (useful for seeding searches)."""
+        if genome.num_levels != self.space.num_levels:
+            raise ValueError(
+                f"genome has {genome.num_levels} levels, codec expects "
+                f"{self.space.num_levels}"
+            )
+        vector = np.zeros(self.dimension, dtype=float)
+        remaining_pes = self.space.max_pes
+        for level_index, level in enumerate(genome.levels):
+            base = level_index * _PER_LEVEL
+            bound = max(1, remaining_pes) if not self.space.hw_is_fixed else 1
+            vector[base] = _unscale_log(level.spatial_size, 1, max(1, bound))
+            remaining_pes = max(1, remaining_pes // max(1, level.spatial_size))
+            vector[base + 1] = (DIMS.index(level.parallel_dim) + 0.5) / len(DIMS)
+            for rank, dim in enumerate(level.order):
+                vector[base + 2 + DIMS.index(dim)] = (rank + 0.5) / len(DIMS)
+            for i, dim in enumerate(DIMS):
+                vector[base + 2 + len(DIMS) + i] = _unscale_log(
+                    level.tiles[dim], 1, self.space.dim_bounds[dim]
+                )
+        return vector
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample a uniform random vector in ``[0, 1]^n``."""
+        return rng.random(self.dimension)
+
+    # -- internals ---------------------------------------------------------
+
+    def _decode_spatial(self, value: float, level_index: int, remaining: int) -> int:
+        if self.space.hw_is_fixed:
+            return self.space.fixed_pe_array[level_index]
+        return _scale_log(value, 1, max(1, remaining))
+
+
+def _scale_log(value: float, low: int, high: int) -> int:
+    """Map ``value`` in [0, 1] to an integer in [low, high] on a log scale."""
+    if high <= low:
+        return int(low)
+    log_low = math.log(low)
+    log_high = math.log(high + 1)
+    scaled = int(math.exp(log_low + float(value) * (log_high - log_low)))
+    return max(low, min(high, scaled))
+
+
+def _unscale_log(value: int, low: int, high: int) -> float:
+    """Map an integer in [low, high] back to [0, 1] on a log scale."""
+    if high <= low:
+        return 0.5
+    log_low = math.log(low)
+    log_high = math.log(high + 1)
+    return min(1.0, max(0.0, (math.log(max(low, value)) - log_low) / (log_high - log_low)))

@@ -1,0 +1,23 @@
+"""Experiment harnesses that regenerate the paper's tables and figures."""
+
+from repro.experiments.settings import (
+    DEFAULT_MODELS,
+    ExperimentSettings,
+    FIG5_OPTIMIZERS,
+    make_fixed_hardware,
+)
+from repro.experiments.reporting import (
+    format_table,
+    geometric_mean,
+    normalize_by_column,
+)
+
+__all__ = [
+    "DEFAULT_MODELS",
+    "ExperimentSettings",
+    "FIG5_OPTIMIZERS",
+    "make_fixed_hardware",
+    "format_table",
+    "geometric_mean",
+    "normalize_by_column",
+]

@@ -1,0 +1,159 @@
+"""Fig. 5 — comparison of optimization algorithms on the co-opt problem.
+
+For every DNN model and platform, each of the nine optimization algorithms
+searches the HW-Mapping space under the same sampling budget.  The harness
+reports the latency and latency-area-product of the best valid design each
+algorithm found, normalized to CMA (the strongest generic baseline), with a
+geometric-mean row — the same layout as the paper's Fig. 5.
+
+Run from the command line::
+
+    python -m repro.experiments.fig5 --platform edge --budget 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.platform import get_platform
+from repro.experiments.reporting import (
+    append_geomean_row,
+    format_table,
+    normalize_by_column,
+)
+from repro.experiments.settings import (
+    DEFAULT_MODELS,
+    DEFAULT_SAMPLING_BUDGET,
+    FIG5_OPTIMIZERS,
+    ExperimentSettings,
+)
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.search import SearchResult
+from repro.optim.registry import get_optimizer
+from repro.workloads.registry import get_model
+
+
+@dataclass
+class Fig5Result:
+    """Raw and normalized results of one Fig. 5 run (one platform)."""
+
+    platform: str
+    optimizer_names: Tuple[str, ...]
+    #: model -> optimizer display name -> latency (cycles) of best valid design.
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: model -> optimizer display name -> latency-area product.
+    latency_area_product: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: model -> optimizer display name -> full search result.
+    searches: Dict[str, Dict[str, SearchResult]] = field(default_factory=dict)
+
+    def normalized_latency(self, reference: str = "CMA") -> Dict[str, Dict[str, float]]:
+        """Latency normalized by ``reference`` with a GeoMean row (paper layout)."""
+        table = normalize_by_column(self.latency, reference)
+        return append_geomean_row(table, self.optimizer_names)
+
+    def normalized_latency_area_product(
+        self, reference: str = "CMA"
+    ) -> Dict[str, Dict[str, float]]:
+        """Latency-area product normalized by ``reference`` with a GeoMean row."""
+        table = normalize_by_column(self.latency_area_product, reference)
+        return append_geomean_row(table, self.optimizer_names)
+
+    def report(self) -> str:
+        """Render both normalized tables as plain text."""
+        parts = [
+            format_table(
+                self.normalized_latency(),
+                self.optimizer_names,
+                title=f"Fig. 5 ({self.platform}) - latency normalized to CMA (lower is better)",
+            ),
+            "",
+            format_table(
+                self.normalized_latency_area_product(),
+                self.optimizer_names,
+                title=(
+                    f"Fig. 5 ({self.platform}) - latency-area-product normalized to CMA "
+                    "(lower is better)"
+                ),
+            ),
+        ]
+        return "\n".join(parts)
+
+
+def run_fig5(
+    platform_name: str = "edge",
+    settings: Optional[ExperimentSettings] = None,
+    optimizers: Sequence[str] = FIG5_OPTIMIZERS,
+) -> Fig5Result:
+    """Run the Fig. 5 comparison on one platform."""
+    settings = settings if settings is not None else ExperimentSettings()
+    platform = get_platform(platform_name)
+
+    display_names = tuple(get_optimizer(name).name for name in optimizers)
+    result = Fig5Result(platform=platform_name, optimizer_names=display_names)
+
+    for model_name in settings.models:
+        model = get_model(model_name)
+        framework = CoOptimizationFramework(
+            model,
+            platform,
+            bytes_per_element=settings.bytes_per_element,
+        )
+        result.latency[model_name] = {}
+        result.latency_area_product[model_name] = {}
+        result.searches[model_name] = {}
+        for optimizer_name in optimizers:
+            optimizer = get_optimizer(optimizer_name)
+            search = framework.search(
+                optimizer,
+                sampling_budget=settings.sampling_budget,
+                seed=settings.seed,
+            )
+            result.latency[model_name][optimizer.name] = search.best_latency
+            result.latency_area_product[model_name][optimizer.name] = (
+                search.best_latency_area_product
+            )
+            result.searches[model_name][optimizer.name] = search
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--platform",
+        choices=("edge", "cloud", "both"),
+        default="edge",
+        help="platform resources to evaluate (default: edge)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=DEFAULT_SAMPLING_BUDGET,
+        help="sampling budget per search (paper uses 40000)",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(DEFAULT_MODELS),
+        help="models to evaluate (default: the paper's seven models)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args(argv)
+
+    settings = ExperimentSettings(
+        models=tuple(args.models),
+        sampling_budget=args.budget,
+        seed=args.seed,
+    )
+    platforms = ("edge", "cloud") if args.platform == "both" else (args.platform,)
+    for platform_name in platforms:
+        result = run_fig5(platform_name, settings)
+        print(result.report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,182 @@
+"""Fig. 6 — HW-opt and Mapping-opt baselines vs. HW-Mapping co-optimization.
+
+Three scheme families are compared for every model and platform:
+
+* **HW-opt**: grid search over HW configurations with a fixed, manually
+  designed mapping (dla-like, shi-like or eye-like).
+* **Mapping-opt**: GAMMA mapping search over a fixed, manually chosen HW
+  configuration (Buffer-focused, Medium-Buf-Com or Compute-focused).
+* **HW-Map-co-opt**: DiGamma searching both together.
+
+Latencies are normalized to the strongest non-co-opt scheme
+(Compute-focused + Gamma), as in the paper.
+
+Run from the command line::
+
+    python -m repro.experiments.fig6 --platform edge --budget 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.platform import get_platform
+from repro.experiments.reporting import (
+    append_geomean_row,
+    format_table,
+    normalize_by_column,
+)
+from repro.experiments.settings import (
+    DEFAULT_MODELS,
+    DEFAULT_SAMPLING_BUDGET,
+    FIXED_HW_STYLES,
+    ExperimentSettings,
+    make_fixed_hardware,
+)
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.search import SearchResult
+from repro.mapping.dataflows import DATAFLOW_STYLES
+from repro.optim.digamma import DiGamma
+from repro.optim.gamma import GammaMapper
+from repro.optim.grid_search import HardwareGridSearch
+from repro.workloads.registry import get_model
+
+#: Reference scheme used for normalization (the paper's best baseline).
+REFERENCE_SCHEME = "Compute-focused+Gamma"
+
+
+@dataclass
+class Fig6Result:
+    """Raw and normalized results of one Fig. 6 run (one platform)."""
+
+    platform: str
+    scheme_names: Tuple[str, ...]
+    #: model -> scheme -> latency (cycles) of the best valid design.
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: model -> scheme -> full search result.
+    searches: Dict[str, Dict[str, SearchResult]] = field(default_factory=dict)
+
+    def normalized_latency(
+        self, reference: str = REFERENCE_SCHEME
+    ) -> Dict[str, Dict[str, float]]:
+        """Latency normalized by ``reference`` with a GeoMean row."""
+        table = normalize_by_column(self.latency, reference)
+        return append_geomean_row(table, self.scheme_names)
+
+    def report(self) -> str:
+        """Render the normalized table as plain text."""
+        return format_table(
+            self.normalized_latency(),
+            self.scheme_names,
+            title=(
+                f"Fig. 6 ({self.platform}) - latency normalized to "
+                f"{REFERENCE_SCHEME} (lower is better)"
+            ),
+        )
+
+
+def scheme_names() -> Tuple[str, ...]:
+    """Display names of all schemes, in the paper's column order."""
+    hw_opt = tuple(f"Grid-S+{style}-like" for style in DATAFLOW_STYLES)
+    mapping_opt = tuple(f"{style}+Gamma" for style in FIXED_HW_STYLES)
+    return hw_opt + mapping_opt + ("DiGamma",)
+
+
+def run_fig6(
+    platform_name: str = "edge",
+    settings: Optional[ExperimentSettings] = None,
+) -> Fig6Result:
+    """Run the Fig. 6 comparison on one platform."""
+    settings = settings if settings is not None else ExperimentSettings()
+    platform = get_platform(platform_name)
+    result = Fig6Result(platform=platform_name, scheme_names=scheme_names())
+
+    for model_name in settings.models:
+        model = get_model(model_name)
+        result.latency[model_name] = {}
+        result.searches[model_name] = {}
+
+        # HW-opt: fixed dataflows, grid-searched hardware.
+        co_framework = CoOptimizationFramework(
+            model, platform, bytes_per_element=settings.bytes_per_element
+        )
+        for style in DATAFLOW_STYLES:
+            search = co_framework.search(
+                HardwareGridSearch(style),
+                sampling_budget=settings.sampling_budget,
+                seed=settings.seed,
+            )
+            _record(result, model_name, f"Grid-S+{style}-like", search)
+
+        # Mapping-opt: fixed hardware, GAMMA-searched mapping.
+        for style, compute_fraction in FIXED_HW_STYLES.items():
+            fixed_hw = make_fixed_hardware(platform, compute_fraction)
+            framework = CoOptimizationFramework(
+                model,
+                platform,
+                fixed_hardware=fixed_hw,
+                bytes_per_element=settings.bytes_per_element,
+            )
+            search = framework.search(
+                GammaMapper(),
+                sampling_budget=settings.sampling_budget,
+                seed=settings.seed,
+            )
+            _record(result, model_name, f"{style}+Gamma", search)
+
+        # HW-Map co-optimization: DiGamma.
+        search = co_framework.search(
+            DiGamma(),
+            sampling_budget=settings.sampling_budget,
+            seed=settings.seed,
+        )
+        _record(result, model_name, "DiGamma", search)
+    return result
+
+
+def _record(result: Fig6Result, model_name: str, scheme: str, search: SearchResult) -> None:
+    result.latency[model_name][scheme] = search.best_latency
+    result.searches[model_name][scheme] = search
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--platform",
+        choices=("edge", "cloud", "both"),
+        default="edge",
+        help="platform resources to evaluate (default: edge)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=DEFAULT_SAMPLING_BUDGET,
+        help="sampling budget per search (paper uses 40000)",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(DEFAULT_MODELS),
+        help="models to evaluate (default: the paper's seven models)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args(argv)
+
+    settings = ExperimentSettings(
+        models=tuple(args.models),
+        sampling_budget=args.budget,
+        seed=args.seed,
+    )
+    platforms = ("edge", "cloud") if args.platform == "both" else (args.platform,)
+    for platform_name in platforms:
+        result = run_fig6(platform_name, settings)
+        print(result.report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Fig. 7 — inspection of the solutions found by the three schemes.
+
+For Mnasnet at edge resources, the harness runs one representative of each
+scheme family (HW-opt with the dla-like mapping, Mapping-opt with the
+Compute-focused HW, and DiGamma co-optimization) and reports, for the best
+design each found: the encoded mapping, latency, area, latency-area product
+and the PE:buffer area split — the same quantities as the paper's Fig. 7.
+
+Run from the command line::
+
+    python -m repro.experiments.fig7 --budget 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.arch.platform import get_platform
+from repro.experiments.settings import (
+    DEFAULT_SAMPLING_BUDGET,
+    FIXED_HW_STYLES,
+    ExperimentSettings,
+    make_fixed_hardware,
+)
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.search import SearchResult
+from repro.optim.digamma import DiGamma
+from repro.optim.gamma import GammaMapper
+from repro.optim.grid_search import HardwareGridSearch
+from repro.workloads.registry import get_model
+
+
+@dataclass(frozen=True)
+class SchemeSolution:
+    """One row of the Fig. 7 table."""
+
+    scheme: str
+    search: SearchResult
+
+    @property
+    def found_valid(self) -> bool:
+        """Whether the scheme found a budget-respecting design."""
+        return self.search.found_valid
+
+    def row(self) -> Dict[str, float]:
+        """Numeric columns of the Fig. 7 table."""
+        if not self.found_valid:
+            return {
+                "latency": float("inf"),
+                "area": float("inf"),
+                "latency_area_product": float("inf"),
+                "pe_area_pct": float("nan"),
+                "buffer_area_pct": float("nan"),
+            }
+        design = self.search.best.design
+        pe_pct, buffer_pct = design.area.pe_to_buffer_ratio
+        return {
+            "latency": design.latency,
+            "area": design.area.total,
+            "latency_area_product": design.latency_area_product,
+            "pe_area_pct": pe_pct,
+            "buffer_area_pct": buffer_pct,
+        }
+
+    def describe(self) -> str:
+        """Multi-line description including the found encoding."""
+        if not self.found_valid:
+            return f"{self.scheme}: no valid solution found"
+        design = self.search.best.design
+        row = self.row()
+        lines = [
+            f"{self.scheme}:",
+            f"  latency = {row['latency']:.3e} cycles",
+            f"  area = {row['area']:.3e} um^2 "
+            f"(PE {row['pe_area_pct']:.0f}% : buffer {row['buffer_area_pct']:.0f}%)",
+            f"  latency-area product = {row['latency_area_product']:.3e}",
+            "  found encoding:",
+        ]
+        lines.extend("    " + line for line in design.mapping.describe().splitlines())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Solutions of the three schemes for one model and platform."""
+
+    model: str
+    platform: str
+    area_budget_um2: float
+    solutions: Dict[str, SchemeSolution]
+
+    def report(self) -> str:
+        """Render the full Fig. 7-style report."""
+        lines = [
+            f"Fig. 7 - solutions found for {self.model} at {self.platform} resources "
+            f"(area constraint {self.area_budget_um2:.2e} um^2)",
+            "",
+        ]
+        for solution in self.solutions.values():
+            lines.append(solution.describe())
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_fig7(
+    model_name: str = "mnasnet",
+    platform_name: str = "edge",
+    settings: Optional[ExperimentSettings] = None,
+) -> Fig7Result:
+    """Run the three representative schemes and collect their best solutions."""
+    settings = settings if settings is not None else ExperimentSettings()
+    platform = get_platform(platform_name)
+    model = get_model(model_name)
+
+    solutions: Dict[str, SchemeSolution] = {}
+
+    co_framework = CoOptimizationFramework(
+        model, platform, bytes_per_element=settings.bytes_per_element
+    )
+
+    # HW-opt representative: grid-searched HW with the dla-like mapping.
+    search = co_framework.search(
+        HardwareGridSearch("dla"),
+        sampling_budget=settings.sampling_budget,
+        seed=settings.seed,
+    )
+    solutions["HW-opt (Grid-S + dla-like)"] = SchemeSolution(
+        scheme="HW-opt (Grid-S + dla-like)", search=search
+    )
+
+    # Mapping-opt representative: Compute-focused fixed HW with GAMMA.
+    fixed_hw = make_fixed_hardware(platform, FIXED_HW_STYLES["Compute-focused"])
+    mapping_framework = CoOptimizationFramework(
+        model,
+        platform,
+        fixed_hardware=fixed_hw,
+        bytes_per_element=settings.bytes_per_element,
+    )
+    search = mapping_framework.search(
+        GammaMapper(),
+        sampling_budget=settings.sampling_budget,
+        seed=settings.seed,
+    )
+    solutions["Mapping-opt (Compute-focused + Gamma)"] = SchemeSolution(
+        scheme="Mapping-opt (Compute-focused + Gamma)", search=search
+    )
+
+    # Co-optimization: DiGamma.
+    search = co_framework.search(
+        DiGamma(),
+        sampling_budget=settings.sampling_budget,
+        seed=settings.seed,
+    )
+    solutions["HW-Map-co-opt (DiGamma)"] = SchemeSolution(
+        scheme="HW-Map-co-opt (DiGamma)", search=search
+    )
+
+    return Fig7Result(
+        model=model_name,
+        platform=platform_name,
+        area_budget_um2=platform.area_budget_um2,
+        solutions=solutions,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="mnasnet", help="model to inspect")
+    parser.add_argument(
+        "--platform", choices=("edge", "cloud"), default="edge", help="platform resources"
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=DEFAULT_SAMPLING_BUDGET,
+        help="sampling budget per search (paper uses 40000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args(argv)
+
+    settings = ExperimentSettings(sampling_budget=args.budget, seed=args.seed)
+    result = run_fig7(args.model, args.platform, settings)
+    print(result.report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

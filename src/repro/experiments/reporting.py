@@ -1,0 +1,89 @@
+"""Table formatting and normalization helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+#: Rendering of searches that found no valid design (paper's "N/A").
+NOT_AVAILABLE = "N/A"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive, finite values; ``inf``/invalid values are skipped."""
+    usable = [value for value in values if value > 0 and math.isfinite(value)]
+    if not usable:
+        return float("nan")
+    return math.exp(sum(math.log(value) for value in usable) / len(usable))
+
+
+def normalize_by_column(
+    table: Mapping[str, Mapping[str, float]],
+    reference_column: str,
+) -> Dict[str, Dict[str, float]]:
+    """Normalize every row of ``table`` by the value in ``reference_column``.
+
+    ``table`` maps row name -> column name -> raw value.  Missing or
+    non-finite reference values leave the row unnormalized (all ``inf``),
+    mirroring how the paper handles a failed reference search.
+    """
+    normalized: Dict[str, Dict[str, float]] = {}
+    for row_name, row in table.items():
+        reference = row.get(reference_column, float("nan"))
+        normalized[row_name] = {}
+        for column, value in row.items():
+            if reference and math.isfinite(reference) and reference > 0:
+                normalized[row_name][column] = value / reference
+            else:
+                normalized[row_name][column] = float("inf")
+    return normalized
+
+
+def format_cell(value: float, precision: int = 2) -> str:
+    """Render one numeric cell; non-finite values become ``N/A``."""
+    if value is None or not math.isfinite(value):
+        return NOT_AVAILABLE
+    if value != 0 and (abs(value) >= 1e4 or abs(value) < 1e-2):
+        return f"{value:.{precision}e}"
+    return f"{value:.{precision}f}"
+
+
+def format_table(
+    table: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+    row_label: str = "model",
+    precision: int = 2,
+) -> str:
+    """Render a row-major table of floats as aligned plain text."""
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    widths = [max(12, len(column) + 1) for column in columns]
+    header = [row_label.ljust(16)] + [
+        column.rjust(width) for column, width in zip(columns, widths)
+    ]
+    rows.append(" ".join(header))
+    rows.append("-" * len(rows[-1]))
+    for row_name, row in table.items():
+        cells = [str(row_name).ljust(16)]
+        cells.extend(
+            format_cell(row.get(column, float("nan")), precision).rjust(width)
+            for column, width in zip(columns, widths)
+        )
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def append_geomean_row(
+    table: Dict[str, Dict[str, float]],
+    columns: Sequence[str],
+    label: str = "GeoMean",
+) -> Dict[str, Dict[str, float]]:
+    """Add a geometric-mean row across all existing rows, as in Fig. 5 / Fig. 6."""
+    geomean_row = {
+        column: geometric_mean(row.get(column, float("nan")) for row in table.values())
+        for column in columns
+    }
+    table[label] = geomean_row
+    return table

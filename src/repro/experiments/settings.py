@@ -1,0 +1,110 @@
+"""Shared experiment configuration.
+
+The paper runs every optimizer with a 40K sampling budget (about 20 CPU
+minutes per search).  The defaults here are scaled down so the complete
+benchmark suite finishes on one machine in minutes; every harness accepts a
+``sampling_budget`` (and the CLIs a ``--budget``) to run at paper scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.arch.area import AreaModel
+from repro.arch.hardware import HardwareConfig
+from repro.arch.platform import Platform
+
+#: The seven DNN models of the paper's evaluation, in presentation order.
+DEFAULT_MODELS: Tuple[str, ...] = (
+    "resnet18",
+    "resnet50",
+    "mobilenet_v2",
+    "mnasnet",
+    "bert",
+    "ncf",
+    "dlrm",
+)
+
+#: The nine optimization algorithms compared in Fig. 5 (registry names).
+FIG5_OPTIMIZERS: Tuple[str, ...] = (
+    "random",
+    "stdga",
+    "pso",
+    "tbpsa",
+    "(1+1)-es",
+    "de",
+    "portfolio",
+    "cma",
+    "digamma",
+)
+
+#: Paper-scale sampling budget (Sec. V-A).
+PAPER_SAMPLING_BUDGET = 40_000
+
+#: Scaled-down default used by the shipped benchmarks.
+DEFAULT_SAMPLING_BUDGET = 1_500
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by the Fig. 5 / Fig. 6 / Fig. 7 harnesses."""
+
+    models: Tuple[str, ...] = DEFAULT_MODELS
+    sampling_budget: int = DEFAULT_SAMPLING_BUDGET
+    seed: int = 0
+    bytes_per_element: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sampling_budget < 1:
+            raise ValueError("sampling_budget must be >= 1")
+        object.__setattr__(self, "models", tuple(self.models))
+
+
+def make_fixed_hardware(
+    platform: Platform,
+    compute_fraction: float,
+    area_model: AreaModel | None = None,
+    l1_fraction: float = 0.3,
+) -> HardwareConfig:
+    """Build a fixed HW configuration spending ``compute_fraction`` of the budget on PEs.
+
+    This constructs the paper's Mapping-opt baselines: "Compute-focused"
+    (large PE array, small buffers), "Buffer-focused" (the opposite) and
+    "Medium-Buf-Com" (balanced).  The remaining area is split between the
+    per-PE L1 scratchpads (``l1_fraction``) and the shared L2.
+    """
+    if not 0.0 < compute_fraction < 1.0:
+        raise ValueError("compute_fraction must be in (0, 1)")
+    if not 0.0 < l1_fraction < 1.0:
+        raise ValueError("l1_fraction must be in (0, 1)")
+    model = area_model if area_model is not None else AreaModel()
+    budget = platform.area_budget_um2
+
+    pe_budget = budget * compute_fraction
+    num_pes = max(1, int(pe_budget // model.pe_area_um2))
+    rows = max(1, int(math.sqrt(num_pes)))
+    cols = max(1, num_pes // rows)
+
+    buffer_budget = budget * (1.0 - compute_fraction)
+    l1_total_bytes = buffer_budget * l1_fraction / model.l1_area_per_byte_um2
+    l1_size = max(1, int(l1_total_bytes // (rows * cols)))
+    l2_size = max(1, int(buffer_budget * (1.0 - l1_fraction) // model.l2_area_per_byte_um2))
+
+    return HardwareConfig(
+        pe_array=(rows, cols),
+        l1_size=l1_size,
+        l2_size=l2_size,
+        noc_bandwidth=platform.noc_bandwidth,
+        dram_bandwidth=platform.dram_bandwidth,
+    )
+
+
+#: The three fixed-HW styles of the Mapping-opt baseline (paper Sec. V-A):
+#: fraction of the area budget spent on compute.
+FIXED_HW_STYLES: Dict[str, float] = {
+    "Buffer-focused": 0.25,
+    "Medium-Buf-Com": 0.50,
+    "Compute-focused": 0.75,
+}

@@ -1,0 +1,26 @@
+"""HW-Mapping co-optimization framework (the paper's contribution #1)."""
+
+from repro.framework.constraints import ConstraintChecker, ConstraintResult
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.designpoint import AcceleratorDesign
+from repro.framework.designspace import hw_space_size, mapping_space_size, total_space_size
+from repro.framework.evaluator import DesignEvaluator, EvaluationResult
+from repro.framework.objective import Objective, objective_value
+from repro.framework.search import BudgetExhausted, SearchResult, SearchTracker
+
+__all__ = [
+    "ConstraintChecker",
+    "ConstraintResult",
+    "CoOptimizationFramework",
+    "AcceleratorDesign",
+    "DesignEvaluator",
+    "EvaluationResult",
+    "Objective",
+    "objective_value",
+    "BudgetExhausted",
+    "SearchResult",
+    "SearchTracker",
+    "hw_space_size",
+    "mapping_space_size",
+    "total_space_size",
+]

@@ -1,0 +1,95 @@
+"""Design-budget constraint checking.
+
+The constraint checker (paper Sec. III-B2) invalidates proposed design
+points whose required resources exceed the budget; invalid points receive a
+penalised fitness so the optimizers are steered back into the feasible
+region rather than failing hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.area import AreaBreakdown
+from repro.arch.hardware import HardwareConfig
+
+
+@dataclass(frozen=True)
+class ConstraintResult:
+    """Outcome of checking one design point against the budget."""
+
+    valid: bool
+    violations: tuple
+    #: Ratio of the worst violated resource to its budget (1.0 when valid).
+    severity: float
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+@dataclass(frozen=True)
+class ConstraintChecker:
+    """Checks area budgets and, optionally, fixed-HW buffer capacities.
+
+    Parameters
+    ----------
+    area_budget_um2:
+        Chip-area budget for PEs plus on-chip buffers.
+    fixed_hardware:
+        When set (Fixed-HW use case), proposed mappings must also fit the
+        existing hardware's L1 and L2 capacities.
+    """
+
+    area_budget_um2: float
+    fixed_hardware: Optional[HardwareConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.area_budget_um2 <= 0:
+            raise ValueError("area_budget_um2 must be positive")
+
+    def check(
+        self,
+        hardware: HardwareConfig,
+        area: AreaBreakdown,
+        l1_requirement_bytes: int = 0,
+        l2_requirement_bytes: int = 0,
+    ) -> ConstraintResult:
+        """Check one decoded design point.
+
+        ``l1_requirement_bytes`` / ``l2_requirement_bytes`` are the
+        mapping's minimum buffer needs; they matter only in Fixed-HW mode,
+        where the buffers cannot be grown to match the mapping.
+        """
+        violations: List[str] = []
+        severity = 1.0
+
+        area_ratio = area.total / self.area_budget_um2
+        if area_ratio > 1.0:
+            violations.append(
+                f"area {area.total:.3e} um^2 exceeds budget {self.area_budget_um2:.3e} um^2"
+            )
+            severity = max(severity, area_ratio)
+
+        if self.fixed_hardware is not None:
+            fixed = self.fixed_hardware
+            if l1_requirement_bytes > fixed.l1_size:
+                ratio = l1_requirement_bytes / fixed.l1_size
+                violations.append(
+                    f"mapping needs {l1_requirement_bytes} B of L1 per PE, "
+                    f"hardware provides {fixed.l1_size} B"
+                )
+                severity = max(severity, ratio)
+            if l2_requirement_bytes > fixed.l2_size:
+                ratio = l2_requirement_bytes / fixed.l2_size
+                violations.append(
+                    f"mapping needs {l2_requirement_bytes} B of L2, "
+                    f"hardware provides {fixed.l2_size} B"
+                )
+                severity = max(severity, ratio)
+
+        return ConstraintResult(
+            valid=not violations,
+            violations=tuple(violations),
+            severity=severity,
+        )

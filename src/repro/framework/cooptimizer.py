@@ -1,0 +1,117 @@
+"""The Co-opt Framework front-end.
+
+Ties everything together (paper Fig. 2): take a model, an objective, a
+design budget (platform) and optionally a design constraint (fixed HW), and
+run any plugged-in optimization algorithm under a sampling budget.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.arch.area import AreaModel
+from repro.arch.energy import EnergyModel
+from repro.arch.hardware import HardwareConfig
+from repro.arch.platform import Platform
+from repro.framework.evaluator import DesignEvaluator
+from repro.framework.objective import Objective
+from repro.framework.search import BudgetExhausted, SearchResult, SearchTracker
+from repro.workloads.model import Model
+
+
+class SupportsRun(Protocol):
+    """Anything with a ``name`` and a ``run(tracker, rng)`` method.
+
+    This is the whole contract an optimization algorithm must satisfy to be
+    plugged into the framework.
+    """
+
+    name: str
+
+    def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        """Spend the tracker's sampling budget looking for good designs."""
+
+
+class CoOptimizationFramework:
+    """HW-Mapping co-optimization for one model on one platform.
+
+    Parameters
+    ----------
+    model:
+        Target DNN model.
+    platform:
+        Edge or cloud platform preset (area budget + bandwidths).
+    objective:
+        Metric to minimize (latency by default, as in the paper).
+    num_levels:
+        Cluster levels of the accelerator hierarchy (2 = L2 + L1).
+    fixed_hardware:
+        Optional design constraint enabling the Fixed-HW use case: only the
+        mapping is searched.
+    area_model / energy_model / bytes_per_element:
+        Technology models forwarded to the evaluator.
+    buffer_allocation:
+        Buffer allocation strategy forwarded to the evaluator
+        (``"exact"`` or ``"fill"``).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        platform: Platform,
+        objective: Objective = Objective.LATENCY,
+        num_levels: int = 2,
+        fixed_hardware: Optional[HardwareConfig] = None,
+        area_model: Optional[AreaModel] = None,
+        energy_model: Optional[EnergyModel] = None,
+        bytes_per_element: int = 1,
+        buffer_allocation: str = "exact",
+    ):
+        self.model = model
+        self.platform = platform
+        self.objective = objective
+        self.num_levels = num_levels
+        self.evaluator = DesignEvaluator(
+            model=model,
+            platform=platform,
+            objective=objective,
+            fixed_hardware=fixed_hardware,
+            area_model=area_model,
+            energy_model=energy_model,
+            bytes_per_element=bytes_per_element,
+            buffer_allocation=buffer_allocation,
+        )
+        self.space = self.evaluator.genome_space(num_levels=num_levels)
+
+    def search(
+        self,
+        optimizer: SupportsRun,
+        sampling_budget: int = 2000,
+        seed: int = 0,
+    ) -> SearchResult:
+        """Run one optimization algorithm under the given sampling budget."""
+        tracker = SearchTracker(
+            evaluator=self.evaluator,
+            space=self.space,
+            sampling_budget=sampling_budget,
+        )
+        rng = np.random.default_rng(seed)
+        start = time.perf_counter()
+        try:
+            optimizer.run(tracker, rng)
+        except BudgetExhausted:
+            # The optimizer kept asking after the budget ran out; that is the
+            # expected way for budget-oblivious algorithms to terminate.
+            pass
+        elapsed = time.perf_counter() - start
+        return SearchResult(
+            optimizer_name=optimizer.name,
+            best=tracker.best,
+            evaluations=tracker.evaluations,
+            sampling_budget=sampling_budget,
+            wall_time_seconds=elapsed,
+            history=tuple(tracker.history),
+        )

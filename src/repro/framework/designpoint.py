@@ -1,0 +1,53 @@
+"""A fully decoded accelerator design point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.area import AreaBreakdown
+from repro.arch.hardware import HardwareConfig
+from repro.cost.performance import ModelPerformance
+from repro.mapping.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class AcceleratorDesign:
+    """HW configuration + mapping + evaluated performance + area.
+
+    This is what the co-optimization framework ultimately returns: the
+    decoded counterpart of an encoded individual (paper Fig. 3(d-e)).
+    """
+
+    hardware: HardwareConfig
+    mapping: Mapping
+    performance: ModelPerformance
+    area: AreaBreakdown
+
+    @property
+    def latency(self) -> float:
+        """Total model latency in cycles."""
+        return self.performance.latency
+
+    @property
+    def energy(self) -> float:
+        """Total model energy (normalised units)."""
+        return self.performance.energy
+
+    @property
+    def latency_area_product(self) -> float:
+        """Latency times total area (the paper's secondary metric)."""
+        return self.performance.latency * self.area.total
+
+    def describe(self) -> str:
+        """Multi-line human-readable description (Fig. 7-style)."""
+        pe_pct, buf_pct = self.area.pe_to_buffer_ratio
+        lines = [
+            f"Hardware: {self.hardware.describe()}",
+            f"Area: {self.area.total:.3e} um^2 "
+            f"(PE {pe_pct:.0f}% : buffer {buf_pct:.0f}%)",
+            f"Latency: {self.latency:.3e} cycles   "
+            f"Latency-area product: {self.latency_area_product:.3e}",
+            "Mapping:",
+        ]
+        lines.extend("  " + line for line in self.mapping.describe().splitlines())
+        return "\n".join(lines)

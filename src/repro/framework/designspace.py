@@ -1,0 +1,53 @@
+"""Design-space cardinality estimates (paper Sec. II-C).
+
+These functions reproduce the back-of-the-envelope sizes the paper quotes:
+a mapping space up to O(10^24), a HW space up to O(10^12) (128x128 PEs,
+100 MB of buffer) and their cross product of O(10^36), which is the
+motivation for sample-efficient co-optimization.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+
+
+def mapping_space_size(layer: Layer, num_levels: int = 2) -> float:
+    """Number of distinct mappings of ``layer`` on a ``num_levels`` hierarchy.
+
+    Per level: every loop order (6!), every choice of parallel dimension (6)
+    and every combination of per-dimension tile sizes (product of the
+    dimension extents).
+    """
+    if num_levels < 1:
+        raise ValueError("num_levels must be >= 1")
+    per_level = math.factorial(len(DIMS)) * len(DIMS)
+    tile_choices = 1
+    for dim in DIMS:
+        tile_choices *= layer.dims[dim]
+    per_level *= tile_choices
+    return float(per_level) ** num_levels
+
+
+def hw_space_size(
+    max_pe_width: int = 128,
+    max_pe_height: int = 128,
+    max_buffer_bytes: int = 100 * 1024 * 1024,
+    buffer_granularity: int = 1024,
+) -> float:
+    """Number of distinct HW configurations (paper footnote 1).
+
+    PE array width and height choices times the number of L1 and L2 buffer
+    sizings at ``buffer_granularity`` steps.
+    """
+    if min(max_pe_width, max_pe_height, max_buffer_bytes, buffer_granularity) < 1:
+        raise ValueError("all bounds must be positive")
+    buffer_steps = max(1, max_buffer_bytes // buffer_granularity)
+    return float(max_pe_width) * max_pe_height * buffer_steps * buffer_steps
+
+
+def total_space_size(layer: Layer, num_levels: int = 2, **hw_kwargs: int) -> float:
+    """Cross-product of the mapping and HW spaces for one layer."""
+    return mapping_space_size(layer, num_levels) * hw_space_size(**hw_kwargs)

@@ -1,0 +1,251 @@
+"""Fitness evaluation: decode, evaluate, check constraints, score.
+
+This is the paper's Evaluation Block (Fig. 3(a)): an encoded individual is
+decoded into an accelerator design point, scored by the HW performance
+evaluator, and its fitness is replaced with a (graded) negative penalty when
+the design violates the budget, so that optimization algorithms of any kind
+can be plugged into the Optimization Block unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.arch.area import AreaBreakdown, AreaModel
+from repro.arch.energy import EnergyModel
+from repro.arch.hardware import HardwareConfig
+from repro.arch.platform import Platform
+from repro.cost.maestro import CostModel
+from repro.cost.performance import ModelPerformance
+from repro.encoding.genome import Genome, GenomeSpace
+from repro.framework.constraints import ConstraintChecker
+from repro.framework.designpoint import AcceleratorDesign
+from repro.framework.objective import Objective, objective_value
+from repro.mapping.mapping import Mapping
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model
+
+#: Scale of the penalty assigned to invalid design points.  It dominates any
+#: achievable objective value so that every valid point outranks every
+#: invalid one, while the severity grading still gives the search a slope
+#: back towards the feasible region.
+INVALID_FITNESS_SCALE = 1e18
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Everything the framework knows about one evaluated design point."""
+
+    fitness: float
+    valid: bool
+    objective: Objective
+    objective_value: float
+    design: AcceleratorDesign
+    violations: tuple
+    genome: Optional[Genome] = None
+
+    @property
+    def latency(self) -> float:
+        """Total model latency of the design point (cycles)."""
+        return self.design.latency
+
+    @property
+    def energy(self) -> float:
+        """Total model energy of the design point."""
+        return self.design.energy
+
+    @property
+    def latency_area_product(self) -> float:
+        """Latency times area of the design point."""
+        return self.design.latency_area_product
+
+
+class DesignEvaluator:
+    """Decodes and scores design points for one model on one platform.
+
+    Parameters
+    ----------
+    model:
+        Target DNN model.
+    platform:
+        Area budget and bandwidth assumptions (edge / cloud).
+    objective:
+        The metric to minimize.
+    fixed_hardware:
+        When given, the Fixed-HW use case is enabled: the PE array and
+        buffer capacities are pinned and only the mapping is evaluated
+        (mappings that do not fit the buffers are invalid).
+    area_model / energy_model / bytes_per_element:
+        Technology models; defaults are the calibrated models described in
+        DESIGN.md.
+    buffer_allocation:
+        ``"exact"`` (default, the paper's strategy) allocates exactly the
+        buffer capacity the decoded mapping needs; ``"fill"`` instead gives
+        the L2 all of the area budget left over after PEs and L1s, which is
+        the naive alternative used by the buffer-allocation ablation.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        platform: Platform,
+        objective: Objective = Objective.LATENCY,
+        fixed_hardware: Optional[HardwareConfig] = None,
+        area_model: Optional[AreaModel] = None,
+        energy_model: Optional[EnergyModel] = None,
+        bytes_per_element: int = 1,
+        buffer_allocation: str = "exact",
+    ):
+        if buffer_allocation not in ("exact", "fill"):
+            raise ValueError(
+                f"buffer_allocation must be 'exact' or 'fill', got {buffer_allocation!r}"
+            )
+        self.model = model
+        self.platform = platform
+        self.objective = objective
+        self.fixed_hardware = fixed_hardware
+        self.buffer_allocation = buffer_allocation
+        self.area_model = area_model if area_model is not None else AreaModel()
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.bytes_per_element = bytes_per_element
+        self.cost_model = CostModel(
+            energy_model=self.energy_model,
+            bytes_per_element=bytes_per_element,
+        )
+        self.constraint_checker = ConstraintChecker(
+            area_budget_um2=platform.area_budget_um2,
+            fixed_hardware=fixed_hardware,
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def genome_space(self, num_levels: int = 2) -> GenomeSpace:
+        """Build the genome space matching this evaluator's configuration."""
+        fixed_pe_array = (
+            self.fixed_hardware.pe_array if self.fixed_hardware is not None else None
+        )
+        max_pes = self.area_model.max_pes_within(self.platform.area_budget_um2)
+        if fixed_pe_array is not None and len(fixed_pe_array) != num_levels:
+            raise ValueError(
+                f"fixed hardware has {len(fixed_pe_array)} levels, requested {num_levels}"
+            )
+        return GenomeSpace.from_model(
+            self.model,
+            max_pes=max_pes,
+            num_levels=num_levels,
+            fixed_pe_array=fixed_pe_array,
+        )
+
+    def evaluate_genome(self, genome: Genome) -> EvaluationResult:
+        """Decode and score an encoded individual."""
+        mapping = genome.to_mapping()
+        result = self.evaluate_mapping(mapping)
+        return EvaluationResult(
+            fitness=result.fitness,
+            valid=result.valid,
+            objective=result.objective,
+            objective_value=result.objective_value,
+            design=result.design,
+            violations=result.violations,
+            genome=genome,
+        )
+
+    def evaluate_mapping(
+        self,
+        mapping: Mapping | Callable[[Layer], Mapping],
+        pe_array: Optional[tuple] = None,
+    ) -> EvaluationResult:
+        """Score a mapping (or per-layer mapping provider) directly.
+
+        Used by the Fixed-Mapping use case and the HW-opt grid-search
+        baseline, where mappings come from dataflow templates rather than
+        from the genome encoding.  ``pe_array`` must be given when
+        ``mapping`` is a callable (the spatial sizes cannot be read off it).
+        """
+        if isinstance(mapping, Mapping):
+            representative_mapping = mapping
+        else:
+            if pe_array is None:
+                raise ValueError("pe_array is required for per-layer mapping providers")
+            representative_mapping = None
+
+        performance = self.cost_model.evaluate_model(
+            self.model,
+            mapping,
+            noc_bandwidth=self.platform.noc_bandwidth,
+            dram_bandwidth=self.platform.dram_bandwidth,
+        )
+        hardware = self._derive_hardware(
+            performance,
+            pe_array=pe_array
+            if pe_array is not None
+            else representative_mapping.pe_array,
+        )
+        area = self.area_model.breakdown(hardware)
+        check = self.constraint_checker.check(
+            hardware,
+            area,
+            l1_requirement_bytes=performance.l1_requirement_bytes,
+            l2_requirement_bytes=performance.l2_requirement_bytes,
+        )
+        value = objective_value(self.objective, performance, area)
+        fitness = self._fitness(value, check.valid, check.severity)
+        design = AcceleratorDesign(
+            hardware=hardware,
+            mapping=representative_mapping
+            if representative_mapping is not None
+            else mapping(self.model.unique_layers()[0]),
+            performance=performance,
+            area=area,
+        )
+        return EvaluationResult(
+            fitness=fitness,
+            valid=check.valid,
+            objective=self.objective,
+            objective_value=value,
+            design=design,
+            violations=check.violations,
+            genome=None,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _derive_hardware(
+        self,
+        performance: ModelPerformance,
+        pe_array: tuple,
+    ) -> HardwareConfig:
+        """Apply the buffer-allocation strategy (or return the fixed HW)."""
+        if self.fixed_hardware is not None:
+            return self.fixed_hardware
+        l1_size = max(1, performance.l1_requirement_bytes)
+        l2_size = max(1, performance.l2_requirement_bytes)
+        if self.buffer_allocation == "fill":
+            num_pes = 1
+            for size in pe_array:
+                num_pes *= int(size)
+            committed = (
+                num_pes * self.area_model.pe_area_um2
+                + num_pes * l1_size * self.area_model.l1_area_per_byte_um2
+            )
+            leftover = self.platform.area_budget_um2 - committed
+            if leftover > 0:
+                l2_size = max(
+                    l2_size, int(leftover // self.area_model.l2_area_per_byte_um2)
+                )
+        return HardwareConfig(
+            pe_array=tuple(pe_array),
+            l1_size=l1_size,
+            l2_size=l2_size,
+            noc_bandwidth=self.platform.noc_bandwidth,
+            dram_bandwidth=self.platform.dram_bandwidth,
+            bytes_per_element=self.bytes_per_element,
+        )
+
+    @staticmethod
+    def _fitness(value: float, valid: bool, severity: float) -> float:
+        """Higher-is-better fitness with graded penalties for invalid points."""
+        if valid:
+            return -value
+        return -INVALID_FITNESS_SCALE * max(1.0, severity)

@@ -1,0 +1,48 @@
+"""Optimization objectives.
+
+The paper optimizes minimum latency by default and reports latency-area
+product as a secondary metric; energy and EDP are supported as alternative
+objectives (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.arch.area import AreaBreakdown
+from repro.cost.performance import ModelPerformance
+
+
+class Objective(enum.Enum):
+    """What the search minimizes."""
+
+    LATENCY = "latency"
+    ENERGY = "energy"
+    EDP = "edp"
+    LATENCY_AREA_PRODUCT = "latency_area_product"
+
+    @staticmethod
+    def from_name(name: str) -> "Objective":
+        """Look up an objective by its value string (case-insensitive)."""
+        key = name.strip().lower()
+        for objective in Objective:
+            if objective.value == key:
+                return objective
+        raise KeyError(f"unknown objective {name!r}")
+
+
+def objective_value(
+    objective: Objective,
+    performance: ModelPerformance,
+    area: AreaBreakdown,
+) -> float:
+    """Scalar value (lower is better) of ``objective`` for a design point."""
+    if objective is Objective.LATENCY:
+        return performance.latency
+    if objective is Objective.ENERGY:
+        return performance.energy
+    if objective is Objective.EDP:
+        return performance.edp
+    if objective is Objective.LATENCY_AREA_PRODUCT:
+        return performance.latency * area.total
+    raise ValueError(f"unhandled objective {objective!r}")

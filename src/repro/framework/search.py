@@ -1,0 +1,148 @@
+"""Search bookkeeping shared by every optimization algorithm.
+
+The paper's Optimization Block exposes one knob to all algorithms: the
+sampling budget.  :class:`SearchTracker` enforces that budget, counts
+evaluations, records the best design point found so far and offers both the
+genome view and the flat-vector view of the encoding, so any algorithm can
+be plugged in without touching the framework.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.encoding.genome import Genome, GenomeSpace
+from repro.encoding.repair import repair_genome
+from repro.encoding.vector_codec import VectorCodec
+from repro.framework.evaluator import DesignEvaluator, EvaluationResult
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when an optimizer requests an evaluation beyond the budget."""
+
+
+class SearchTracker:
+    """Budget-enforcing fitness function with best-so-far tracking."""
+
+    def __init__(
+        self,
+        evaluator: DesignEvaluator,
+        space: GenomeSpace,
+        sampling_budget: int,
+    ):
+        if sampling_budget < 1:
+            raise ValueError("sampling_budget must be >= 1")
+        self.evaluator = evaluator
+        self.space = space
+        self.codec = VectorCodec(space)
+        self.sampling_budget = sampling_budget
+        self.evaluations = 0
+        self.best: Optional[EvaluationResult] = None
+        #: (evaluation index, best fitness so far) recorded at every improvement.
+        self.history: List[Tuple[int, float]] = []
+
+    # -- budget ------------------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Evaluations left in the sampling budget."""
+        return max(0, self.sampling_budget - self.evaluations)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the sampling budget has been spent."""
+        return self.remaining == 0
+
+    # -- evaluation views --------------------------------------------------
+
+    def evaluate_genome(self, genome: Genome) -> float:
+        """Evaluate an encoded individual; returns its fitness (higher is better)."""
+        self._charge()
+        repaired = repair_genome(genome.copy(), self.space)
+        result = self.evaluator.evaluate_genome(repaired)
+        self._record(result)
+        return result.fitness
+
+    def evaluate_vector(self, vector: np.ndarray) -> float:
+        """Evaluate a flat ``[0, 1]^n`` vector; returns its fitness."""
+        self._charge()
+        genome = self.codec.decode(vector)
+        repaired = repair_genome(genome, self.space)
+        result = self.evaluator.evaluate_genome(repaired)
+        self._record(result)
+        return result.fitness
+
+    @property
+    def vector_dimension(self) -> int:
+        """Length of the flat-vector encoding."""
+        return self.codec.dimension
+
+    # -- internals ---------------------------------------------------------
+
+    def _charge(self) -> None:
+        if self.exhausted:
+            raise BudgetExhausted(
+                f"sampling budget of {self.sampling_budget} evaluations exhausted"
+            )
+        self.evaluations += 1
+
+    def _record(self, result: EvaluationResult) -> None:
+        if self.best is None or result.fitness > self.best.fitness:
+            self.best = result
+            self.history.append((self.evaluations, result.fitness))
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one search run."""
+
+    optimizer_name: str
+    best: Optional[EvaluationResult]
+    evaluations: int
+    sampling_budget: int
+    wall_time_seconds: float
+    history: Tuple[Tuple[int, float], ...] = field(default_factory=tuple)
+
+    @property
+    def found_valid(self) -> bool:
+        """True when the search found at least one budget-respecting design."""
+        return self.best is not None and self.best.valid
+
+    @property
+    def best_latency(self) -> float:
+        """Latency of the best valid design (``inf`` when none was found)."""
+        if not self.found_valid:
+            return float("inf")
+        return self.best.latency
+
+    @property
+    def best_latency_area_product(self) -> float:
+        """Latency-area product of the best valid design (``inf`` when none)."""
+        if not self.found_valid:
+            return float("inf")
+        return self.best.latency_area_product
+
+    @property
+    def best_objective_value(self) -> float:
+        """Objective value of the best valid design (``inf`` when none)."""
+        if not self.found_valid:
+            return float("inf")
+        return self.best.objective_value
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if not self.found_valid:
+            return (
+                f"{self.optimizer_name}: no valid design found "
+                f"({self.evaluations}/{self.sampling_budget} samples)"
+            )
+        return (
+            f"{self.optimizer_name}: latency={self.best_latency:.3e} cycles, "
+            f"LAP={self.best_latency_area_product:.3e} "
+            f"({self.evaluations}/{self.sampling_budget} samples, "
+            f"{self.wall_time_seconds:.1f}s)"
+        )

@@ -1,0 +1,24 @@
+"""Mapping abstraction: per-level directives, tiling math, dataflow templates."""
+
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping
+from repro.mapping.tiles import buffer_requirements, operand_footprint
+from repro.mapping.dataflows import (
+    DATAFLOW_STYLES,
+    dla_like,
+    eye_like,
+    get_dataflow,
+    shi_like,
+)
+
+__all__ = [
+    "LevelMapping",
+    "Mapping",
+    "buffer_requirements",
+    "operand_footprint",
+    "DATAFLOW_STYLES",
+    "dla_like",
+    "shi_like",
+    "eye_like",
+    "get_dataflow",
+]

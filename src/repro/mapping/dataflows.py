@@ -1,0 +1,144 @@
+"""Manually-designed (fixed) dataflow templates.
+
+The paper's HW-opt baseline (Sec. V-A) sweeps HW configurations under three
+well-known fixed mappings:
+
+* ``dla``  -- NVDLA-like: output-/input-channel (K-C) parallelism,
+  weight-stationary ordering.
+* ``shi``  -- ShiDianNao-like: output-pixel (Y-X) parallelism,
+  output-stationary ordering.
+* ``eye``  -- Eyeriss-like: row-stationary (Y-R) parallelism.
+
+A template adapts its tile sizes to the layer (clipping) and its spatial
+sizes to the given PE array shape, but its parallelism, order and tiling
+policy are fixed — that is the "human inductive bias" the co-optimization
+removes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+
+#: Names of the available fixed dataflow styles.
+DATAFLOW_STYLES: Tuple[str, ...] = ("dla", "shi", "eye")
+
+_FULL = -1  # sentinel: use the full parent extent for this dimension
+
+
+def _resolve_tiles(policy: Dict[str, int], extents: Dict[str, int]) -> Dict[str, int]:
+    """Translate a tile policy (caps and ``_FULL`` sentinels) into tile sizes."""
+    tiles = {}
+    for dim in DIMS:
+        cap = policy.get(dim, _FULL)
+        if cap == _FULL:
+            tiles[dim] = extents[dim]
+        else:
+            tiles[dim] = max(1, min(cap, extents[dim]))
+    return tiles
+
+
+def _two_level_mapping(
+    layer: Layer,
+    pe_array: Sequence[int],
+    parallel_dims: Tuple[str, str],
+    orders: Tuple[Tuple[str, ...], Tuple[str, ...]],
+    l2_policy: Dict[str, int],
+    l1_policy: Dict[str, int],
+) -> Mapping:
+    if len(pe_array) != 2:
+        raise ValueError(f"fixed dataflow templates are two-level, got {len(pe_array)} levels")
+    layer_extents = {dim: layer.dims[dim] for dim in DIMS}
+    l2_tiles = _resolve_tiles(l2_policy, layer_extents)
+    l1_tiles = _resolve_tiles(l1_policy, l2_tiles)
+    levels = (
+        LevelMapping(
+            spatial_size=int(pe_array[0]),
+            parallel_dim=parallel_dims[0],
+            order=orders[0],
+            tiles=l2_tiles,
+        ),
+        LevelMapping(
+            spatial_size=int(pe_array[1]),
+            parallel_dim=parallel_dims[1],
+            order=orders[1],
+            tiles=l1_tiles,
+        ),
+    )
+    return Mapping(levels=levels).clipped_to_layer(layer)
+
+
+def dla_like(layer: Layer, pe_array: Sequence[int]) -> Mapping:
+    """NVDLA-like mapping: K parallel across arrays, C parallel across PEs.
+
+    Weights are kept stationary in the PEs while activations stream through;
+    the temporal order iterates spatial positions innermost.
+    """
+    return _two_level_mapping(
+        layer,
+        pe_array,
+        parallel_dims=("K", "C"),
+        orders=(("K", "C", "Y", "X", "R", "S"), ("C", "K", "R", "S", "Y", "X")),
+        l2_policy={"K": 1, "C": 64, "Y": 8, "X": _FULL, "R": _FULL, "S": _FULL},
+        l1_policy={"K": 1, "C": 1, "Y": 1, "X": 1, "R": _FULL, "S": _FULL},
+    )
+
+
+def shi_like(layer: Layer, pe_array: Sequence[int]) -> Mapping:
+    """ShiDianNao-like mapping: output pixels (Y, X) parallel, output-stationary.
+
+    Each PE owns one output pixel and accumulates over the full reduction
+    (C, R, S), which requires large per-PE working sets for wide layers.
+    """
+    return _two_level_mapping(
+        layer,
+        pe_array,
+        parallel_dims=("Y", "X"),
+        orders=(("K", "Y", "X", "C", "R", "S"), ("Y", "X", "K", "C", "R", "S")),
+        l2_policy={"K": 4, "C": _FULL, "Y": 1, "X": 16, "R": _FULL, "S": _FULL},
+        l1_policy={"K": 1, "C": 16, "Y": 1, "X": 1, "R": _FULL, "S": _FULL},
+    )
+
+
+def eye_like(layer: Layer, pe_array: Sequence[int]) -> Mapping:
+    """Eyeriss-like row-stationary mapping: output rows and filter rows parallel."""
+    return _two_level_mapping(
+        layer,
+        pe_array,
+        parallel_dims=("Y", "R"),
+        orders=(("C", "K", "Y", "X", "R", "S"), ("Y", "R", "K", "C", "S", "X")),
+        l2_policy={"K": 16, "C": 16, "Y": 1, "X": _FULL, "R": _FULL, "S": _FULL},
+        l1_policy={"K": 1, "C": 1, "Y": 1, "X": _FULL, "R": 1, "S": _FULL},
+    )
+
+
+_TEMPLATES: Dict[str, Callable[[Layer, Sequence[int]], Mapping]] = {
+    "dla": dla_like,
+    "shi": shi_like,
+    "eye": eye_like,
+}
+
+_ALIASES: Dict[str, str] = {
+    "dla-like": "dla",
+    "nvdla": "dla",
+    "shi-like": "shi",
+    "shidiannao": "shi",
+    "eye-like": "eye",
+    "eyeriss": "eye",
+    "row-stationary": "eye",
+}
+
+
+def get_dataflow(name: str) -> Callable[[Layer, Sequence[int]], Mapping]:
+    """Look up a fixed dataflow template by name or alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _TEMPLATES:
+        raise KeyError(
+            f"unknown dataflow {name!r}; available: {', '.join(DATAFLOW_STYLES)}"
+        )
+    return _TEMPLATES[key]

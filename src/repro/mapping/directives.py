@@ -1,0 +1,127 @@
+"""Per-level mapping directives.
+
+One :class:`LevelMapping` corresponds to one "config" row of the paper's
+encoding (Fig. 3(b-c)): the level's spatial fan-out (``pi``), which
+dimension is parallelised across the sub-clusters, the temporal loop order
+and the per-dimension tile sizes handled by one sub-cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping as TMapping, Tuple
+
+from repro.workloads.dims import DIMS, validate_dim
+
+
+@dataclass(frozen=True)
+class LevelMapping:
+    """Mapping directives of a single cluster level.
+
+    Parameters
+    ----------
+    spatial_size:
+        ``pi`` of this level: how many sub-clusters (1-D arrays, or PEs for
+        the innermost level) this level instantiates.  This is the HW gene.
+    parallel_dim:
+        The dimension distributed spatially across the sub-clusters
+        (the value of the ``P`` gene).
+    order:
+        Temporal loop order over all six dimensions, outermost first.
+    tiles:
+        Tile size of each dimension handled by one sub-cluster per temporal
+        step of this level.
+    """
+
+    spatial_size: int
+    parallel_dim: str
+    order: Tuple[str, ...]
+    tiles: TMapping[str, int]
+
+    def __post_init__(self) -> None:
+        if self.spatial_size < 1:
+            raise ValueError(f"spatial_size must be >= 1, got {self.spatial_size}")
+        validate_dim(self.parallel_dim)
+        if tuple(sorted(self.order)) != tuple(sorted(DIMS)):
+            raise ValueError(
+                f"order must be a permutation of {DIMS}, got {self.order}"
+            )
+        tiles = {dim: int(self.tiles[dim]) for dim in DIMS}
+        for dim, size in tiles.items():
+            if size < 1:
+                raise ValueError(f"tile size of {dim} must be >= 1, got {size}")
+        object.__setattr__(self, "order", tuple(self.order))
+        object.__setattr__(self, "tiles", tiles)
+
+    # -- helpers -----------------------------------------------------------
+
+    def tile(self, dim: str) -> int:
+        """Tile size of ``dim`` at this level."""
+        validate_dim(dim)
+        return self.tiles[dim]
+
+    def with_tiles(self, **changes: int) -> "LevelMapping":
+        """Return a copy with some tile sizes replaced."""
+        tiles = dict(self.tiles)
+        for dim, size in changes.items():
+            validate_dim(dim)
+            tiles[dim] = int(size)
+        return LevelMapping(
+            spatial_size=self.spatial_size,
+            parallel_dim=self.parallel_dim,
+            order=self.order,
+            tiles=tiles,
+        )
+
+    def with_spatial_size(self, spatial_size: int) -> "LevelMapping":
+        """Return a copy with a different spatial fan-out."""
+        return LevelMapping(
+            spatial_size=int(spatial_size),
+            parallel_dim=self.parallel_dim,
+            order=self.order,
+            tiles=dict(self.tiles),
+        )
+
+    def with_parallel_dim(self, dim: str) -> "LevelMapping":
+        """Return a copy parallelising a different dimension."""
+        return LevelMapping(
+            spatial_size=self.spatial_size,
+            parallel_dim=validate_dim(dim),
+            order=self.order,
+            tiles=dict(self.tiles),
+        )
+
+    def with_order(self, order: Tuple[str, ...]) -> "LevelMapping":
+        """Return a copy with a different loop order."""
+        return LevelMapping(
+            spatial_size=self.spatial_size,
+            parallel_dim=self.parallel_dim,
+            order=tuple(order),
+            tiles=dict(self.tiles),
+        )
+
+    def clipped(self, parent_extents: TMapping[str, int]) -> "LevelMapping":
+        """Return a copy with tile sizes clipped to the parent extents."""
+        tiles = {
+            dim: max(1, min(self.tiles[dim], int(parent_extents[dim]))) for dim in DIMS
+        }
+        return LevelMapping(
+            spatial_size=self.spatial_size,
+            parallel_dim=self.parallel_dim,
+            order=self.order,
+            tiles=tiles,
+        )
+
+    def describe(self) -> str:
+        """Compact single-line rendering in the paper's key/value style."""
+        ordered = " ".join(f"{dim}:{self.tiles[dim]}" for dim in self.order)
+        return f"pi={self.spatial_size} P={self.parallel_dim} [{ordered}]"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (useful for serialisation and reports)."""
+        return {
+            "spatial_size": self.spatial_size,
+            "parallel_dim": self.parallel_dim,
+            "order": list(self.order),
+            "tiles": dict(self.tiles),
+        }

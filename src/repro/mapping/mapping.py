@@ -1,0 +1,144 @@
+"""A complete mapping: one :class:`LevelMapping` per cluster level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.mapping.directives import LevelMapping
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A per-layer mapping across the accelerator's cluster hierarchy.
+
+    ``levels[0]`` is the outermost level (the shared L2 / global buffer
+    stage), ``levels[-1]`` the innermost (per-PE) level.  The product of the
+    levels' ``spatial_size`` is the PE count of the decoded accelerator.
+    """
+
+    levels: Tuple[LevelMapping, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a mapping needs at least one level")
+        object.__setattr__(self, "levels", tuple(self.levels))
+
+    def __iter__(self) -> Iterator[LevelMapping]:
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of cluster levels (the paper's "clustering" dimension)."""
+        return len(self.levels)
+
+    @property
+    def pe_array(self) -> Tuple[int, ...]:
+        """Spatial fan-out per level, outermost first."""
+        return tuple(level.spatial_size for level in self.levels)
+
+    @property
+    def num_pes(self) -> int:
+        """Total PEs implied by the mapping's spatial sizes."""
+        total = 1
+        for level in self.levels:
+            total *= level.spatial_size
+        return total
+
+    def tile_extents(self, layer: Layer) -> List[Dict[str, int]]:
+        """Effective (clipped) per-sub-cluster tile extents at each level.
+
+        The parent extent of level 0 is the layer's dimensions; the parent of
+        level ``l`` is level ``l-1``'s effective tile.  Tile sizes larger
+        than the parent extent are clipped, which is how out-of-range genes
+        are interpreted rather than rejected.
+        """
+        extents: List[Dict[str, int]] = []
+        parent = {dim: layer.dims[dim] for dim in DIMS}
+        for level in self.levels:
+            effective = {
+                dim: max(1, min(level.tiles[dim], parent[dim])) for dim in DIMS
+            }
+            extents.append(effective)
+            parent = effective
+        return extents
+
+    def clipped_to_layer(self, layer: Layer) -> "Mapping":
+        """Return a mapping whose tile sizes are all legal for ``layer``."""
+        extents = self.tile_extents(layer)
+        levels = [
+            level.with_tiles(**extent) for level, extent in zip(self.levels, extents)
+        ]
+        return Mapping(levels=tuple(levels))
+
+    def validate(self, layer: Layer) -> List[str]:
+        """Return a list of legality violations against ``layer`` (empty = legal)."""
+        problems: List[str] = []
+        parent = {dim: layer.dims[dim] for dim in DIMS}
+        for index, level in enumerate(self.levels):
+            for dim in DIMS:
+                tile = level.tiles[dim]
+                if tile > parent[dim]:
+                    problems.append(
+                        f"level {index}: tile {dim}={tile} exceeds parent extent {parent[dim]}"
+                    )
+            parent = {dim: min(level.tiles[dim], parent[dim]) for dim in DIMS}
+        return problems
+
+    def with_level(self, index: int, level: LevelMapping) -> "Mapping":
+        """Return a copy with the level at ``index`` replaced."""
+        levels = list(self.levels)
+        levels[index] = level
+        return Mapping(levels=tuple(levels))
+
+    def describe(self) -> str:
+        """Multi-line rendering, outermost level first."""
+        names = _level_names(self.num_levels)
+        return "\n".join(
+            f"{name}: {level.describe()}" for name, level in zip(names, self.levels)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (useful for serialisation and reports)."""
+        return {"levels": [level.as_dict() for level in self.levels]}
+
+
+def _level_names(num_levels: int) -> List[str]:
+    """Readable names for levels: the innermost is L1, the outermost L<n>."""
+    return [f"L{num_levels - index}" for index in range(num_levels)]
+
+
+def uniform_mapping(
+    layer: Layer,
+    pe_array: Sequence[int],
+    parallel_dims: Sequence[str],
+    order: Sequence[str] = DIMS,
+) -> Mapping:
+    """Build a simple legal mapping: full tiles at L2, unit tiles at L1.
+
+    Useful as a neutral starting point for tests and optimizer seeding.
+    """
+    if len(pe_array) != len(parallel_dims):
+        raise ValueError("pe_array and parallel_dims must have the same length")
+    levels: List[LevelMapping] = []
+    parent = {dim: layer.dims[dim] for dim in DIMS}
+    for index, (size, parallel_dim) in enumerate(zip(pe_array, parallel_dims)):
+        innermost = index == len(pe_array) - 1
+        tiles = {dim: (1 if innermost else parent[dim]) for dim in DIMS}
+        levels.append(
+            LevelMapping(
+                spatial_size=int(size),
+                parallel_dim=parallel_dim,
+                order=tuple(order),
+                tiles=tiles,
+            )
+        )
+        parent = dict(tiles)
+    return Mapping(levels=tuple(levels)).clipped_to_layer(layer)

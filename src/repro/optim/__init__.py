@@ -1,0 +1,38 @@
+"""Optimization algorithms pluggable into the Co-opt Framework.
+
+Includes the paper's proposed DiGamma algorithm, the GAMMA mapper baseline,
+the HW-opt grid search, and from-scratch implementations of the eight
+generic black-box baselines (Random, standard GA, PSO, TBPSA, (1+1)-ES,
+Differential Evolution, Passive Portfolio, CMA-ES).
+"""
+
+from repro.optim.base import Optimizer
+from repro.optim.cma import CMAES
+from repro.optim.de import DifferentialEvolution
+from repro.optim.digamma import DiGamma
+from repro.optim.gamma import GammaMapper
+from repro.optim.grid_search import HardwareGridSearch
+from repro.optim.one_plus_one import OnePlusOneES
+from repro.optim.portfolio import PassivePortfolio
+from repro.optim.pso import ParticleSwarm
+from repro.optim.random_search import RandomSearch
+from repro.optim.registry import available_optimizers, get_optimizer
+from repro.optim.std_ga import StandardGA
+from repro.optim.tbpsa import TBPSA
+
+__all__ = [
+    "Optimizer",
+    "CMAES",
+    "DifferentialEvolution",
+    "DiGamma",
+    "GammaMapper",
+    "HardwareGridSearch",
+    "OnePlusOneES",
+    "PassivePortfolio",
+    "ParticleSwarm",
+    "RandomSearch",
+    "StandardGA",
+    "TBPSA",
+    "available_optimizers",
+    "get_optimizer",
+]

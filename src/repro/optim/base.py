@@ -1,0 +1,32 @@
+"""Common interface of all optimization algorithms."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.framework.search import SearchTracker
+
+
+class Optimizer(abc.ABC):
+    """Base class for optimization algorithms.
+
+    An optimizer spends the tracker's sampling budget by calling
+    ``tracker.evaluate_genome`` or ``tracker.evaluate_vector``; the tracker
+    records the best design point, so ``run`` does not return anything.
+    Implementations should stop when ``tracker.exhausted`` becomes true;
+    evaluating past the budget raises
+    :class:`~repro.framework.search.BudgetExhausted`, which the framework
+    treats as normal termination.
+    """
+
+    #: Display name used in experiment tables.
+    name: str = "optimizer"
+
+    @abc.abstractmethod
+    def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        """Search the design space until the sampling budget is exhausted."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,59 @@
+"""Differential evolution (DE/rand/1/bin) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.search import SearchTracker
+from repro.optim.base import Optimizer
+
+
+class DifferentialEvolution(Optimizer):
+    """Standard DE/rand/1/bin over the flat vector encoding."""
+
+    name = "DE"
+
+    def __init__(
+        self,
+        population_size: int = 30,
+        differential_weight: float = 0.6,
+        crossover_rate: float = 0.8,
+    ):
+        if population_size < 4:
+            raise ValueError("DE needs a population of at least 4")
+        if not 0.0 < differential_weight <= 2.0:
+            raise ValueError("differential_weight must be in (0, 2]")
+        if not 0.0 < crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in (0, 1]")
+        self.population_size = population_size
+        self.differential_weight = differential_weight
+        self.crossover_rate = crossover_rate
+
+    def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        dimension = tracker.vector_dimension
+        population = rng.random((self.population_size, dimension))
+        fitness = np.empty(self.population_size)
+        for index in range(self.population_size):
+            if tracker.exhausted:
+                return
+            fitness[index] = tracker.evaluate_vector(population[index])
+
+        while not tracker.exhausted:
+            for index in range(self.population_size):
+                if tracker.exhausted:
+                    return
+                candidates = [i for i in range(self.population_size) if i != index]
+                a, b, c = rng.choice(candidates, size=3, replace=False)
+                mutant = population[a] + self.differential_weight * (
+                    population[b] - population[c]
+                )
+                mutant = np.clip(mutant, 0.0, 1.0)
+
+                cross = rng.random(dimension) < self.crossover_rate
+                cross[rng.integers(dimension)] = True
+                trial = np.where(cross, mutant, population[index])
+
+                trial_fitness = tracker.evaluate_vector(trial)
+                if trial_fitness >= fitness[index]:
+                    population[index] = trial
+                    fitness[index] = trial_fitness

@@ -1,0 +1,6 @@
+"""DiGamma: the paper's domain-aware genetic algorithm."""
+
+from repro.optim.digamma.algorithm import DiGamma, DiGammaHyperParameters
+from repro.optim.digamma import operators
+
+__all__ = ["DiGamma", "DiGammaHyperParameters", "operators"]

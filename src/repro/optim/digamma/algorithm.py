@@ -1,0 +1,165 @@
+"""The DiGamma genetic algorithm (paper Sec. IV-C).
+
+DiGamma is an elitist genetic algorithm over the structured genome encoding
+whose operators (see :mod:`repro.optim.digamma.operators`) are specialised
+for the HW-Mapping co-optimization space.  Buffer sizes are never part of
+the genome: the evaluation block allocates exactly the buffer capacity the
+decoded mapping needs, so the search walks the compute-vs-memory area
+trade-off through the PE-array and tiling genes alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.encoding.genome import Genome
+from repro.framework.search import SearchTracker
+from repro.optim.base import Optimizer
+from repro.optim.digamma import operators
+
+
+@dataclass(frozen=True)
+class DiGammaHyperParameters:
+    """Hyper-parameters of the DiGamma GA.
+
+    The paper tunes these with Bayesian optimization; the defaults below
+    come from a small sweep (see ``benchmarks/bench_ablation_operators.py``)
+    and are intentionally unexciting: a moderately sized population with a
+    small elite fraction and operator rates that apply roughly one
+    structured perturbation per child.
+    """
+
+    population_size: Optional[int] = None
+    elite_ratio: float = 0.10
+    crossover_rate: float = 0.60
+    reorder_rate: float = 0.30
+    grow_rate: float = 0.40
+    mutate_map_rate: float = 0.50
+    mutate_hw_rate: float = 0.30
+    #: Fraction of each generation re-seeded with fresh random genomes to
+    #: keep diversity in the very rugged co-optimization landscape.
+    immigration_ratio: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.population_size is not None and self.population_size < 4:
+            raise ValueError("population_size must be >= 4 when given")
+        if not 0.0 < self.elite_ratio < 1.0:
+            raise ValueError("elite_ratio must be in (0, 1)")
+        for name in (
+            "crossover_rate",
+            "reorder_rate",
+            "grow_rate",
+            "mutate_map_rate",
+            "mutate_hw_rate",
+            "immigration_ratio",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def resolved_population(self, sampling_budget: int) -> int:
+        """Population size: explicit value, or scaled to the sampling budget."""
+        if self.population_size is not None:
+            return self.population_size
+        return int(np.clip(sampling_budget // 25, 20, 100))
+
+
+class DiGamma(Optimizer):
+    """Domain-aware genetic algorithm for HW-Mapping co-optimization.
+
+    Parameters
+    ----------
+    hyper_parameters:
+        GA hyper-parameters; defaults follow DESIGN.md.
+    use_hw_operators:
+        When False the Mutate-HW operator is disabled.  This is how the
+        GAMMA mapping-only baseline and the operator ablation are built.
+    use_structured_operators:
+        When False, reorder / grow / mutate-map degrade to nothing and only
+        plain crossover remains (ablation support).
+    seeded_fraction:
+        Fraction of the initial population drawn from the domain-informed
+        sampler (:func:`repro.optim.digamma.operators.seeded_genome`)
+        instead of the uniform random sampler.
+    """
+
+    name = "DiGamma"
+
+    def __init__(
+        self,
+        hyper_parameters: Optional[DiGammaHyperParameters] = None,
+        use_hw_operators: bool = True,
+        use_structured_operators: bool = True,
+        seeded_fraction: float = 0.5,
+    ):
+        if not 0.0 <= seeded_fraction <= 1.0:
+            raise ValueError("seeded_fraction must be in [0, 1]")
+        self.hyper_parameters = (
+            hyper_parameters if hyper_parameters is not None else DiGammaHyperParameters()
+        )
+        self.use_hw_operators = use_hw_operators
+        self.use_structured_operators = use_structured_operators
+        self.seeded_fraction = seeded_fraction
+
+    # -- GA loop -------------------------------------------------------------
+
+    def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        params = self.hyper_parameters
+        space = tracker.space
+        population_size = params.resolved_population(tracker.sampling_budget)
+        num_elites = max(1, int(population_size * params.elite_ratio))
+        num_immigrants = int(population_size * params.immigration_ratio)
+
+        num_seeded = int(population_size * self.seeded_fraction)
+        population = [
+            operators.seeded_genome(space, rng) for _ in range(num_seeded)
+        ] + space.random_population(population_size - num_seeded, rng)
+        fitnesses: List[float] = []
+        for genome in population:
+            if tracker.exhausted:
+                return
+            fitnesses.append(tracker.evaluate_genome(genome))
+
+        while not tracker.exhausted:
+            order = list(np.argsort(fitnesses)[::-1])
+            elites = [population[i].copy() for i in order[:num_elites]]
+            parent_pool = [population[i] for i in order[: max(2, population_size // 2)]]
+
+            children: List[Genome] = [elite.copy() for elite in elites]
+            for _ in range(num_immigrants):
+                children.append(space.random_genome(rng))
+            while len(children) < population_size:
+                children.append(self._make_child(parent_pool, space, rng))
+
+            population = children
+            fitnesses = []
+            for genome in population:
+                if tracker.exhausted:
+                    return
+                fitnesses.append(tracker.evaluate_genome(genome))
+
+    # -- reproduction ----------------------------------------------------------
+
+    def _make_child(self, parent_pool, space, rng: np.random.Generator) -> Genome:
+        params = self.hyper_parameters
+        parent_a = parent_pool[int(rng.integers(len(parent_pool)))]
+        parent_b = parent_pool[int(rng.integers(len(parent_pool)))]
+
+        if rng.random() < params.crossover_rate:
+            child = operators.crossover(parent_a, parent_b, rng)
+        else:
+            child = parent_a.copy()
+
+        if self.use_structured_operators:
+            if rng.random() < params.reorder_rate:
+                child = operators.reorder(child, rng)
+            if rng.random() < params.grow_rate:
+                child = operators.grow(child, space, rng)
+            if rng.random() < params.mutate_map_rate:
+                child = operators.mutate_map(child, space, rng)
+        if self.use_hw_operators and rng.random() < params.mutate_hw_rate:
+            child = operators.mutate_hw(child, space, rng)
+        return child

@@ -1,0 +1,234 @@
+"""DiGamma's specialised genetic operators (paper Fig. 4).
+
+Each operator perturbs a specific slice of the HW-Mapping design space in a
+structured way instead of re-randomising genes blindly:
+
+=============  ===========================================================
+``crossover``  blends tiling / parallelism (and therefore derived buffer
+               sizing) between two parents, level by level
+``reorder``    permutes the loop order of one level (compute order)
+``grow``       doubles or halves one tile size ("grow / aging"), walking
+               the tiling-and-buffer trade-off smoothly
+``mutate_map`` re-samples mapping genes: a tile size (preferring divisors
+               of the dimension extent) or the parallel dimension
+``mutate_hw``  re-sizes or re-shapes the PE array while respecting the
+               platform's maximum PE count, which in turn re-balances the
+               derived buffer allocation
+=============  ===========================================================
+
+All operators work in place on genome copies and are followed by
+:func:`repro.encoding.repair.repair_genome` in the algorithm loop.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.encoding.genome import Genome, GenomeSpace, log_uniform_int
+from repro.workloads.dims import DIMS
+
+
+def crossover(parent_a: Genome, parent_b: Genome, rng: np.random.Generator) -> Genome:
+    """Blend mapping genes of two parents, level by level.
+
+    Tile sizes are inherited gene-wise from either parent; the parallel
+    dimension is inherited per level.  Loop order and HW genes stay with the
+    first parent (they have dedicated operators), so crossover explores the
+    tiling/parallelism sub-space without scrambling the rest — the
+    structured behaviour adapted from GAMMA.
+    """
+    child = parent_a.copy()
+    for level, other in zip(child.levels, parent_b.levels):
+        for dim in DIMS:
+            if rng.random() < 0.5:
+                level.tiles[dim] = other.tiles[dim]
+        if rng.random() < 0.5:
+            level.parallel_dim = other.parallel_dim
+    return child
+
+
+def reorder(genome: Genome, rng: np.random.Generator) -> Genome:
+    """Perturb the compute order of one randomly chosen level.
+
+    With equal probability either two loop positions are swapped (a local
+    move) or one loop is popped and re-inserted elsewhere (a rotation),
+    which is how GAMMA steps through the order space.
+    """
+    level = genome.levels[int(rng.integers(genome.num_levels))]
+    order: List[str] = list(level.order)
+    if rng.random() < 0.5:
+        i, j = rng.choice(len(order), size=2, replace=False)
+        order[i], order[j] = order[j], order[i]
+    else:
+        source = int(rng.integers(len(order)))
+        dim = order.pop(source)
+        target = int(rng.integers(len(order) + 1))
+        order.insert(target, dim)
+    level.order = order
+    return genome
+
+
+def grow(genome: Genome, space: GenomeSpace, rng: np.random.Generator) -> Genome:
+    """Grow or age (shrink) one tile size by a factor of two.
+
+    Doubling a tile grows the derived buffer allocation and data reuse;
+    halving ("aging") releases buffer area back to the budget.  Moving by
+    factors of two walks the trade-off smoothly instead of jumping to an
+    arbitrary value.
+    """
+    level = genome.levels[int(rng.integers(genome.num_levels))]
+    dim = str(rng.choice(DIMS))
+    bound = space.dim_bounds[dim]
+    if rng.random() < 0.5:
+        level.tiles[dim] = min(bound, max(1, level.tiles[dim]) * 2)
+    else:
+        level.tiles[dim] = max(1, level.tiles[dim] // 2)
+    return genome
+
+
+def mutate_map(genome: Genome, space: GenomeSpace, rng: np.random.Generator) -> Genome:
+    """Re-sample one mapping gene of one level.
+
+    Tile sizes are re-sampled preferring divisors of the dimension bound
+    (divisible tiles avoid padding waste); alternatively the parallel
+    dimension is re-drawn, biased towards dimensions that are actually
+    large enough to fill the level's spatial fan-out.  Occasionally the
+    parallel tiles are re-balanced against the spatial sizes (see
+    :func:`balance_parallel`).
+    """
+    level = genome.levels[int(rng.integers(genome.num_levels))]
+    choice = rng.random()
+    if choice < 0.6:
+        dim = str(rng.choice(DIMS))
+        bound = space.dim_bounds[dim]
+        level.tiles[dim] = _sample_tile(bound, rng)
+    elif choice < 0.85:
+        level.parallel_dim = _sample_parallel_dim(level.spatial_size, space, rng)
+    else:
+        balance_parallel(genome, space)
+    return genome
+
+
+def mutate_hw(genome: Genome, space: GenomeSpace, rng: np.random.Generator) -> Genome:
+    """Perturb the PE array size or aspect ratio (the HW genes).
+
+    Either the total PE count is re-sampled within the platform's bound
+    (biased towards budget-filling sizes — idle budget is wasted budget), or
+    a factor of two is transferred between two levels (re-shaping the array
+    at a constant PE count).  The parallel-dimension tiles are re-balanced
+    afterwards so the new array stays spatially utilised: this is the
+    "HW exploration respects the HW-mapping interaction" property of
+    Sec. IV-C.  Because buffers are allocated from the mapping's
+    requirement, the operator also re-balances the compute-to-memory area
+    split.
+    """
+    if space.hw_is_fixed:
+        return genome
+    if rng.random() < 0.5 or genome.num_levels == 1:
+        if rng.random() < 0.5:
+            # Explore the full range of PE counts.
+            total = log_uniform_int(rng, 1, space.max_pes)
+        else:
+            # Exploit the upper half of the budget, where strong designs live.
+            total = int(rng.integers(max(1, space.max_pes // 4), space.max_pes + 1))
+        _split_pes(genome, total, rng)
+    else:
+        indices = rng.choice(genome.num_levels, size=2, replace=False)
+        giver = genome.levels[int(indices[0])]
+        taker = genome.levels[int(indices[1])]
+        if giver.spatial_size >= 2:
+            giver.spatial_size = max(1, giver.spatial_size // 2)
+            taker.spatial_size = max(1, taker.spatial_size * 2)
+    if rng.random() < 0.75:
+        balance_parallel(genome, space)
+    return genome
+
+
+def seeded_genome(space: GenomeSpace, rng: np.random.Generator) -> Genome:
+    """Sample a domain-informed starting point.
+
+    Random initialisation wastes much of a small sampling budget on designs
+    that no competent engineer would draw: tiny PE arrays that leave the
+    area budget idle, or spatial mappings over dimensions too small to fill
+    the array.  A seeded genome starts from the obvious priors instead —
+    a budget-filling, roughly square PE array, parallel dimensions drawn
+    from the largest tensor dimensions, and unit parallel tiles so every
+    sub-cluster receives work — while leaving the loop order and the
+    remaining tile sizes random for the GA to refine.
+    """
+    genome = space.random_genome(rng)
+    if not space.hw_is_fixed:
+        total = int(rng.integers(max(1, space.max_pes // 2), space.max_pes + 1))
+        rows = max(1, int(round(total ** 0.5)))
+        columns = max(1, total // rows)
+        sizes = [rows, columns]
+        rng.shuffle(sizes)
+        for level, size in zip(genome.levels, sizes):
+            level.spatial_size = int(size)
+        if genome.num_levels > 2:
+            for level in genome.levels[2:]:
+                level.spatial_size = 1
+    large_dims = [dim for dim in DIMS if space.dim_bounds[dim] >= 8] or list(DIMS)
+    for level in genome.levels:
+        level.parallel_dim = str(rng.choice(large_dims))
+    balance_parallel(genome, space)
+    return genome
+
+
+def balance_parallel(genome: Genome, space: GenomeSpace) -> Genome:
+    """Set each level's parallel-dimension tile to one element per sub-cluster.
+
+    With a unit tile the spatial distribution activates
+    ``min(pi, extent)`` sub-clusters on every layer — the maximum possible —
+    and any surplus extent becomes temporal folds instead of idle hardware.
+    Larger parallel tiles can only reduce the number of active sub-clusters
+    and inflate the shared-buffer macro tile, so re-balancing after a HW
+    perturbation keeps the new array fully utilised across all layer shapes.
+    """
+    del space  # bounds are not needed: a unit tile is legal everywhere
+    for level in genome.levels:
+        level.tiles[level.parallel_dim] = 1
+    return genome
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _sample_tile(bound: int, rng: np.random.Generator) -> int:
+    """Sample a tile size in [1, bound], preferring divisors of ``bound``."""
+    if bound == 1:
+        return 1
+    if rng.random() < 0.5:
+        divisors = [d for d in range(1, bound + 1) if bound % d == 0]
+        return int(rng.choice(divisors))
+    return log_uniform_int(rng, 1, bound)
+
+
+def _sample_parallel_dim(
+    spatial_size: int,
+    space: GenomeSpace,
+    rng: np.random.Generator,
+) -> str:
+    """Pick a parallel dimension, biased towards ones that can fill the array."""
+    candidates = [dim for dim in DIMS if space.dim_bounds[dim] >= max(2, spatial_size // 2)]
+    if candidates and rng.random() < 0.8:
+        return str(rng.choice(candidates))
+    return str(rng.choice(DIMS))
+
+
+def _split_pes(genome: Genome, total: int, rng: np.random.Generator) -> None:
+    """Distribute ``total`` PEs across the genome's levels as a random split."""
+    remaining = max(1, total)
+    for index, level in enumerate(genome.levels):
+        levels_left = genome.num_levels - index
+        if levels_left == 1:
+            level.spatial_size = remaining
+            break
+        # Sample this level's share in log space so both tall and wide
+        # aspect ratios are reachable.
+        upper = max(1, remaining)
+        share = log_uniform_int(rng, 1, upper)
+        level.spatial_size = share
+        remaining = max(1, remaining // share)

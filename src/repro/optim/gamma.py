@@ -1,0 +1,32 @@
+"""GAMMA: the mapping-only genetic algorithm baseline.
+
+GAMMA (ICCAD 2020) searches mappings for a *fixed* hardware configuration.
+DiGamma's mapping operators are adapted from GAMMA, so the faithful way to
+reproduce the baseline is to run the same GA with the HW operators disabled
+and the HW genes pinned by the framework's Fixed-HW constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.optim.digamma.algorithm import DiGamma, DiGammaHyperParameters
+
+
+class GammaMapper(DiGamma):
+    """Mapping-space GA for a fixed hardware configuration.
+
+    Use together with ``CoOptimizationFramework(..., fixed_hardware=...)``:
+    the genome space pins the PE array to the fixed hardware, and this class
+    disables the Mutate-HW operator so only tiling, order, parallelism and
+    clustering genes are perturbed — exactly GAMMA's scope (paper Fig. 1).
+    """
+
+    name = "GAMMA"
+
+    def __init__(self, hyper_parameters: Optional[DiGammaHyperParameters] = None):
+        super().__init__(
+            hyper_parameters=hyper_parameters,
+            use_hw_operators=False,
+            use_structured_operators=True,
+        )

@@ -1,0 +1,73 @@
+"""Particle swarm optimization baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.search import SearchTracker
+from repro.optim.base import Optimizer
+
+
+class ParticleSwarm(Optimizer):
+    """Global-best PSO with inertia weight on the flat vector encoding."""
+
+    name = "PSO"
+
+    def __init__(
+        self,
+        swarm_size: int = 30,
+        inertia: float = 0.72,
+        cognitive: float = 1.5,
+        social: float = 1.5,
+        velocity_clamp: float = 0.3,
+    ):
+        if swarm_size < 2:
+            raise ValueError("swarm_size must be >= 2")
+        self.swarm_size = swarm_size
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.velocity_clamp = velocity_clamp
+
+    def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        dimension = tracker.vector_dimension
+        positions = rng.random((self.swarm_size, dimension))
+        velocities = (rng.random((self.swarm_size, dimension)) - 0.5) * 0.1
+        personal_best = positions.copy()
+        personal_fitness = np.full(self.swarm_size, -np.inf)
+
+        global_best = positions[0].copy()
+        global_fitness = -np.inf
+
+        for index in range(self.swarm_size):
+            if tracker.exhausted:
+                return
+            fitness = tracker.evaluate_vector(positions[index])
+            personal_fitness[index] = fitness
+            if fitness > global_fitness:
+                global_fitness = fitness
+                global_best = positions[index].copy()
+
+        while not tracker.exhausted:
+            for index in range(self.swarm_size):
+                if tracker.exhausted:
+                    return
+                r_cognitive = rng.random(dimension)
+                r_social = rng.random(dimension)
+                velocities[index] = (
+                    self.inertia * velocities[index]
+                    + self.cognitive * r_cognitive * (personal_best[index] - positions[index])
+                    + self.social * r_social * (global_best - positions[index])
+                )
+                velocities[index] = np.clip(
+                    velocities[index], -self.velocity_clamp, self.velocity_clamp
+                )
+                positions[index] = np.clip(positions[index] + velocities[index], 0.0, 1.0)
+
+                fitness = tracker.evaluate_vector(positions[index])
+                if fitness > personal_fitness[index]:
+                    personal_fitness[index] = fitness
+                    personal_best[index] = positions[index].copy()
+                if fitness > global_fitness:
+                    global_fitness = fitness
+                    global_best = positions[index].copy()

@@ -1,0 +1,26 @@
+"""Pure random search baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.search import SearchTracker
+from repro.optim.base import Optimizer
+
+
+class RandomSearch(Optimizer):
+    """Sample independent random design points until the budget runs out.
+
+    Half the samples are drawn from the structured genome sampler (which is
+    biased towards legal PE counts) and half from the uniform vector space,
+    matching how a practitioner would randomise over the flat encoding.
+    """
+
+    name = "Random"
+
+    def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        while not tracker.exhausted:
+            if rng.random() < 0.5:
+                tracker.evaluate_genome(tracker.space.random_genome(rng))
+            else:
+                tracker.evaluate_vector(tracker.codec.random_vector(rng))

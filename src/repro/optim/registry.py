@@ -1,0 +1,58 @@
+"""Registry of optimization algorithms by the names used in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.optim.base import Optimizer
+from repro.optim.cma import CMAES
+from repro.optim.de import DifferentialEvolution
+from repro.optim.digamma import DiGamma
+from repro.optim.gamma import GammaMapper
+from repro.optim.one_plus_one import OnePlusOneES
+from repro.optim.portfolio import PassivePortfolio
+from repro.optim.pso import ParticleSwarm
+from repro.optim.random_search import RandomSearch
+from repro.optim.std_ga import StandardGA
+from repro.optim.tbpsa import TBPSA
+
+_FACTORIES: Dict[str, Callable[[], Optimizer]] = {
+    "random": RandomSearch,
+    "stdga": StandardGA,
+    "pso": ParticleSwarm,
+    "tbpsa": TBPSA,
+    "(1+1)-es": OnePlusOneES,
+    "de": DifferentialEvolution,
+    "portfolio": PassivePortfolio,
+    "cma": CMAES,
+    "digamma": DiGamma,
+    "gamma": GammaMapper,
+}
+
+_ALIASES: Dict[str, str] = {
+    "random search": "random",
+    "standard ga": "stdga",
+    "std-ga": "stdga",
+    "one-plus-one": "(1+1)-es",
+    "oneplusone": "(1+1)-es",
+    "1+1": "(1+1)-es",
+    "cma-es": "cma",
+    "cmaes": "cma",
+    "differential evolution": "de",
+}
+
+
+def available_optimizers() -> List[str]:
+    """Canonical optimizer names, in the paper's presentation order."""
+    return list(_FACTORIES)
+
+
+def get_optimizer(name: str) -> Optimizer:
+    """Instantiate an optimizer by name (case-insensitive, aliases accepted)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown optimizer {name!r}; available: {', '.join(available_optimizers())}"
+        )
+    return _FACTORIES[key]()

@@ -1,0 +1,123 @@
+"""Hyper-parameter tuning for DiGamma.
+
+The paper tunes DiGamma's hyper-parameters (mutation/crossover rates, elite
+ratio, population-to-generation ratio) with a Bayesian-optimization loop.
+Offline and dependency-free, this module provides the same capability with a
+random-search tuner over the hyper-parameter space: each trial runs a full
+(small-budget) DiGamma search on a pilot model and keeps the configuration
+with the best resulting latency.  Random search is a strong baseline for
+low-dimensional hyper-parameter spaces and preserves the workflow: tune once
+on a pilot task, reuse everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.platform import Platform
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.objective import Objective
+from repro.optim.digamma.algorithm import DiGamma, DiGammaHyperParameters
+from repro.workloads.model import Model
+
+
+@dataclass(frozen=True)
+class TuningTrial:
+    """One evaluated hyper-parameter configuration."""
+
+    hyper_parameters: DiGammaHyperParameters
+    objective_value: float
+    found_valid: bool
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a tuning run."""
+
+    best: DiGammaHyperParameters
+    best_objective_value: float
+    trials: Tuple[TuningTrial, ...]
+
+    def summary(self) -> str:
+        """One-line description of the winning configuration."""
+        best = self.best
+        return (
+            f"best objective {self.best_objective_value:.3e} with "
+            f"population={best.population_size}, elite={best.elite_ratio:.2f}, "
+            f"crossover={best.crossover_rate:.2f}, mutate_map={best.mutate_map_rate:.2f}, "
+            f"mutate_hw={best.mutate_hw_rate:.2f}"
+        )
+
+
+def sample_hyper_parameters(rng: np.random.Generator) -> DiGammaHyperParameters:
+    """Draw one random hyper-parameter configuration from sensible ranges."""
+    return DiGammaHyperParameters(
+        population_size=int(rng.choice([20, 30, 40, 60, 80, 100])),
+        elite_ratio=float(rng.uniform(0.05, 0.25)),
+        crossover_rate=float(rng.uniform(0.3, 0.9)),
+        reorder_rate=float(rng.uniform(0.1, 0.5)),
+        grow_rate=float(rng.uniform(0.2, 0.6)),
+        mutate_map_rate=float(rng.uniform(0.3, 0.7)),
+        mutate_hw_rate=float(rng.uniform(0.1, 0.5)),
+        immigration_ratio=float(rng.uniform(0.0, 0.15)),
+    )
+
+
+def tune_digamma(
+    model: Model,
+    platform: Platform,
+    trials: int = 12,
+    sampling_budget: int = 1000,
+    objective: Objective = Objective.LATENCY,
+    seed: int = 0,
+    include_default: bool = True,
+) -> TuningResult:
+    """Random-search tuning of DiGamma's hyper-parameters on a pilot task.
+
+    Parameters
+    ----------
+    model / platform / objective:
+        The pilot task each trial optimizes.
+    trials:
+        Number of hyper-parameter configurations to evaluate.
+    sampling_budget:
+        Sampling budget given to each trial's DiGamma search.
+    include_default:
+        Also evaluate the library's default configuration, so tuning can
+        only improve on it.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    rng = np.random.default_rng(seed)
+    framework = CoOptimizationFramework(model, platform, objective=objective)
+
+    candidates: List[DiGammaHyperParameters] = []
+    if include_default:
+        candidates.append(DiGammaHyperParameters())
+    while len(candidates) < trials:
+        candidates.append(sample_hyper_parameters(rng))
+
+    evaluated: List[TuningTrial] = []
+    for index, hyper_parameters in enumerate(candidates):
+        search = framework.search(
+            DiGamma(hyper_parameters=hyper_parameters),
+            sampling_budget=sampling_budget,
+            seed=seed + index,
+        )
+        evaluated.append(
+            TuningTrial(
+                hyper_parameters=hyper_parameters,
+                objective_value=search.best_objective_value,
+                found_valid=search.found_valid,
+            )
+        )
+
+    best_trial = min(evaluated, key=lambda trial: trial.objective_value)
+    return TuningResult(
+        best=best_trial.hyper_parameters,
+        best_objective_value=best_trial.objective_value,
+        trials=tuple(evaluated),
+    )

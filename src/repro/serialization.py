@@ -1,0 +1,174 @@
+"""JSON (de)serialization of design points and search results.
+
+Design-space exploration only pays off if the winning design can leave the
+search process: these helpers turn hardware configurations, mappings,
+genomes and full accelerator designs into plain JSON-compatible dictionaries
+(and back, for the searchable objects), so results can be stored, diffed and
+shipped to RTL or compiler toolchains.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.arch.area import AreaBreakdown
+from repro.arch.hardware import HardwareConfig
+from repro.encoding.genome import Genome, LevelGenes
+from repro.framework.designpoint import AcceleratorDesign
+from repro.framework.search import SearchResult
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping
+from repro.workloads.dims import DIMS
+
+PathLike = Union[str, Path]
+
+
+# -- hardware ----------------------------------------------------------------
+
+
+def hardware_to_dict(hardware: HardwareConfig) -> Dict[str, Any]:
+    """Serialize a hardware configuration."""
+    return {
+        "pe_array": list(hardware.pe_array),
+        "l1_size": hardware.l1_size,
+        "l2_size": hardware.l2_size,
+        "noc_bandwidth": hardware.noc_bandwidth,
+        "dram_bandwidth": hardware.dram_bandwidth,
+        "bytes_per_element": hardware.bytes_per_element,
+        "frequency_mhz": hardware.frequency_mhz,
+    }
+
+
+def hardware_from_dict(data: Dict[str, Any]) -> HardwareConfig:
+    """Rebuild a hardware configuration from :func:`hardware_to_dict` output."""
+    return HardwareConfig(
+        pe_array=tuple(data["pe_array"]),
+        l1_size=int(data["l1_size"]),
+        l2_size=int(data["l2_size"]),
+        noc_bandwidth=float(data["noc_bandwidth"]),
+        dram_bandwidth=float(data["dram_bandwidth"]),
+        bytes_per_element=int(data.get("bytes_per_element", 1)),
+        frequency_mhz=float(data.get("frequency_mhz", 1000.0)),
+    )
+
+
+# -- mapping and genome --------------------------------------------------------
+
+
+def mapping_to_dict(mapping: Mapping) -> Dict[str, Any]:
+    """Serialize a mapping (same layout as ``Mapping.as_dict``)."""
+    return mapping.as_dict()
+
+
+def mapping_from_dict(data: Dict[str, Any]) -> Mapping:
+    """Rebuild a mapping from :func:`mapping_to_dict` output."""
+    levels = []
+    for level in data["levels"]:
+        levels.append(
+            LevelMapping(
+                spatial_size=int(level["spatial_size"]),
+                parallel_dim=str(level["parallel_dim"]),
+                order=tuple(level["order"]),
+                tiles={dim: int(level["tiles"][dim]) for dim in DIMS},
+            )
+        )
+    return Mapping(levels=tuple(levels))
+
+
+def genome_to_dict(genome: Genome) -> Dict[str, Any]:
+    """Serialize a genome."""
+    return {
+        "levels": [
+            {
+                "spatial_size": level.spatial_size,
+                "parallel_dim": level.parallel_dim,
+                "order": list(level.order),
+                "tiles": {dim: level.tiles[dim] for dim in DIMS},
+            }
+            for level in genome.levels
+        ]
+    }
+
+
+def genome_from_dict(data: Dict[str, Any]) -> Genome:
+    """Rebuild a genome from :func:`genome_to_dict` output."""
+    levels = []
+    for level in data["levels"]:
+        levels.append(
+            LevelGenes(
+                spatial_size=int(level["spatial_size"]),
+                parallel_dim=str(level["parallel_dim"]),
+                order=list(level["order"]),
+                tiles={dim: int(level["tiles"][dim]) for dim in DIMS},
+            )
+        )
+    return Genome(levels=levels)
+
+
+# -- designs and results -------------------------------------------------------
+
+
+def design_to_dict(design: AcceleratorDesign) -> Dict[str, Any]:
+    """Serialize a decoded accelerator design with its headline metrics."""
+    pe_pct, buffer_pct = design.area.pe_to_buffer_ratio
+    return {
+        "hardware": hardware_to_dict(design.hardware),
+        "mapping": mapping_to_dict(design.mapping),
+        "metrics": {
+            "latency_cycles": design.latency,
+            "energy": design.energy,
+            "latency_area_product": design.latency_area_product,
+            "area_um2": design.area.total,
+            "pe_area_pct": pe_pct,
+            "buffer_area_pct": buffer_pct,
+            "num_pes": design.hardware.num_pes,
+            "average_utilization": design.performance.average_utilization,
+            "dram_bytes": design.performance.dram_bytes,
+        },
+        "per_layer": [
+            {
+                "name": layer.layer_name,
+                "count": layer.count,
+                "latency_cycles": layer.latency,
+                "utilization": layer.utilization,
+                "bottleneck": layer.bottleneck,
+                "dram_bytes": layer.dram_bytes,
+            }
+            for layer in design.performance.layers
+        ],
+    }
+
+
+def search_result_to_dict(result: SearchResult) -> Dict[str, Any]:
+    """Serialize a search outcome (best design plus convergence history)."""
+    payload: Dict[str, Any] = {
+        "optimizer": result.optimizer_name,
+        "evaluations": result.evaluations,
+        "sampling_budget": result.sampling_budget,
+        "wall_time_seconds": result.wall_time_seconds,
+        "found_valid": result.found_valid,
+        "history": [list(point) for point in result.history],
+    }
+    if result.found_valid:
+        payload["best"] = design_to_dict(result.best.design)
+        if result.best.genome is not None:
+            payload["best"]["genome"] = genome_to_dict(result.best.genome)
+    return payload
+
+
+# -- file helpers --------------------------------------------------------------
+
+
+def save_json(data: Dict[str, Any], path: PathLike) -> Path:
+    """Write a serialized object to ``path`` as indented JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return target
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON file previously written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,28 @@
+"""DNN workload descriptions.
+
+A workload is a :class:`~repro.workloads.model.Model`: an ordered list of
+:class:`~repro.workloads.layer.Layer` objects, each described by the seven
+mapping dimensions used throughout the paper (K, C, Y, X, R, S, plus an
+implicit batch folded into the GEMM ``M`` dimension).
+
+The seven models evaluated in the paper (MobileNetV2, ResNet18, ResNet50,
+MnasNet, BERT, DLRM, NCF) are available through
+:func:`~repro.workloads.registry.get_model`.
+"""
+
+from repro.workloads.dims import DIMS, LayerDims
+from repro.workloads.layer import Layer, OpType
+from repro.workloads.model import Model
+from repro.workloads.registry import available_models, get_model
+from repro.workloads.suite import ModelSuite
+
+__all__ = [
+    "DIMS",
+    "LayerDims",
+    "Layer",
+    "OpType",
+    "Model",
+    "ModelSuite",
+    "available_models",
+    "get_model",
+]

@@ -1,0 +1,96 @@
+"""The mapping dimensions of a DNN layer.
+
+The paper (Fig. 3(g)) uses six tensor dimensions to describe a layer:
+
+========  =============================================
+``K``     output channels
+``C``     input channels (reduction dimension)
+``Y``     output feature-map height
+``X``     output feature-map width
+``R``     weight (filter) height
+``S``     weight (filter) width
+========  =============================================
+
+GEMM-style layers (fully-connected, attention projections) are expressed in
+the same vocabulary: ``M -> Y``, ``N -> K``, reduction ``K -> C`` with
+``X = R = S = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+#: Canonical ordering of the six mapping dimensions.
+DIMS: Tuple[str, ...] = ("K", "C", "Y", "X", "R", "S")
+
+#: Dimensions that index the weight tensor.
+WEIGHT_DIMS: Tuple[str, ...] = ("K", "C", "R", "S")
+
+#: Dimensions that index the input activation tensor (via the sliding window).
+INPUT_DIMS: Tuple[str, ...] = ("C", "Y", "X", "R", "S")
+
+#: Dimensions that index the output activation tensor.
+OUTPUT_DIMS: Tuple[str, ...] = ("K", "Y", "X")
+
+#: Reduction dimensions: iterating them accumulates into the same output.
+REDUCTION_DIMS: Tuple[str, ...] = ("C", "R", "S")
+
+
+def validate_dim(name: str) -> str:
+    """Return ``name`` if it is a known dimension, raise ``ValueError`` otherwise."""
+    if name not in DIMS:
+        raise ValueError(f"unknown dimension {name!r}; expected one of {DIMS}")
+    return name
+
+
+@dataclass(frozen=True)
+class LayerDims(Mapping[str, int]):
+    """Immutable sizes of the six mapping dimensions of one layer.
+
+    Behaves like a read-only mapping ``{"K": ..., "C": ..., ...}`` so that
+    cost-model and encoding code can iterate over it generically.
+    """
+
+    K: int = 1
+    C: int = 1
+    Y: int = 1
+    X: int = 1
+    R: int = 1
+    S: int = 1
+
+    def __post_init__(self) -> None:
+        for dim in DIMS:
+            value = getattr(self, dim)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"dimension {dim} must be a positive int, got {value!r}")
+
+    def __getitem__(self, key: str) -> int:
+        validate_dim(key)
+        return int(getattr(self, key))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(DIMS)
+
+    def __len__(self) -> int:
+        return len(DIMS)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a plain ``dict`` copy, in canonical dimension order."""
+        return {dim: self[dim] for dim in DIMS}
+
+    @property
+    def volume(self) -> int:
+        """Product of all dimension sizes (the MAC count of a dense layer)."""
+        product = 1
+        for dim in DIMS:
+            product *= self[dim]
+        return product
+
+    def replace(self, **changes: int) -> "LayerDims":
+        """Return a copy with the given dimensions replaced."""
+        values = self.as_dict()
+        for key, value in changes.items():
+            validate_dim(key)
+            values[key] = value
+        return LayerDims(**values)

@@ -1,0 +1,177 @@
+"""Layer-level workload description.
+
+Each layer carries the six mapping dimensions (:class:`LayerDims`), its
+operator type, convolution stride and a multiplicity ``count`` used when a
+model contains several layers with identical shape (mappers search the unique
+shapes once and multiply the cost).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.workloads.dims import (
+    DIMS,
+    INPUT_DIMS,
+    OUTPUT_DIMS,
+    WEIGHT_DIMS,
+    LayerDims,
+)
+
+
+class OpType(enum.Enum):
+    """Operator class of a layer.
+
+    The operator class decides the operand/dimension relevance used by the
+    cost model (depthwise convolutions tie the output tensor to ``C``).
+    """
+
+    CONV = "conv"
+    DWCONV = "dwconv"
+    GEMM = "gemm"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A single DNN layer expressed in the paper's dimension vocabulary.
+
+    Parameters
+    ----------
+    name:
+        Human-readable layer name (unique within a model).
+    op_type:
+        Operator class; see :class:`OpType`.
+    dims:
+        Sizes of the six mapping dimensions.  ``Y``/``X`` are *output*
+        spatial sizes; the cost model derives input halos from ``R``, ``S``
+        and ``stride``.
+    stride:
+        Convolution stride (both spatial directions).  Ignored for GEMMs.
+    count:
+        Number of identically-shaped instances of this layer in the model.
+    """
+
+    name: str
+    op_type: OpType
+    dims: LayerDims
+    stride: int = 1
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.op_type is OpType.DWCONV and self.dims["K"] != 1:
+            raise ValueError(
+                "depthwise layers must use K=1 and carry channels in C "
+                f"(got K={self.dims['K']})"
+            )
+
+    # -- tensor sizes ------------------------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations of one instance of this layer."""
+        return self.dims.volume
+
+    @property
+    def total_macs(self) -> int:
+        """MACs of all ``count`` instances."""
+        return self.macs * self.count
+
+    def input_spatial(self) -> Tuple[int, int]:
+        """Input feature-map (height, width) including the sliding-window halo."""
+        height = (self.dims["Y"] - 1) * self.stride + self.dims["R"]
+        width = (self.dims["X"] - 1) * self.stride + self.dims["S"]
+        return height, width
+
+    def tensor_sizes(self) -> Dict[str, int]:
+        """Element counts of the weight (W), input (I) and output (O) tensors."""
+        in_y, in_x = self.input_spatial()
+        dims = self.dims
+        if self.op_type is OpType.DWCONV:
+            weight = dims["C"] * dims["R"] * dims["S"]
+            output = dims["C"] * dims["Y"] * dims["X"]
+        else:
+            weight = dims["K"] * dims["C"] * dims["R"] * dims["S"]
+            output = dims["K"] * dims["Y"] * dims["X"]
+        inputs = dims["C"] * in_y * in_x
+        return {"W": weight, "I": inputs, "O": output}
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def conv2d(
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        out_hw: int | Tuple[int, int],
+        kernel: int | Tuple[int, int],
+        stride: int = 1,
+        count: int = 1,
+    ) -> "Layer":
+        """Build a standard dense convolution layer."""
+        out_y, out_x = _pair(out_hw)
+        r, s = _pair(kernel)
+        dims = LayerDims(K=out_channels, C=in_channels, Y=out_y, X=out_x, R=r, S=s)
+        return Layer(name=name, op_type=OpType.CONV, dims=dims, stride=stride, count=count)
+
+    @staticmethod
+    def depthwise(
+        name: str,
+        channels: int,
+        out_hw: int | Tuple[int, int],
+        kernel: int | Tuple[int, int],
+        stride: int = 1,
+        count: int = 1,
+    ) -> "Layer":
+        """Build a depthwise convolution layer (one filter per channel)."""
+        out_y, out_x = _pair(out_hw)
+        r, s = _pair(kernel)
+        dims = LayerDims(K=1, C=channels, Y=out_y, X=out_x, R=r, S=s)
+        return Layer(name=name, op_type=OpType.DWCONV, dims=dims, stride=stride, count=count)
+
+    @staticmethod
+    def gemm(
+        name: str,
+        m: int,
+        n: int,
+        k: int,
+        count: int = 1,
+    ) -> "Layer":
+        """Build a GEMM layer ``[M, K] x [K, N] -> [M, N]``.
+
+        The paper's convention maps ``N -> K`` (output channels), the GEMM
+        reduction ``K -> C`` and ``M -> Y``.
+        """
+        dims = LayerDims(K=n, C=k, Y=m, X=1, R=1, S=1)
+        return Layer(name=name, op_type=OpType.GEMM, dims=dims, stride=1, count=count)
+
+    # -- relevance ---------------------------------------------------------
+
+    def relevance(self) -> Dict[str, Tuple[str, ...]]:
+        """Dimension relevance of each operand for this layer's operator type.
+
+        Returns a mapping ``{"W": dims, "I": dims, "O": dims}``.  For
+        depthwise convolutions the output is additionally indexed by ``C``.
+        """
+        if self.op_type is OpType.DWCONV:
+            return {
+                "W": ("C", "R", "S"),
+                "I": INPUT_DIMS,
+                "O": ("C", "Y", "X"),
+            }
+        return {"W": WEIGHT_DIMS, "I": INPUT_DIMS, "O": OUTPUT_DIMS}
+
+    def signature(self) -> Tuple:
+        """Hashable shape signature used to deduplicate identical layers."""
+        return (self.op_type, tuple(self.dims[d] for d in DIMS), self.stride)
+
+
+def _pair(value: int | Tuple[int, int]) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)

@@ -1,0 +1,88 @@
+"""A DNN model: an ordered collection of layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.workloads.layer import Layer
+
+
+@dataclass(frozen=True)
+class Model:
+    """An ordered, immutable list of layers with a name.
+
+    The co-optimization framework searches one accelerator design point and
+    evaluates it against every (unique) layer of the model, weighting each
+    layer by its multiplicity.
+    """
+
+    name: str
+    layers: Tuple[Layer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"model {self.name!r} has no layers")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"model {self.name!r} has duplicate layer names")
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs of the model, counting layer multiplicities."""
+        return sum(layer.total_macs for layer in self.layers)
+
+    @property
+    def total_weight_elements(self) -> int:
+        """Total weight elements of the model, counting layer multiplicities."""
+        return sum(layer.tensor_sizes()["W"] * layer.count for layer in self.layers)
+
+    def unique_layers(self) -> List[Layer]:
+        """Collapse layers with identical shape signatures.
+
+        Returns new :class:`Layer` objects whose ``count`` is the sum of the
+        multiplicities of all matching layers; the first occurrence's name is
+        kept.  Mapping search tools evaluate each unique shape once.
+        """
+        merged: Dict[Tuple, Layer] = {}
+        order: List[Tuple] = []
+        for layer in self.layers:
+            key = layer.signature()
+            if key in merged:
+                existing = merged[key]
+                merged[key] = Layer(
+                    name=existing.name,
+                    op_type=existing.op_type,
+                    dims=existing.dims,
+                    stride=existing.stride,
+                    count=existing.count + layer.count,
+                )
+            else:
+                merged[key] = layer
+                order.append(key)
+        return [merged[key] for key in order]
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the model."""
+        lines = [f"Model {self.name}: {len(self.layers)} layers "
+                 f"({len(self.unique_layers())} unique), {self.total_macs:,} MACs"]
+        for layer in self.layers:
+            dims = layer.dims
+            lines.append(
+                f"  {layer.name:<28s} {layer.op_type.value:<7s} "
+                f"K={dims['K']:<5d} C={dims['C']:<5d} Y={dims['Y']:<4d} X={dims['X']:<4d} "
+                f"R={dims['R']} S={dims['S']} stride={layer.stride} x{layer.count}"
+            )
+        return "\n".join(lines)
+
+
+def build_model(name: str, layers: Sequence[Layer]) -> Model:
+    """Convenience constructor accepting any layer sequence."""
+    return Model(name=name, layers=tuple(layers))

@@ -1,0 +1,18 @@
+"""Built-in DNN model definitions used in the paper's evaluation."""
+
+from repro.workloads.models.bert import bert_base
+from repro.workloads.models.dlrm import dlrm
+from repro.workloads.models.mnasnet import mnasnet
+from repro.workloads.models.mobilenet_v2 import mobilenet_v2
+from repro.workloads.models.ncf import ncf
+from repro.workloads.models.resnet import resnet18, resnet50
+
+__all__ = [
+    "bert_base",
+    "dlrm",
+    "mnasnet",
+    "mobilenet_v2",
+    "ncf",
+    "resnet18",
+    "resnet50",
+]

@@ -1,0 +1,44 @@
+"""BERT-base encoder workload expressed as GEMM layers.
+
+Each of the 12 encoder layers contributes the projection and feed-forward
+GEMMs; the attention score / context batched matrix multiplies are expressed
+as per-head GEMMs with the head count folded into ``count``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+
+def bert_base(sequence_length: int = 512) -> Model:
+    """BERT-base: 12 layers, hidden size 768, 12 heads, FFN size 3072."""
+    if sequence_length < 1:
+        raise ValueError("sequence_length must be positive")
+    hidden = 768
+    heads = 12
+    head_dim = hidden // heads
+    ffn = 3072
+    encoder_layers = 12
+    seq = sequence_length
+
+    layers: List[Layer] = [
+        # Q, K and V projections share a shape: one gene, count = 3 per layer.
+        Layer.gemm("attention.qkv_proj", m=seq, n=hidden, k=hidden,
+                   count=3 * encoder_layers),
+        # Attention scores: (seq x head_dim) x (head_dim x seq) per head.
+        Layer.gemm("attention.scores", m=seq, n=seq, k=head_dim,
+                   count=heads * encoder_layers),
+        # Attention context: (seq x seq) x (seq x head_dim) per head.
+        Layer.gemm("attention.context", m=seq, n=head_dim, k=seq,
+                   count=heads * encoder_layers),
+        # Attention output projection.
+        Layer.gemm("attention.out_proj", m=seq, n=hidden, k=hidden,
+                   count=encoder_layers),
+        # Feed-forward network.
+        Layer.gemm("ffn.intermediate", m=seq, n=ffn, k=hidden, count=encoder_layers),
+        Layer.gemm("ffn.output", m=seq, n=hidden, k=ffn, count=encoder_layers),
+    ]
+    return build_model("bert", layers)

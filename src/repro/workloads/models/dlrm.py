@@ -1,0 +1,39 @@
+"""DLRM (deep learning recommendation model) MLP workload.
+
+DLRM's compute is dominated by its bottom and top MLPs; embedding-table
+gathers are pure memory operations with no MACs and are therefore not part
+of the mapping search (consistent with mapper studies on DLRM).  The MLP
+sizes follow the open-source DLRM "RM" configuration; the batch dimension is
+the GEMM ``M``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+#: Bottom MLP layer widths (dense features -> embedding dimension).
+_BOTTOM_MLP: Sequence[int] = (13, 512, 256, 64)
+#: Top MLP layer widths (feature-interaction output -> click probability).
+_TOP_MLP: Sequence[int] = (512, 1024, 1024, 512, 256, 1)
+
+
+def _mlp(prefix: str, widths: Sequence[int], batch: int) -> List[Layer]:
+    layers = []
+    for index in range(len(widths) - 1):
+        layers.append(
+            Layer.gemm(f"{prefix}.fc{index}", m=batch, n=widths[index + 1], k=widths[index])
+        )
+    return layers
+
+
+def dlrm(batch_size: int = 512) -> Model:
+    """DLRM MLP stack at the given inference batch size."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    layers: List[Layer] = []
+    layers.extend(_mlp("bottom_mlp", _BOTTOM_MLP, batch_size))
+    layers.extend(_mlp("top_mlp", _TOP_MLP, batch_size))
+    return build_model("dlrm", layers)

@@ -1,0 +1,57 @@
+"""MnasNet-B1 layer table (ImageNet, 224x224 input).
+
+MnasNet mixes 3x3 and 5x5 depthwise kernels across its MBConv stages, which
+is the property the paper exploits (its found mappings differ from the CNN
+baselines).  The block table follows the MnasNet-B1 architecture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+#: (expansion, out_channels, repeats, stride, kernel) per MnasNet-B1.
+_BLOCK_TABLE: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (3, 24, 3, 2, 3),
+    (3, 40, 3, 2, 5),
+    (6, 80, 3, 2, 5),
+    (6, 96, 2, 1, 3),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+
+def mnasnet(input_size: int = 224) -> Model:
+    """MnasNet-B1 with depth multiplier 1.0."""
+    if input_size != 224:
+        raise ValueError("only the 224x224 ImageNet configuration is provided")
+    layers: List[Layer] = [
+        Layer.conv2d("conv_stem", 3, 32, 112, 3, stride=2),
+        # SepConv block: depthwise 3x3 + pointwise to 16 channels.
+        Layer.depthwise("sepconv.dwise", 32, 112, 3),
+        Layer.conv2d("sepconv.project", 32, 16, 112, 1),
+    ]
+
+    in_channels = 16
+    hw = 112
+    block_index = 0
+    for expansion, out_channels, repeats, stride, kernel in _BLOCK_TABLE:
+        for repeat in range(repeats):
+            block_stride = stride if repeat == 0 else 1
+            hw = hw // block_stride
+            hidden = in_channels * expansion
+            in_hw = hw * block_stride
+            prefix = f"mbconv{block_index}"
+            layers.append(Layer.conv2d(f"{prefix}.expand", in_channels, hidden, in_hw, 1))
+            layers.append(
+                Layer.depthwise(f"{prefix}.dwise", hidden, hw, kernel, stride=block_stride)
+            )
+            layers.append(Layer.conv2d(f"{prefix}.project", hidden, out_channels, hw, 1))
+            in_channels = out_channels
+            block_index += 1
+
+    layers.append(Layer.conv2d("conv_head", 320, 1280, 7, 1))
+    layers.append(Layer.gemm("classifier", m=1, n=1000, k=1280))
+    return build_model("mnasnet", layers)

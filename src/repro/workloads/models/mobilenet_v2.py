@@ -1,0 +1,74 @@
+"""MobileNetV2 layer table (ImageNet, 224x224 input).
+
+The model is built from the standard inverted-residual block table
+``(expansion t, output channels c, repeats n, stride s)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+#: (expansion, out_channels, repeats, stride) per the MobileNetV2 paper.
+_BLOCK_TABLE: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    prefix: str,
+    in_channels: int,
+    out_channels: int,
+    expansion: int,
+    out_hw: int,
+    stride: int,
+    kernel: int = 3,
+) -> List[Layer]:
+    """Expand one inverted-residual block into expand / depthwise / project."""
+    hidden = in_channels * expansion
+    layers: List[Layer] = []
+    if expansion != 1:
+        in_hw = out_hw * stride
+        layers.append(Layer.conv2d(f"{prefix}.expand", in_channels, hidden, in_hw, 1))
+    layers.append(Layer.depthwise(f"{prefix}.dwise", hidden, out_hw, kernel, stride=stride))
+    layers.append(Layer.conv2d(f"{prefix}.project", hidden, out_channels, out_hw, 1))
+    return layers
+
+
+def mobilenet_v2(input_size: int = 224) -> Model:
+    """MobileNetV2 with the standard width multiplier of 1.0."""
+    if input_size != 224:
+        raise ValueError("only the 224x224 ImageNet configuration is provided")
+    layers: List[Layer] = [Layer.conv2d("conv_stem", 3, 32, 112, 3, stride=2)]
+
+    in_channels = 32
+    hw = 112
+    block_index = 0
+    for expansion, out_channels, repeats, stride in _BLOCK_TABLE:
+        for repeat in range(repeats):
+            block_stride = stride if repeat == 0 else 1
+            hw = hw // block_stride
+            layers.extend(
+                _inverted_residual(
+                    prefix=f"block{block_index}",
+                    in_channels=in_channels,
+                    out_channels=out_channels,
+                    expansion=expansion,
+                    out_hw=hw,
+                    stride=block_stride,
+                )
+            )
+            in_channels = out_channels
+            block_index += 1
+
+    layers.append(Layer.conv2d("conv_head", 320, 1280, 7, 1))
+    layers.append(Layer.gemm("classifier", m=1, n=1000, k=1280))
+    return build_model("mobilenet_v2", layers)

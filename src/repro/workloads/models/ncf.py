@@ -1,0 +1,36 @@
+"""NCF (neural collaborative filtering, NeuMF variant) workload.
+
+The compute of NCF is the MLP tower plus the final prediction layer over the
+concatenated GMF and MLP outputs; embedding gathers carry no MACs.  The
+tower widths follow the NeuMF paper's largest configuration; the batch
+dimension is the GEMM ``M``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+#: MLP tower widths: concatenated user/item embeddings down to the factor size.
+_MLP_TOWER: Sequence[int] = (256, 256, 128, 64)
+
+
+def ncf(batch_size: int = 512) -> Model:
+    """NeuMF-style NCF at the given inference batch size."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    layers: List[Layer] = []
+    for index in range(len(_MLP_TOWER) - 1):
+        layers.append(
+            Layer.gemm(
+                f"mlp.fc{index}",
+                m=batch_size,
+                n=_MLP_TOWER[index + 1],
+                k=_MLP_TOWER[index],
+            )
+        )
+    # Final prediction layer over concatenated GMF (64) + MLP (64) factors.
+    layers.append(Layer.gemm("predict", m=batch_size, n=1, k=128))
+    return build_model("ncf", layers)

@@ -1,0 +1,89 @@
+"""ResNet-18 and ResNet-50 layer tables (ImageNet, 224x224 input)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+
+def _stem() -> List[Layer]:
+    return [Layer.conv2d("conv1", 3, 64, 112, 7, stride=2)]
+
+
+def resnet18(input_size: int = 224) -> Model:
+    """ResNet-18: basic residual blocks (two 3x3 convolutions each)."""
+    if input_size != 224:
+        raise ValueError("only the 224x224 ImageNet configuration is provided")
+    layers: List[Layer] = list(_stem())
+
+    # layer1: 56x56, 64 channels, 2 basic blocks -> 4 identical 3x3 convs.
+    layers.append(Layer.conv2d("layer1.conv3x3", 64, 64, 56, 3, count=4))
+
+    # layer2: 28x28, 128 channels.
+    layers.append(Layer.conv2d("layer2.0.conv1", 64, 128, 28, 3, stride=2))
+    layers.append(Layer.conv2d("layer2.0.downsample", 64, 128, 28, 1, stride=2))
+    layers.append(Layer.conv2d("layer2.conv3x3", 128, 128, 28, 3, count=3))
+
+    # layer3: 14x14, 256 channels.
+    layers.append(Layer.conv2d("layer3.0.conv1", 128, 256, 14, 3, stride=2))
+    layers.append(Layer.conv2d("layer3.0.downsample", 128, 256, 14, 1, stride=2))
+    layers.append(Layer.conv2d("layer3.conv3x3", 256, 256, 14, 3, count=3))
+
+    # layer4: 7x7, 512 channels.
+    layers.append(Layer.conv2d("layer4.0.conv1", 256, 512, 7, 3, stride=2))
+    layers.append(Layer.conv2d("layer4.0.downsample", 256, 512, 7, 1, stride=2))
+    layers.append(Layer.conv2d("layer4.conv3x3", 512, 512, 7, 3, count=3))
+
+    # classifier.
+    layers.append(Layer.gemm("fc", m=1, n=1000, k=512))
+    return build_model("resnet18", layers)
+
+
+def _bottleneck(
+    prefix: str,
+    in_channels: int,
+    mid_channels: int,
+    out_channels: int,
+    out_hw: int,
+    stride: int,
+    blocks: int,
+) -> List[Layer]:
+    """Expand one ResNet-50 stage of bottleneck blocks into layers.
+
+    The first block downsamples (stride) and projects the residual; the
+    remaining ``blocks - 1`` blocks share identical shapes and are expressed
+    with ``count``.
+    """
+    layers: List[Layer] = [
+        Layer.conv2d(f"{prefix}.0.conv1", in_channels, mid_channels, out_hw, 1, stride=1),
+        Layer.conv2d(f"{prefix}.0.conv2", mid_channels, mid_channels, out_hw, 3, stride=stride),
+        Layer.conv2d(f"{prefix}.0.conv3", mid_channels, out_channels, out_hw, 1),
+        Layer.conv2d(f"{prefix}.0.downsample", in_channels, out_channels, out_hw, 1, stride=stride),
+    ]
+    if blocks > 1:
+        layers.extend(
+            [
+                Layer.conv2d(f"{prefix}.rest.conv1", out_channels, mid_channels, out_hw, 1,
+                             count=blocks - 1),
+                Layer.conv2d(f"{prefix}.rest.conv2", mid_channels, mid_channels, out_hw, 3,
+                             count=blocks - 1),
+                Layer.conv2d(f"{prefix}.rest.conv3", mid_channels, out_channels, out_hw, 1,
+                             count=blocks - 1),
+            ]
+        )
+    return layers
+
+
+def resnet50(input_size: int = 224) -> Model:
+    """ResNet-50: bottleneck residual blocks (1x1, 3x3, 1x1)."""
+    if input_size != 224:
+        raise ValueError("only the 224x224 ImageNet configuration is provided")
+    layers: List[Layer] = list(_stem())
+    layers.extend(_bottleneck("layer1", 64, 64, 256, 56, stride=1, blocks=3))
+    layers.extend(_bottleneck("layer2", 256, 128, 512, 28, stride=2, blocks=4))
+    layers.extend(_bottleneck("layer3", 512, 256, 1024, 14, stride=2, blocks=6))
+    layers.extend(_bottleneck("layer4", 1024, 512, 2048, 7, stride=2, blocks=3))
+    layers.append(Layer.gemm("fc", m=1, n=1000, k=2048))
+    return build_model("resnet50", layers)

@@ -1,0 +1,56 @@
+"""Registry of the built-in workloads evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.model import Model
+from repro.workloads.models import (
+    bert_base,
+    dlrm,
+    mnasnet,
+    mobilenet_v2,
+    ncf,
+    resnet18,
+    resnet50,
+)
+
+_REGISTRY: Dict[str, Callable[[], Model]] = {
+    "mobilenet_v2": mobilenet_v2,
+    "resnet18": resnet18,
+    "resnet50": resnet50,
+    "mnasnet": mnasnet,
+    "bert": bert_base,
+    "dlrm": dlrm,
+    "ncf": ncf,
+}
+
+#: Aliases accepted by :func:`get_model` in addition to the canonical names.
+_ALIASES: Dict[str, str] = {
+    "mbnet-v2": "mobilenet_v2",
+    "mbnetv2": "mobilenet_v2",
+    "mobilenetv2": "mobilenet_v2",
+    "resnet-18": "resnet18",
+    "resnet-50": "resnet50",
+    "bert-base": "bert",
+}
+
+
+def available_models() -> List[str]:
+    """Names of all built-in models, in the paper's presentation order."""
+    return list(_REGISTRY)
+
+
+def get_model(name: str) -> Model:
+    """Build the named model.
+
+    Accepts canonical names (``available_models()``) and common aliases such
+    as ``"mbnet-v2"``; matching is case-insensitive.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available models: {', '.join(available_models())}"
+        )
+    return _REGISTRY[key]()

@@ -1,0 +1,120 @@
+"""Multi-model workload suites.
+
+The Co-opt Framework "takes in any DNN model(s)" (paper Sec. I): when an
+accelerator must serve several networks, the search should optimize one HW
+configuration against all of them.  A :class:`ModelSuite` bundles several
+models (optionally weighted by how often each runs) and flattens them into a
+single :class:`~repro.workloads.model.Model` whose layer multiplicities
+carry the weights, so the whole framework works on suites unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model
+from repro.workloads.registry import get_model
+
+
+@dataclass(frozen=True)
+class ModelSuite:
+    """A weighted collection of models served by one accelerator.
+
+    Parameters
+    ----------
+    name:
+        Suite name (used as the combined model's name).
+    models:
+        The member models.
+    weights:
+        Optional positive integer weight per model: how many inferences of
+        that model run per "unit" of work.  Defaults to one each.
+    """
+
+    name: str
+    models: Tuple[Model, ...]
+    weights: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("a suite needs at least one model")
+        object.__setattr__(self, "models", tuple(self.models))
+        if not self.weights:
+            object.__setattr__(self, "weights", tuple(1 for _ in self.models))
+        else:
+            object.__setattr__(self, "weights", tuple(int(w) for w in self.weights))
+        if len(self.weights) != len(self.models):
+            raise ValueError("weights must match the number of models")
+        if any(weight < 1 for weight in self.weights):
+            raise ValueError("weights must be positive integers")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_names(
+        name: str,
+        model_names: Sequence[str],
+        weights: Optional[Sequence[int]] = None,
+    ) -> "ModelSuite":
+        """Build a suite from registry model names."""
+        models = tuple(get_model(model_name) for model_name in model_names)
+        resolved = tuple(weights) if weights is not None else tuple(1 for _ in models)
+        return ModelSuite(name=name, models=models, weights=resolved)
+
+    # -- flattening --------------------------------------------------------
+
+    def as_model(self) -> Model:
+        """Flatten the suite into one model with weighted layer counts.
+
+        Layer names are prefixed with their model's name so the combined
+        model has unique names; identical shapes across models still merge
+        in :meth:`Model.unique_layers`, which is what makes suite evaluation
+        no more expensive than evaluating the union of unique shapes.
+        """
+        layers = []
+        model_names = [model.name for model in self.models]
+        for index, (model, weight) in enumerate(zip(self.models, self.weights)):
+            # Disambiguate repeated models so layer names stay unique.
+            prefix = (
+                model.name
+                if model_names.count(model.name) == 1
+                else f"{model.name}#{index}"
+            )
+            for layer in model.layers:
+                layers.append(
+                    Layer(
+                        name=f"{prefix}.{layer.name}",
+                        op_type=layer.op_type,
+                        dims=layer.dims,
+                        stride=layer.stride,
+                        count=layer.count * weight,
+                    )
+                )
+        return Model(name=self.name, layers=tuple(layers))
+
+    @property
+    def total_macs(self) -> int:
+        """Weighted MACs of one unit of suite work."""
+        return sum(
+            model.total_macs * weight for model, weight in zip(self.models, self.weights)
+        )
+
+    def per_model_macs(self) -> Dict[str, int]:
+        """Weighted MACs contributed by each member model."""
+        return {
+            model.name: model.total_macs * weight
+            for model, weight in zip(self.models, self.weights)
+        }
+
+    def summary(self) -> str:
+        """Human-readable description of the suite."""
+        lines = [f"Suite {self.name}: {len(self.models)} models, "
+                 f"{self.total_macs:,} weighted MACs"]
+        for model, weight in zip(self.models, self.weights):
+            lines.append(
+                f"  {model.name:<16s} weight={weight:<3d} "
+                f"{len(model.layers):>3d} layers {model.total_macs:>15,d} MACs"
+            )
+        return "\n".join(lines)

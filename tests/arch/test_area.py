@@ -1,0 +1,82 @@
+"""Tests for the parametric area model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.area import AreaBreakdown, AreaModel
+from repro.arch.hardware import HardwareConfig
+
+
+class TestAreaBreakdown:
+    def test_total_is_sum(self):
+        breakdown = AreaBreakdown(pe_area=100.0, l1_area=30.0, l2_area=70.0)
+        assert breakdown.buffer_area == 100.0
+        assert breakdown.total == 200.0
+
+    def test_ratio_sums_to_hundred(self):
+        breakdown = AreaBreakdown(pe_area=150.0, l1_area=25.0, l2_area=25.0)
+        pe_pct, buffer_pct = breakdown.pe_to_buffer_ratio
+        assert pe_pct == pytest.approx(75.0)
+        assert buffer_pct == pytest.approx(25.0)
+        assert pe_pct + buffer_pct == pytest.approx(100.0)
+
+    def test_zero_area_ratio(self):
+        breakdown = AreaBreakdown(pe_area=0.0, l1_area=0.0, l2_area=0.0)
+        assert breakdown.pe_to_buffer_ratio == (0.0, 0.0)
+
+
+class TestAreaModel:
+    def test_breakdown_is_linear(self):
+        model = AreaModel(pe_area_um2=100.0, l1_area_per_byte_um2=1.0,
+                          l2_area_per_byte_um2=0.5)
+        hw = HardwareConfig(pe_array=(2, 4), l1_size=64, l2_size=1024)
+        breakdown = model.breakdown(hw)
+        assert breakdown.pe_area == 8 * 100.0
+        assert breakdown.l1_area == 8 * 64 * 1.0
+        assert breakdown.l2_area == 1024 * 0.5
+        assert model.total_area(hw) == breakdown.total
+
+    def test_more_pes_means_more_area(self):
+        model = AreaModel()
+        small = HardwareConfig(pe_array=(4, 4), l1_size=64, l2_size=1024)
+        big = HardwareConfig(pe_array=(16, 16), l1_size=64, l2_size=1024)
+        assert model.total_area(big) > model.total_area(small)
+
+    def test_max_pes_within_budget(self):
+        model = AreaModel(pe_area_um2=100.0)
+        assert model.max_pes_within(1000.0) == 10
+        assert model.max_pes_within(99.0) == 1  # at least one PE
+
+    def test_max_l2_bytes_within_budget(self):
+        model = AreaModel(l2_area_per_byte_um2=0.5)
+        assert model.max_l2_bytes_within(1000.0) == 2000
+
+    def test_rejects_bad_coefficients_and_budgets(self):
+        with pytest.raises(ValueError):
+            AreaModel(pe_area_um2=0.0)
+        with pytest.raises(ValueError):
+            AreaModel(l1_area_per_byte_um2=-1.0)
+        with pytest.raises(ValueError):
+            AreaModel().max_pes_within(0.0)
+
+    def test_default_calibration_edge_budget_admits_hundreds_of_pes(self):
+        # The paper's edge budget (0.2 mm^2) must admit design points in the
+        # hundreds of PEs with realistic buffers (Fig. 7 shows 231 PEs).
+        model = AreaModel()
+        assert 200 <= model.max_pes_within(0.2e6) <= 2000
+
+    def test_default_calibration_cloud_budget_admits_thousands_of_pes(self):
+        model = AreaModel()
+        assert model.max_pes_within(7.0e6) >= 5000
+
+    @given(
+        pes=st.integers(1, 4096),
+        l1=st.integers(1, 1 << 16),
+        l2=st.integers(1, 1 << 22),
+    )
+    def test_area_monotonic_in_resources(self, pes, l1, l2):
+        model = AreaModel()
+        hw = HardwareConfig(pe_array=(1, pes), l1_size=l1, l2_size=l2)
+        bigger = HardwareConfig(pe_array=(2, pes), l1_size=l1 + 1, l2_size=l2 + 1)
+        assert model.total_area(bigger) > model.total_area(hw)

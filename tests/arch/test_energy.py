@@ -1,0 +1,44 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.arch.energy import EnergyModel
+
+
+class TestEnergyModel:
+    def test_compute_energy_scales_with_macs(self):
+        model = EnergyModel(mac_energy=2.0)
+        assert model.compute_energy(100) == 200.0
+
+    def test_movement_energy_weights_levels(self):
+        model = EnergyModel(
+            mac_energy=1.0,
+            l1_energy_per_byte=1.0,
+            l2_energy_per_byte=10.0,
+            dram_energy_per_byte=100.0,
+        )
+        energy = model.movement_energy(l1_bytes=5, l2_bytes=3, dram_bytes=2)
+        assert energy == 5 * 1.0 + 3 * 10.0 + 2 * 100.0
+
+    def test_default_hierarchy_ordering(self):
+        # Moving a byte must get more expensive the further out it lives.
+        model = EnergyModel()
+        assert model.l1_energy_per_byte < model.l2_energy_per_byte
+        assert model.l2_energy_per_byte < model.dram_energy_per_byte
+
+    def test_dram_dominates_on_equal_traffic(self):
+        model = EnergyModel()
+        on_chip = model.movement_energy(l1_bytes=1000, l2_bytes=1000, dram_bytes=0)
+        off_chip = model.movement_energy(l1_bytes=0, l2_bytes=0, dram_bytes=1000)
+        assert off_chip > on_chip
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            EnergyModel(mac_energy=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(dram_energy_per_byte=-0.1)
+
+    def test_zero_traffic_zero_energy(self):
+        model = EnergyModel()
+        assert model.movement_energy(0, 0, 0) == 0.0
+        assert model.compute_energy(0) == 0.0

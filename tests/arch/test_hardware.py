@@ -1,0 +1,62 @@
+"""Tests for the hardware configuration dataclass."""
+
+import pytest
+
+from repro.arch.hardware import HardwareConfig
+
+
+class TestHardwareConfig:
+    def test_defaults_are_valid(self):
+        hw = HardwareConfig()
+        assert hw.num_pes == 256
+        assert hw.num_levels == 2
+
+    def test_num_pes_is_product(self):
+        hw = HardwareConfig(pe_array=(4, 8, 2))
+        assert hw.num_pes == 64
+        assert hw.num_levels == 3
+
+    def test_total_buffer_sizes(self):
+        hw = HardwareConfig(pe_array=(2, 4), l1_size=100, l2_size=1000)
+        assert hw.total_l1_size == 800
+        assert hw.total_buffer_size == 1800
+
+    def test_with_buffers_returns_copy(self):
+        hw = HardwareConfig(pe_array=(2, 2), l1_size=100, l2_size=1000)
+        other = hw.with_buffers(l1_size=50, l2_size=500)
+        assert other.l1_size == 50
+        assert other.l2_size == 500
+        assert hw.l1_size == 100  # original untouched
+        assert other.pe_array == hw.pe_array
+
+    def test_with_pe_array_returns_copy(self):
+        hw = HardwareConfig(pe_array=(2, 2))
+        other = hw.with_pe_array((4, 8))
+        assert other.num_pes == 32
+        assert hw.num_pes == 4
+
+    def test_describe_mentions_pe_count(self):
+        hw = HardwareConfig(pe_array=(3, 5))
+        assert "PEs=15" in hw.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pe_array": ()},
+            {"pe_array": (0, 4)},
+            {"l1_size": 0},
+            {"l2_size": -1},
+            {"noc_bandwidth": 0},
+            {"dram_bandwidth": -2},
+            {"bytes_per_element": 0},
+            {"frequency_mhz": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HardwareConfig(**kwargs)
+
+    def test_pe_array_coerced_to_int_tuple(self):
+        hw = HardwareConfig(pe_array=[4.0, 8.0])
+        assert hw.pe_array == (4, 8)
+        assert isinstance(hw.pe_array, tuple)

@@ -1,0 +1,43 @@
+"""Tests for the edge / cloud platform presets."""
+
+import pytest
+
+from repro.arch.area import AreaModel
+from repro.arch.platform import CLOUD, EDGE, Platform, get_platform
+
+
+class TestPresets:
+    def test_edge_budget_matches_paper(self):
+        assert EDGE.area_budget_mm2 == pytest.approx(0.2)
+
+    def test_cloud_budget_matches_paper(self):
+        assert CLOUD.area_budget_mm2 == pytest.approx(7.0)
+
+    def test_cloud_is_larger_in_every_resource(self):
+        assert CLOUD.area_budget_um2 > EDGE.area_budget_um2
+        assert CLOUD.noc_bandwidth > EDGE.noc_bandwidth
+        assert CLOUD.dram_bandwidth > EDGE.dram_bandwidth
+
+    def test_max_pes_uses_area_model(self):
+        model = AreaModel(pe_area_um2=1000.0)
+        assert EDGE.max_pes(model) == int(EDGE.area_budget_um2 // 1000.0)
+
+    def test_cloud_admits_more_pes_than_edge(self):
+        assert CLOUD.max_pes() > EDGE.max_pes()
+
+
+class TestLookup:
+    def test_get_platform_by_name(self):
+        assert get_platform("edge") is EDGE
+        assert get_platform("Cloud") is CLOUD
+        assert get_platform("  EDGE ") is EDGE
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("datacenter")
+
+    def test_custom_platform_validation(self):
+        with pytest.raises(ValueError):
+            Platform(name="bad", area_budget_um2=0.0, noc_bandwidth=1.0, dram_bandwidth=1.0)
+        with pytest.raises(ValueError):
+            Platform(name="bad", area_budget_um2=1.0, noc_bandwidth=0.0, dram_bandwidth=1.0)

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.hardware import HardwareConfig
+from repro.arch.platform import CLOUD, EDGE
+from repro.encoding.genome import GenomeSpace
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def conv_layer() -> Layer:
+    """A mid-sized convolution layer (ResNet-ish 3x3)."""
+    return Layer.conv2d("conv", in_channels=64, out_channels=128, out_hw=28, kernel=3)
+
+
+@pytest.fixture
+def small_conv_layer() -> Layer:
+    """A small convolution layer for fast exhaustive-ish checks."""
+    return Layer.conv2d("small", in_channels=8, out_channels=16, out_hw=8, kernel=3)
+
+
+@pytest.fixture
+def gemm_layer() -> Layer:
+    """A GEMM layer (fully connected)."""
+    return Layer.gemm("fc", m=64, n=256, k=512)
+
+
+@pytest.fixture
+def depthwise_layer() -> Layer:
+    """A depthwise convolution layer."""
+    return Layer.depthwise("dw", channels=96, out_hw=14, kernel=3)
+
+
+@pytest.fixture
+def tiny_model(small_conv_layer, gemm_layer) -> Model:
+    """A two-layer model used by search and framework tests."""
+    return build_model("tiny", [small_conv_layer, gemm_layer])
+
+
+@pytest.fixture
+def simple_mapping(conv_layer) -> Mapping:
+    """A legal two-level mapping for ``conv_layer``."""
+    l2 = LevelMapping(
+        spatial_size=8,
+        parallel_dim="K",
+        order=("K", "C", "Y", "X", "R", "S"),
+        tiles={"K": 16, "C": 64, "Y": 4, "X": 28, "R": 3, "S": 3},
+    )
+    l1 = LevelMapping(
+        spatial_size=16,
+        parallel_dim="C",
+        order=("C", "K", "R", "S", "Y", "X"),
+        tiles={"K": 1, "C": 4, "Y": 1, "X": 4, "R": 3, "S": 3},
+    )
+    return Mapping(levels=(l2, l1))
+
+
+@pytest.fixture
+def edge_platform():
+    """The paper's edge platform preset."""
+    return EDGE
+
+
+@pytest.fixture
+def cloud_platform():
+    """The paper's cloud platform preset."""
+    return CLOUD
+
+
+@pytest.fixture
+def small_hardware() -> HardwareConfig:
+    """A small fixed hardware configuration."""
+    return HardwareConfig(
+        pe_array=(8, 16),
+        l1_size=512,
+        l2_size=64 * 1024,
+        noc_bandwidth=32.0,
+        dram_bandwidth=8.0,
+    )
+
+
+@pytest.fixture
+def tiny_space(tiny_model) -> GenomeSpace:
+    """A genome space for the tiny model with a modest PE bound."""
+    return GenomeSpace.from_model(tiny_model, max_pes=256, num_levels=2)

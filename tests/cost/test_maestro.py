@@ -1,0 +1,181 @@
+"""Tests for the MAESTRO-style analytical cost model."""
+
+import pytest
+
+from repro.cost.maestro import CostModel
+from repro.mapping.dataflows import dla_like, shi_like
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping, uniform_mapping
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+from repro.workloads.model import build_model
+
+NOC = 32.0
+DRAM = 8.0
+
+
+@pytest.fixture
+def cost_model():
+    return CostModel()
+
+
+class TestLayerEvaluation:
+    def test_report_fields_are_consistent(self, cost_model, conv_layer, simple_mapping):
+        report = cost_model.evaluate_layer(conv_layer, simple_mapping, NOC, DRAM)
+        assert report.latency >= max(
+            report.compute_cycles, report.noc_cycles, report.dram_cycles
+        )
+        assert report.macs == conv_layer.macs
+        assert report.num_pes == simple_mapping.num_pes
+        assert 0 < report.active_pes <= report.num_pes
+        assert 0.0 < report.utilization <= 1.0
+        assert report.energy > 0
+        assert report.bottleneck in ("compute", "noc", "dram")
+
+    def test_latency_at_least_macs_over_pes(self, cost_model, conv_layer, simple_mapping):
+        # No schedule can beat perfect parallelization over the active PEs.
+        report = cost_model.evaluate_layer(conv_layer, simple_mapping, NOC, DRAM)
+        assert report.latency >= conv_layer.macs / report.num_pes
+
+    def test_dram_traffic_at_least_compulsory(self, cost_model, conv_layer, simple_mapping):
+        # Each tensor must be moved at least once.
+        report = cost_model.evaluate_layer(conv_layer, simple_mapping, NOC, DRAM)
+        sizes = conv_layer.tensor_sizes()
+        assert report.dram_bytes >= sum(sizes.values())
+
+    def test_more_pes_reduce_compute_cycles(self, cost_model, conv_layer):
+        small = uniform_mapping(conv_layer, (2, 2), ("K", "C"))
+        small = small.with_level(1, small.levels[1].with_tiles(R=3, S=3))
+        large = uniform_mapping(conv_layer, (16, 16), ("K", "C"))
+        large = large.with_level(1, large.levels[1].with_tiles(R=3, S=3))
+        report_small = cost_model.evaluate_layer(conv_layer, small, NOC, DRAM)
+        report_large = cost_model.evaluate_layer(conv_layer, large, NOC, DRAM)
+        assert report_large.compute_cycles < report_small.compute_cycles
+
+    def test_higher_bandwidth_never_hurts(self, cost_model, conv_layer, simple_mapping):
+        slow = cost_model.evaluate_layer(conv_layer, simple_mapping, NOC, DRAM)
+        fast = cost_model.evaluate_layer(conv_layer, simple_mapping, NOC * 4, DRAM * 4)
+        assert fast.latency <= slow.latency
+
+    def test_loop_order_affects_traffic(self, cost_model, conv_layer):
+        tiles_l2 = {"K": 16, "C": 16, "Y": 4, "X": 4, "R": 3, "S": 3}
+        tiles_l1 = {"K": 1, "C": 1, "Y": 1, "X": 1, "R": 3, "S": 3}
+        weight_friendly = Mapping(levels=(
+            LevelMapping(8, "K", ("C", "K", "R", "S", "Y", "X"), tiles_l2),
+            LevelMapping(8, "C", ("C", "K", "R", "S", "Y", "X"), tiles_l1),
+        ))
+        weight_hostile = Mapping(levels=(
+            LevelMapping(8, "K", ("Y", "X", "C", "K", "R", "S"), tiles_l2),
+            LevelMapping(8, "C", ("Y", "X", "C", "K", "R", "S"), tiles_l1),
+        ))
+        friendly = cost_model.evaluate_layer(conv_layer, weight_friendly, NOC, DRAM)
+        hostile = cost_model.evaluate_layer(conv_layer, weight_hostile, NOC, DRAM)
+        assert friendly.dram_bytes != hostile.dram_bytes
+
+    def test_parallelizing_a_tiny_dim_wastes_pes(self, cost_model, conv_layer):
+        # Parallelizing R (=3) over 64 PEs leaves most of them idle.
+        good = uniform_mapping(conv_layer, (8, 8), ("K", "C"))
+        bad = uniform_mapping(conv_layer, (8, 8), ("R", "S"))
+        report_good = cost_model.evaluate_layer(conv_layer, good, NOC, DRAM)
+        report_bad = cost_model.evaluate_layer(conv_layer, bad, NOC, DRAM)
+        assert report_bad.active_pes < report_good.active_pes
+        assert report_bad.compute_cycles > report_good.compute_cycles
+
+    def test_buffer_requirements_forwarded(self, cost_model, conv_layer, simple_mapping):
+        report = cost_model.evaluate_layer(conv_layer, simple_mapping, NOC, DRAM)
+        assert report.l1_requirement_bytes > 0
+        assert report.l2_requirement_bytes >= report.l1_requirement_bytes
+
+    def test_invalid_bandwidths_rejected(self, cost_model, conv_layer, simple_mapping):
+        with pytest.raises(ValueError):
+            cost_model.evaluate_layer(conv_layer, simple_mapping, 0.0, DRAM)
+        with pytest.raises(ValueError):
+            cost_model.evaluate_layer(conv_layer, simple_mapping, NOC, -1.0)
+
+    def test_gemm_and_depthwise_layers_evaluate(self, cost_model, gemm_layer, depthwise_layer):
+        for layer in (gemm_layer, depthwise_layer):
+            mapping = uniform_mapping(layer, (4, 8), ("K", "C"))
+            report = cost_model.evaluate_layer(layer, mapping, NOC, DRAM)
+            assert report.latency > 0
+            assert report.macs == layer.macs
+
+    def test_bytes_per_element_scales_traffic(self, conv_layer, simple_mapping):
+        one = CostModel(bytes_per_element=1).evaluate_layer(
+            conv_layer, simple_mapping, NOC, DRAM
+        )
+        two = CostModel(bytes_per_element=2).evaluate_layer(
+            conv_layer, simple_mapping, NOC, DRAM
+        )
+        assert two.dram_bytes == pytest.approx(2 * one.dram_bytes)
+        assert two.l2_to_l1_bytes == pytest.approx(2 * one.l2_to_l1_bytes)
+
+
+class TestDataflowContrast:
+    def test_channel_parallel_beats_pixel_parallel_on_late_convs(self, cost_model):
+        # A deep, spatially small layer (e.g. ResNet stage 4) has few pixels
+        # but many channels, so dla-like (K/C parallel) should clearly beat
+        # shi-like (Y/X parallel).  This is the behaviour the co-optimizer
+        # exploits when it picks per-model parallelism.
+        layer = Layer.conv2d("late", 512, 512, 7, 3)
+        dla = cost_model.evaluate_layer(layer, dla_like(layer, (16, 16)), NOC, DRAM)
+        shi = cost_model.evaluate_layer(layer, shi_like(layer, (16, 16)), NOC, DRAM)
+        assert dla.latency < shi.latency
+
+
+class TestModelEvaluation:
+    def test_model_latency_is_sum_of_layer_latencies(self, cost_model, tiny_model):
+        mapping = uniform_mapping(tiny_model.layers[0], (4, 8), ("K", "C"))
+        performance = cost_model.evaluate_model(tiny_model, mapping, NOC, DRAM)
+        assert performance.latency == pytest.approx(
+            sum(layer.total_latency for layer in performance.layers)
+        )
+        assert performance.model_name == tiny_model.name
+
+    def test_layer_counts_respected(self, cost_model):
+        base = Layer.conv2d("once", 16, 16, 8, 3)
+        repeated = Layer.conv2d("thrice", 16, 16, 8, 3, count=3)
+        model_once = build_model("m1", [base])
+        model_thrice = build_model("m3", [repeated])
+        mapping = uniform_mapping(base, (4, 4), ("K", "C"))
+        once = cost_model.evaluate_model(model_once, mapping, NOC, DRAM)
+        thrice = cost_model.evaluate_model(model_thrice, mapping, NOC, DRAM)
+        assert thrice.latency == pytest.approx(3 * once.latency)
+
+    def test_per_layer_mapping_dict(self, cost_model, tiny_model):
+        mappings = {
+            layer.name: uniform_mapping(layer, (4, 8), ("K", "C"))
+            for layer in tiny_model.unique_layers()
+        }
+        performance = cost_model.evaluate_model(tiny_model, mappings, NOC, DRAM)
+        assert len(performance.layers) == len(tiny_model.unique_layers())
+
+    def test_missing_mapping_raises(self, cost_model, tiny_model):
+        with pytest.raises(KeyError):
+            cost_model.evaluate_model(tiny_model, {}, NOC, DRAM)
+
+    def test_callable_mapping_provider(self, cost_model, tiny_model):
+        performance = cost_model.evaluate_model(
+            tiny_model,
+            lambda layer: uniform_mapping(layer, (4, 8), ("K", "C")),
+            NOC,
+            DRAM,
+        )
+        assert performance.latency > 0
+
+    def test_requirements_are_max_over_layers(self, cost_model, tiny_model):
+        mapping = uniform_mapping(tiny_model.layers[0], (4, 8), ("K", "C"))
+        performance = cost_model.evaluate_model(tiny_model, mapping, NOC, DRAM)
+        assert performance.l1_requirement_bytes == max(
+            layer.l1_requirement_bytes for layer in performance.layers
+        )
+        assert performance.l2_requirement_bytes == max(
+            layer.l2_requirement_bytes for layer in performance.layers
+        )
+
+    def test_summary_readable(self, cost_model, tiny_model):
+        mapping = uniform_mapping(tiny_model.layers[0], (4, 8), ("K", "C"))
+        performance = cost_model.evaluate_model(tiny_model, mapping, NOC, DRAM)
+        text = performance.summary()
+        assert tiny_model.name in text
+        for layer in performance.layers:
+            assert layer.layer_name in text

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) of cost-model invariants.
+
+The cost model is the fitness landscape every optimizer walks; these
+properties pin down the invariants the search relies on: positivity,
+lower bounds, monotonicity under added resources, and insensitivity of
+compulsory traffic to the mapping.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.maestro import CostModel
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+
+NOC = 32.0
+DRAM = 8.0
+
+_COST_MODEL = CostModel()
+
+
+@st.composite
+def layers(draw):
+    """Random small-to-medium convolution or GEMM layers."""
+    kind = draw(st.sampled_from(["conv", "gemm", "dwconv"]))
+    if kind == "conv":
+        return Layer.conv2d(
+            "conv",
+            in_channels=draw(st.integers(1, 128)),
+            out_channels=draw(st.integers(1, 128)),
+            out_hw=draw(st.integers(1, 32)),
+            kernel=draw(st.sampled_from([1, 3, 5])),
+            stride=draw(st.sampled_from([1, 2])),
+        )
+    if kind == "dwconv":
+        return Layer.depthwise(
+            "dw",
+            channels=draw(st.integers(1, 256)),
+            out_hw=draw(st.integers(1, 32)),
+            kernel=draw(st.sampled_from([3, 5])),
+            stride=draw(st.sampled_from([1, 2])),
+        )
+    return Layer.gemm(
+        "gemm",
+        m=draw(st.integers(1, 256)),
+        n=draw(st.integers(1, 256)),
+        k=draw(st.integers(1, 256)),
+    )
+
+
+@st.composite
+def mappings(draw):
+    """Random two-level mappings with bounded tiles and spatial sizes."""
+    levels = []
+    for _ in range(2):
+        order = list(DIMS)
+        permutation = draw(st.permutations(order))
+        tiles = {dim: draw(st.integers(1, 64)) for dim in DIMS}
+        levels.append(
+            LevelMapping(
+                spatial_size=draw(st.integers(1, 64)),
+                parallel_dim=draw(st.sampled_from(DIMS)),
+                order=tuple(permutation),
+                tiles=tiles,
+            )
+        )
+    return Mapping(levels=tuple(levels))
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=layers(), mapping=mappings())
+def test_report_is_finite_and_positive(layer, mapping):
+    report = _COST_MODEL.evaluate_layer(layer, mapping, NOC, DRAM)
+    assert report.latency > 0
+    assert report.energy > 0
+    assert report.dram_bytes > 0
+    assert report.compute_cycles > 0
+    assert 0 < report.active_pes <= report.num_pes
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=layers(), mapping=mappings())
+def test_latency_dominates_components(layer, mapping):
+    report = _COST_MODEL.evaluate_layer(layer, mapping, NOC, DRAM)
+    assert report.latency >= report.compute_cycles
+    assert report.latency >= report.noc_cycles
+    assert report.latency >= report.dram_cycles
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=layers(), mapping=mappings())
+def test_compute_cycles_at_least_perfect_parallel(layer, mapping):
+    report = _COST_MODEL.evaluate_layer(layer, mapping, NOC, DRAM)
+    assert report.compute_cycles >= layer.macs / mapping.num_pes - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=layers(), mapping=mappings())
+def test_dram_traffic_at_least_compulsory(layer, mapping):
+    report = _COST_MODEL.evaluate_layer(layer, mapping, NOC, DRAM)
+    assert report.dram_bytes >= sum(layer.tensor_sizes().values()) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=layers(), mapping=mappings(), factor=st.sampled_from([2.0, 4.0, 8.0]))
+def test_bandwidth_monotonicity(layer, mapping, factor):
+    slow = _COST_MODEL.evaluate_layer(layer, mapping, NOC, DRAM)
+    fast = _COST_MODEL.evaluate_layer(layer, mapping, NOC * factor, DRAM * factor)
+    assert fast.latency <= slow.latency + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=layers(), mapping=mappings())
+def test_clipping_is_idempotent_for_evaluation(layer, mapping):
+    raw = _COST_MODEL.evaluate_layer(layer, mapping, NOC, DRAM)
+    clipped = _COST_MODEL.evaluate_layer(
+        layer, mapping.clipped_to_layer(layer), NOC, DRAM
+    )
+    assert raw.latency == clipped.latency
+    assert raw.dram_bytes == clipped.dram_bytes

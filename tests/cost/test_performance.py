@@ -1,0 +1,90 @@
+"""Tests for the performance report containers."""
+
+import pytest
+
+from repro.cost.performance import LayerPerformance, ModelPerformance
+
+
+def make_layer_performance(name="layer", latency=100.0, energy=50.0, count=1,
+                           active=8, total=16):
+    return LayerPerformance(
+        layer_name=name,
+        latency=latency,
+        compute_cycles=latency,
+        noc_cycles=latency / 2,
+        dram_cycles=latency / 4,
+        macs=1000,
+        l2_to_l1_bytes=200.0,
+        dram_bytes=100.0,
+        l1_access_bytes=400.0,
+        energy=energy,
+        active_pes=active,
+        num_pes=total,
+        l1_requirement_bytes=64,
+        l2_requirement_bytes=1024,
+        count=count,
+    )
+
+
+class TestLayerPerformance:
+    def test_utilization(self):
+        report = make_layer_performance(active=8, total=16)
+        assert report.utilization == 0.5
+
+    def test_zero_pes_guard(self):
+        report = make_layer_performance(active=0, total=0)
+        assert report.utilization == 0.0
+
+    def test_totals_scale_with_count(self):
+        report = make_layer_performance(latency=10.0, energy=5.0, count=3)
+        assert report.total_latency == 30.0
+        assert report.total_energy == 15.0
+
+    def test_edp(self):
+        report = make_layer_performance(latency=10.0, energy=5.0)
+        assert report.edp == 50.0
+
+    def test_bottleneck_is_largest_component(self):
+        report = make_layer_performance(latency=100.0)
+        assert report.bottleneck == "compute"
+
+
+class TestModelPerformance:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            ModelPerformance(model_name="m", layers=())
+
+    def test_aggregates(self):
+        layers = (
+            make_layer_performance("a", latency=10.0, energy=2.0, count=2),
+            make_layer_performance("b", latency=5.0, energy=1.0, count=1),
+        )
+        performance = ModelPerformance(model_name="m", layers=layers)
+        assert performance.latency == 25.0
+        assert performance.energy == 5.0
+        assert performance.edp == 125.0
+        assert performance.macs == 3000
+        assert performance.dram_bytes == pytest.approx(300.0)
+
+    def test_requirements_are_maxima(self):
+        a = make_layer_performance("a")
+        b = LayerPerformance(
+            layer_name="b", latency=1.0, compute_cycles=1.0, noc_cycles=1.0,
+            dram_cycles=1.0, macs=10, l2_to_l1_bytes=1.0, dram_bytes=1.0,
+            l1_access_bytes=1.0, energy=1.0, active_pes=1, num_pes=16,
+            l1_requirement_bytes=4096, l2_requirement_bytes=2, count=1,
+        )
+        performance = ModelPerformance(model_name="m", layers=(a, b))
+        assert performance.l1_requirement_bytes == 4096
+        assert performance.l2_requirement_bytes == 1024
+
+    def test_average_utilization_is_latency_weighted(self):
+        heavy = make_layer_performance("heavy", latency=90.0, active=16, total=16)
+        light = make_layer_performance("light", latency=10.0, active=4, total=16)
+        performance = ModelPerformance(model_name="m", layers=(heavy, light))
+        assert performance.average_utilization == pytest.approx(0.925)
+
+    def test_per_layer_lookup(self):
+        layers = (make_layer_performance("a"), make_layer_performance("b"))
+        performance = ModelPerformance(model_name="m", layers=layers)
+        assert set(performance.per_layer()) == {"a", "b"}

@@ -1,0 +1,178 @@
+"""Tests for the loop-nest reuse analysis."""
+
+import pytest
+
+from repro.cost.reuse import (
+    analyze_levels,
+    operand_fetches,
+    spatial_distinct_factor,
+)
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+
+
+@pytest.fixture
+def layer():
+    return Layer.conv2d("conv", in_channels=32, out_channels=64, out_hw=16, kernel=3)
+
+
+def make_mapping(l2_tiles, l1_tiles, l2_parallel="K", l1_parallel="C",
+                 l2_order=DIMS, l1_order=DIMS, pe_array=(4, 8)):
+    l2 = LevelMapping(spatial_size=pe_array[0], parallel_dim=l2_parallel,
+                      order=l2_order, tiles=l2_tiles)
+    l1 = LevelMapping(spatial_size=pe_array[1], parallel_dim=l1_parallel,
+                      order=l1_order, tiles=l1_tiles)
+    return Mapping(levels=(l2, l1))
+
+
+class TestAnalyzeLevels:
+    def test_trip_counts_are_ceil_divisions(self, layer):
+        mapping = make_mapping(
+            l2_tiles={"K": 16, "C": 32, "Y": 5, "X": 16, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 4, "Y": 1, "X": 1, "R": 3, "S": 3},
+        )
+        outer, inner = analyze_levels(layer, mapping)
+        # K is parallel at L2: ceil(64/16)=4 chunks over 4 clusters -> 1 fold.
+        assert outer.trips["K"] == 1
+        assert outer.active == 4
+        assert outer.trips["C"] == 1          # 32/32
+        assert outer.trips["Y"] == 4          # ceil(16/5)
+        # Inner level: C parallel, ceil(32/4)=8 chunks over 8 PEs -> 1 fold.
+        assert inner.trips["C"] == 1
+        assert inner.active == 8
+        assert inner.trips["K"] == 16         # 16/1
+        assert inner.trips["Y"] == 5          # 5/1
+
+    def test_spatial_folding_when_chunks_exceed_clusters(self, layer):
+        mapping = make_mapping(
+            l2_tiles={"K": 2, "C": 32, "Y": 16, "X": 16, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1},
+            pe_array=(4, 8),
+        )
+        outer, _ = analyze_levels(layer, mapping)
+        # ceil(64/2)=32 chunks over 4 clusters -> 8 temporal folds.
+        assert outer.active == 4
+        assert outer.trips["K"] == 8
+
+    def test_underutilization_when_dim_too_small(self, layer):
+        mapping = make_mapping(
+            l2_tiles={"K": 64, "C": 32, "Y": 16, "X": 16, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1},
+            l2_parallel="R",
+            pe_array=(16, 8),
+        )
+        outer, _ = analyze_levels(layer, mapping)
+        # R=3 with tile 3 -> only 1 chunk for 16 clusters.
+        assert outer.active == 1
+        assert outer.utilization == pytest.approx(1.0 / 16.0)
+
+    def test_macro_extent_never_exceeds_parent(self, layer):
+        mapping = make_mapping(
+            l2_tiles={"K": 30, "C": 32, "Y": 16, "X": 16, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1},
+            pe_array=(4, 8),
+        )
+        outer, inner = analyze_levels(layer, mapping)
+        for dim in DIMS:
+            assert outer.macro[dim] <= layer.dims[dim]
+            assert inner.macro[dim] <= outer.tile[dim]
+
+    def test_total_trips_product(self, layer):
+        mapping = make_mapping(
+            l2_tiles={"K": 16, "C": 16, "Y": 8, "X": 8, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1},
+        )
+        outer, _ = analyze_levels(layer, mapping)
+        expected = 1
+        for dim in DIMS:
+            expected *= outer.trips[dim]
+        assert outer.total_trips == expected
+
+
+class TestOperandFetches:
+    def test_weight_reuse_when_irrelevant_loops_inner(self, layer):
+        # Order: C, K outermost; spatial loops (Y, X) innermost -> weights
+        # stay resident across Y/X iterations.
+        mapping = make_mapping(
+            l2_tiles={"K": 8, "C": 8, "Y": 4, "X": 4, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1},
+            l2_order=("C", "K", "R", "S", "Y", "X"),
+        )
+        outer, _ = analyze_levels(layer, mapping)
+        fetches = operand_fetches(outer, ("K", "C", "R", "S"))
+        # Innermost relevant loop with >1 trips is K (C has 4 trips too).
+        assert fetches == outer.trips["C"] * outer.trips["K"]
+
+    def test_weight_refetch_when_irrelevant_loops_outer(self, layer):
+        # Y outermost: every Y iteration re-sweeps the weights.
+        mapping = make_mapping(
+            l2_tiles={"K": 8, "C": 8, "Y": 4, "X": 4, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1},
+            l2_order=("Y", "X", "C", "K", "R", "S"),
+        )
+        outer, _ = analyze_levels(layer, mapping)
+        fetches = operand_fetches(outer, ("K", "C", "R", "S"))
+        expected = (
+            outer.trips["Y"] * outer.trips["X"] * outer.trips["C"] * outer.trips["K"]
+        )
+        assert fetches == expected
+
+    def test_order_changes_fetch_count(self, layer):
+        tiles = {"K": 8, "C": 8, "Y": 4, "X": 4, "R": 3, "S": 3}
+        inner = {"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1}
+        weight_friendly = make_mapping(tiles, inner, l2_order=("C", "K", "Y", "X", "R", "S"))
+        weight_hostile = make_mapping(tiles, inner, l2_order=("Y", "X", "C", "K", "R", "S"))
+        friendly = operand_fetches(
+            analyze_levels(layer, weight_friendly)[0], ("K", "C", "R", "S")
+        )
+        hostile = operand_fetches(
+            analyze_levels(layer, weight_hostile)[0], ("K", "C", "R", "S")
+        )
+        assert hostile > friendly
+
+    def test_single_fetch_when_everything_fits(self, layer):
+        mapping = make_mapping(
+            l2_tiles={dim: layer.dims[dim] for dim in DIMS},
+            l1_tiles={"K": 1, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1},
+        )
+        outer, _ = analyze_levels(layer, mapping)
+        assert operand_fetches(outer, ("K", "C", "R", "S")) == 1
+        assert operand_fetches(outer, ("C", "Y", "X", "R", "S")) == 1
+
+    def test_fetches_at_least_one(self, layer, simple_mapping):
+        for analysis in analyze_levels(layer, simple_mapping):
+            for relevant in (("K",), ("C", "Y"), DIMS):
+                assert operand_fetches(analysis, relevant) >= 1
+
+
+class TestSpatialDistinctFactor:
+    def test_relevant_parallel_dim_multiplies(self, layer):
+        mapping = make_mapping(
+            l2_tiles={"K": 4, "C": 32, "Y": 16, "X": 16, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 4, "Y": 1, "X": 1, "R": 1, "S": 1},
+            l2_parallel="K",
+            l1_parallel="C",
+            pe_array=(4, 8),
+        )
+        analyses = analyze_levels(layer, mapping)
+        # Weights are indexed by both K (L2 parallel) and C (L1 parallel).
+        factor = spatial_distinct_factor(analyses, 1, ("K", "C", "R", "S"))
+        assert factor == analyses[0].active * analyses[1].active
+
+    def test_irrelevant_parallel_dim_multicasts(self, layer):
+        mapping = make_mapping(
+            l2_tiles={"K": 4, "C": 32, "Y": 16, "X": 16, "R": 3, "S": 3},
+            l1_tiles={"K": 1, "C": 4, "Y": 1, "X": 1, "R": 1, "S": 1},
+            l2_parallel="K",
+            l1_parallel="C",
+        )
+        analyses = analyze_levels(layer, mapping)
+        # Outputs are not indexed by C, so the L1 level multicasts...
+        # but C is a reduction dim, so outputs still need collection.
+        outputs = spatial_distinct_factor(analyses, 1, ("K", "Y", "X"), is_output=True)
+        assert outputs == analyses[0].active * analyses[1].active
+        # Inputs are not indexed by K: the L2 level multicasts them.
+        inputs = spatial_distinct_factor(analyses, 1, ("C", "Y", "X", "R", "S"))
+        assert inputs == analyses[1].active

@@ -1,0 +1,135 @@
+"""Tests for the structured genome and genome space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.genome import Genome, GenomeSpace, LevelGenes, log_uniform_int
+from repro.mapping.dataflows import dla_like
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+from repro.workloads.model import build_model
+
+
+class TestLevelGenes:
+    def test_copy_is_deep(self):
+        level = LevelGenes(spatial_size=4, parallel_dim="K", order=list(DIMS),
+                           tiles={d: 2 for d in DIMS})
+        clone = level.copy()
+        clone.tiles["K"] = 99
+        clone.order[0] = "C"
+        assert level.tiles["K"] == 2
+        assert level.order[0] == "K"
+
+    def test_to_level_mapping_clamps_to_one(self):
+        level = LevelGenes(spatial_size=0, parallel_dim="K", order=list(DIMS),
+                           tiles={d: 0 for d in DIMS})
+        mapping_level = level.to_level_mapping()
+        assert mapping_level.spatial_size == 1
+        assert all(mapping_level.tiles[d] == 1 for d in DIMS)
+
+
+class TestGenome:
+    def test_pe_accounting(self):
+        genome = Genome(levels=[
+            LevelGenes(4, "K", list(DIMS), {d: 1 for d in DIMS}),
+            LevelGenes(8, "C", list(DIMS), {d: 1 for d in DIMS}),
+        ])
+        assert genome.num_levels == 2
+        assert genome.num_pes == 32
+        assert genome.pe_array == (4, 8)
+
+    def test_copy_is_deep(self):
+        genome = Genome(levels=[LevelGenes(4, "K", list(DIMS), {d: 1 for d in DIMS})])
+        clone = genome.copy()
+        clone.levels[0].spatial_size = 99
+        assert genome.levels[0].spatial_size == 4
+
+    def test_mapping_roundtrip(self, conv_layer):
+        mapping = dla_like(conv_layer, (8, 16))
+        genome = Genome.from_mapping(mapping)
+        assert genome.to_mapping() == mapping
+
+    def test_describe_mentions_parallel_dims(self, conv_layer):
+        genome = Genome.from_mapping(dla_like(conv_layer, (8, 16)))
+        text = genome.describe()
+        assert "P=K" in text
+        assert "P=C" in text
+
+
+class TestGenomeSpace:
+    def test_from_model_takes_max_dims(self):
+        model = build_model("m", [
+            Layer.conv2d("a", 16, 64, 8, 3),
+            Layer.conv2d("b", 128, 32, 16, 1),
+        ])
+        space = GenomeSpace.from_model(model, max_pes=100)
+        assert space.dim_bounds["K"] == 64
+        assert space.dim_bounds["C"] == 128
+        assert space.dim_bounds["Y"] == 16
+        assert space.dim_bounds["R"] == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GenomeSpace(dim_bounds={d: 1 for d in DIMS}, max_pes=0)
+        with pytest.raises(ValueError):
+            GenomeSpace(dim_bounds={d: 1 for d in DIMS}, max_pes=4, num_levels=0)
+        with pytest.raises(ValueError):
+            GenomeSpace(dim_bounds={d: 1 for d in DIMS}, max_pes=4,
+                        num_levels=2, fixed_pe_array=(4,))
+
+    def test_random_genome_within_bounds(self, tiny_space, rng):
+        for _ in range(50):
+            genome = tiny_space.random_genome(rng)
+            assert genome.num_levels == tiny_space.num_levels
+            assert genome.num_pes <= tiny_space.max_pes * 2  # sampling headroom
+            for level in genome.levels:
+                assert sorted(level.order) == sorted(DIMS)
+                assert level.parallel_dim in DIMS
+                for dim in DIMS:
+                    assert 1 <= level.tiles[dim] <= tiny_space.dim_bounds[dim]
+
+    def test_random_population_size(self, tiny_space, rng):
+        population = tiny_space.random_population(17, rng)
+        assert len(population) == 17
+        with pytest.raises(ValueError):
+            tiny_space.random_population(0, rng)
+
+    def test_fixed_hw_pins_spatial_sizes(self, tiny_model, rng):
+        space = GenomeSpace.from_model(tiny_model, max_pes=999, num_levels=2,
+                                       fixed_pe_array=(8, 16))
+        assert space.hw_is_fixed
+        assert space.spatial_bound(0) == 8
+        for _ in range(20):
+            genome = space.random_genome(rng)
+            assert genome.pe_array == (8, 16)
+
+
+class TestLogUniformInt:
+    def test_bounds_respected(self, rng):
+        for _ in range(200):
+            value = log_uniform_int(rng, 1, 77)
+            assert 1 <= value <= 77
+
+    def test_degenerate_range(self, rng):
+        assert log_uniform_int(rng, 5, 5) == 5
+        assert log_uniform_int(rng, 5, 3) == 5
+
+    def test_rejects_low_below_one(self, rng):
+        with pytest.raises(ValueError):
+            log_uniform_int(rng, 0, 10)
+
+    @given(seed=st.integers(0, 2**32 - 1), high=st.integers(1, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_in_range(self, seed, high):
+        generator = np.random.default_rng(seed)
+        value = log_uniform_int(generator, 1, high)
+        assert 1 <= value <= high
+
+    def test_log_bias_towards_small_values(self):
+        generator = np.random.default_rng(0)
+        samples = [log_uniform_int(generator, 1, 1024) for _ in range(2000)]
+        below_32 = sum(1 for s in samples if s <= 32)
+        # Log-uniform puts half the mass below sqrt(1024)=32.
+        assert 0.35 < below_32 / len(samples) < 0.65

@@ -1,0 +1,87 @@
+"""Tests for genome legality repair."""
+
+import pytest
+
+from repro.encoding.genome import Genome, GenomeSpace, LevelGenes
+from repro.encoding.repair import repair_genome
+from repro.workloads.dims import DIMS
+
+
+@pytest.fixture
+def space():
+    return GenomeSpace(
+        dim_bounds={"K": 64, "C": 32, "Y": 16, "X": 16, "R": 3, "S": 3},
+        max_pes=128,
+        num_levels=2,
+    )
+
+
+def make_genome(spatials=(4, 8), tiles_value=2, order=None, parallel="K"):
+    order = list(order) if order is not None else list(DIMS)
+    return Genome(levels=[
+        LevelGenes(spatials[0], parallel, list(order), {d: tiles_value for d in DIMS}),
+        LevelGenes(spatials[1], parallel, list(order), {d: tiles_value for d in DIMS}),
+    ])
+
+
+class TestRepair:
+    def test_valid_genome_unchanged(self, space):
+        genome = make_genome()
+        before = genome.to_mapping()
+        repaired = repair_genome(genome, space)
+        assert repaired.to_mapping() == before
+
+    def test_tiles_clamped_to_bounds(self, space):
+        genome = make_genome(tiles_value=10_000)
+        repair_genome(genome, space)
+        for level in genome.levels:
+            for dim in DIMS:
+                assert level.tiles[dim] <= space.dim_bounds[dim]
+
+    def test_tiles_clamped_to_at_least_one(self, space):
+        genome = make_genome(tiles_value=2)
+        genome.levels[0].tiles["K"] = 0
+        genome.levels[1].tiles["C"] = -5
+        repair_genome(genome, space)
+        assert genome.levels[0].tiles["K"] == 1
+        assert genome.levels[1].tiles["C"] == 1
+
+    def test_pe_product_clamped(self, space):
+        genome = make_genome(spatials=(64, 64))  # 4096 > 128
+        repair_genome(genome, space)
+        assert genome.num_pes <= space.max_pes
+
+    def test_fixed_hw_pins_spatial(self):
+        space = GenomeSpace(
+            dim_bounds={d: 8 for d in DIMS},
+            max_pes=512,
+            num_levels=2,
+            fixed_pe_array=(8, 16),
+        )
+        genome = make_genome(spatials=(3, 99))
+        repair_genome(genome, space)
+        assert genome.pe_array == (8, 16)
+
+    def test_broken_order_rebuilt(self, space):
+        genome = make_genome(order=["K", "K", "C", "C", "Y", "Y"])
+        repair_genome(genome, space)
+        for level in genome.levels:
+            assert sorted(level.order) == sorted(DIMS)
+            # The legal prefix is preserved.
+            assert level.order[0] == "K"
+            assert level.order[1] == "C"
+
+    def test_invalid_parallel_dim_replaced(self, space):
+        genome = make_genome()
+        genome.levels[0].parallel_dim = "Z"
+        repair_genome(genome, space)
+        assert genome.levels[0].parallel_dim in DIMS
+
+    def test_repair_is_idempotent(self, space, rng):
+        for _ in range(20):
+            genome = space.random_genome(rng)
+            genome.levels[0].tiles["K"] = 10**6
+            genome.levels[1].spatial_size = 10**6
+            once = repair_genome(genome.copy(), space).to_mapping()
+            twice = repair_genome(repair_genome(genome.copy(), space), space).to_mapping()
+            assert once == twice

@@ -1,0 +1,74 @@
+"""Tests for the experiment reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import (
+    NOT_AVAILABLE,
+    append_geomean_row,
+    format_cell,
+    format_table,
+    geometric_mean,
+    normalize_by_column,
+)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_skips_non_finite_and_non_positive(self):
+        assert geometric_mean([2.0, float("inf"), 0.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_returns_nan(self):
+        assert math.isnan(geometric_mean([]))
+        assert math.isnan(geometric_mean([float("inf")]))
+
+
+class TestNormalize:
+    def test_normalizes_by_reference_column(self):
+        table = {"m1": {"A": 10.0, "B": 20.0}, "m2": {"A": 5.0, "B": 1.0}}
+        normalized = normalize_by_column(table, "B")
+        assert normalized["m1"]["A"] == pytest.approx(0.5)
+        assert normalized["m1"]["B"] == pytest.approx(1.0)
+        assert normalized["m2"]["A"] == pytest.approx(5.0)
+
+    def test_missing_reference_yields_inf(self):
+        table = {"m1": {"A": 10.0, "B": float("inf")}}
+        normalized = normalize_by_column(table, "B")
+        assert normalized["m1"]["A"] == float("inf")
+
+    def test_geomean_row_appended(self):
+        table = {"m1": {"A": 1.0, "B": 4.0}, "m2": {"A": 4.0, "B": 1.0}}
+        append_geomean_row(table, ("A", "B"))
+        assert table["GeoMean"]["A"] == pytest.approx(2.0)
+        assert table["GeoMean"]["B"] == pytest.approx(2.0)
+
+
+class TestFormatting:
+    def test_format_cell_handles_nan_and_inf(self):
+        assert format_cell(float("nan")) == NOT_AVAILABLE
+        assert format_cell(float("inf")) == NOT_AVAILABLE
+        assert format_cell(1.234) == "1.23"
+        assert "e" in format_cell(1.5e7)
+
+    def test_format_table_contains_rows_and_columns(self):
+        table = {"resnet18": {"CMA": 1.0, "DiGamma": 0.3}}
+        text = format_table(table, ("CMA", "DiGamma"), title="demo")
+        assert "demo" in text
+        assert "resnet18" in text
+        assert "CMA" in text and "DiGamma" in text
+        assert "0.30" in text
+
+    def test_format_table_renders_na_for_missing_values(self):
+        table = {"resnet18": {"CMA": 1.0}}
+        text = format_table(table, ("CMA", "DiGamma"))
+        assert NOT_AVAILABLE in text
+
+    def test_wide_column_names_stay_aligned(self):
+        table = {"m": {"Compute-focused+Gamma": 1.0, "B": 2.0}}
+        text = format_table(table, ("Compute-focused+Gamma", "B"))
+        header, separator, row = text.splitlines()[0:3]
+        assert header.index("Compute-focused+Gamma") < header.index("B")
+        assert len(row) <= len(header) + 1

@@ -1,0 +1,69 @@
+"""Tests for the constraint checker."""
+
+import pytest
+
+from repro.arch.area import AreaBreakdown
+from repro.arch.hardware import HardwareConfig
+from repro.framework.constraints import ConstraintChecker
+
+
+@pytest.fixture
+def hardware():
+    return HardwareConfig(pe_array=(4, 4), l1_size=256, l2_size=4096)
+
+
+class TestAreaBudget:
+    def test_within_budget_is_valid(self, hardware):
+        checker = ConstraintChecker(area_budget_um2=1e6)
+        result = checker.check(hardware, AreaBreakdown(1e5, 1e4, 1e4))
+        assert result.valid
+        assert bool(result) is True
+        assert result.severity == 1.0
+        assert result.violations == ()
+
+    def test_over_budget_is_invalid_with_severity(self, hardware):
+        checker = ConstraintChecker(area_budget_um2=1e5)
+        result = checker.check(hardware, AreaBreakdown(2e5, 0.0, 0.0))
+        assert not result.valid
+        assert result.severity == pytest.approx(2.0)
+        assert "area" in result.violations[0]
+
+    def test_exactly_at_budget_is_valid(self, hardware):
+        checker = ConstraintChecker(area_budget_um2=1e5)
+        result = checker.check(hardware, AreaBreakdown(1e5, 0.0, 0.0))
+        assert result.valid
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstraintChecker(area_budget_um2=0.0)
+
+
+class TestFixedHardware:
+    def test_mapping_must_fit_fixed_buffers(self, hardware):
+        checker = ConstraintChecker(area_budget_um2=1e9, fixed_hardware=hardware)
+        ok = checker.check(hardware, AreaBreakdown(1.0, 1.0, 1.0),
+                           l1_requirement_bytes=128, l2_requirement_bytes=1024)
+        assert ok.valid
+        too_big_l1 = checker.check(hardware, AreaBreakdown(1.0, 1.0, 1.0),
+                                   l1_requirement_bytes=1024, l2_requirement_bytes=10)
+        assert not too_big_l1.valid
+        assert "L1" in too_big_l1.violations[0]
+        too_big_l2 = checker.check(hardware, AreaBreakdown(1.0, 1.0, 1.0),
+                                   l1_requirement_bytes=10, l2_requirement_bytes=10**6)
+        assert not too_big_l2.valid
+        assert "L2" in too_big_l2.violations[0]
+
+    def test_severity_tracks_worst_violation(self, hardware):
+        checker = ConstraintChecker(area_budget_um2=1e9, fixed_hardware=hardware)
+        result = checker.check(hardware, AreaBreakdown(1.0, 1.0, 1.0),
+                               l1_requirement_bytes=hardware.l1_size * 4,
+                               l2_requirement_bytes=hardware.l2_size * 2)
+        assert not result.valid
+        assert result.severity == pytest.approx(4.0)
+        assert len(result.violations) == 2
+
+    def test_requirements_ignored_without_fixed_hw(self, hardware):
+        checker = ConstraintChecker(area_budget_um2=1e9)
+        result = checker.check(hardware, AreaBreakdown(1.0, 1.0, 1.0),
+                               l1_requirement_bytes=10**9, l2_requirement_bytes=10**9)
+        assert result.valid

@@ -1,0 +1,55 @@
+"""Tests for the design-space cardinality estimates (paper Sec. II-C)."""
+
+import pytest
+
+from repro.framework.designspace import hw_space_size, mapping_space_size, total_space_size
+from repro.workloads.layer import Layer
+
+
+class TestMappingSpace:
+    def test_grows_with_levels(self):
+        layer = Layer.conv2d("c", 64, 64, 14, 3)
+        assert mapping_space_size(layer, 2) > mapping_space_size(layer, 1)
+
+    def test_paper_order_of_magnitude(self):
+        # A mid-sized ResNet layer on a two-level hierarchy reaches the
+        # O(10^24) scale quoted in Sec. II-C.
+        layer = Layer.conv2d("c", 256, 256, 14, 3)
+        assert mapping_space_size(layer, 2) > 1e20
+
+    def test_single_level_formula(self):
+        layer = Layer.conv2d("c", 2, 3, 4, 1)
+        expected = 720 * 6 * (2 * 3 * 4 * 4 * 1 * 1)
+        assert mapping_space_size(layer, 1) == pytest.approx(expected)
+
+    def test_invalid_levels(self):
+        layer = Layer.conv2d("c", 2, 3, 4, 1)
+        with pytest.raises(ValueError):
+            mapping_space_size(layer, 0)
+
+
+class TestHwSpace:
+    def test_paper_footnote_order_of_magnitude(self):
+        # 128x128 PEs and 100 MB of buffer: O(10^12) HW configurations.
+        assert 1e12 <= hw_space_size() <= 1e15
+
+    def test_scales_with_buffer_granularity(self):
+        coarse = hw_space_size(buffer_granularity=1 << 20)
+        fine = hw_space_size(buffer_granularity=1 << 10)
+        assert fine > coarse
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            hw_space_size(max_pe_width=0)
+
+
+class TestTotalSpace:
+    def test_total_is_product(self):
+        layer = Layer.conv2d("c", 64, 64, 14, 3)
+        assert total_space_size(layer) == pytest.approx(
+            mapping_space_size(layer) * hw_space_size()
+        )
+
+    def test_co_opt_space_is_astronomical(self):
+        layer = Layer.conv2d("c", 256, 256, 14, 3)
+        assert total_space_size(layer) > 1e30

@@ -1,0 +1,48 @@
+"""Tests for optimization objectives."""
+
+import pytest
+
+from repro.arch.area import AreaBreakdown
+from repro.cost.performance import ModelPerformance
+from repro.framework.objective import Objective, objective_value
+from tests.cost.test_performance import make_layer_performance
+
+
+@pytest.fixture
+def performance():
+    return ModelPerformance(
+        model_name="m",
+        layers=(make_layer_performance("a", latency=100.0, energy=10.0),),
+    )
+
+
+@pytest.fixture
+def area():
+    return AreaBreakdown(pe_area=600.0, l1_area=100.0, l2_area=300.0)
+
+
+class TestObjectiveValues:
+    def test_latency(self, performance, area):
+        assert objective_value(Objective.LATENCY, performance, area) == 100.0
+
+    def test_energy(self, performance, area):
+        assert objective_value(Objective.ENERGY, performance, area) == 10.0
+
+    def test_edp(self, performance, area):
+        assert objective_value(Objective.EDP, performance, area) == 1000.0
+
+    def test_latency_area_product(self, performance, area):
+        assert objective_value(
+            Objective.LATENCY_AREA_PRODUCT, performance, area
+        ) == pytest.approx(100.0 * 1000.0)
+
+
+class TestLookup:
+    def test_from_name(self):
+        assert Objective.from_name("latency") is Objective.LATENCY
+        assert Objective.from_name(" EDP ") is Objective.EDP
+        assert Objective.from_name("latency_area_product") is Objective.LATENCY_AREA_PRODUCT
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            Objective.from_name("throughput")

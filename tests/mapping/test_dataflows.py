@@ -1,0 +1,71 @@
+"""Tests for the fixed dataflow templates."""
+
+import pytest
+
+from repro.mapping.dataflows import (
+    DATAFLOW_STYLES,
+    dla_like,
+    eye_like,
+    get_dataflow,
+    shi_like,
+)
+from repro.workloads.layer import Layer
+
+
+@pytest.fixture
+def layer():
+    return Layer.conv2d("conv", 64, 128, 28, 3)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("style", DATAFLOW_STYLES)
+    def test_templates_produce_legal_two_level_mappings(self, style, layer):
+        mapping = get_dataflow(style)(layer, (8, 16))
+        assert mapping.num_levels == 2
+        assert mapping.pe_array == (8, 16)
+        assert mapping.validate(layer) == []
+
+    def test_dla_parallelism_is_k_c(self, layer):
+        mapping = dla_like(layer, (8, 16))
+        assert mapping.levels[0].parallel_dim == "K"
+        assert mapping.levels[1].parallel_dim == "C"
+
+    def test_shi_parallelism_is_y_x(self, layer):
+        mapping = shi_like(layer, (8, 16))
+        assert mapping.levels[0].parallel_dim == "Y"
+        assert mapping.levels[1].parallel_dim == "X"
+
+    def test_eye_parallelism_is_y_r(self, layer):
+        mapping = eye_like(layer, (8, 16))
+        assert mapping.levels[0].parallel_dim == "Y"
+        assert mapping.levels[1].parallel_dim == "R"
+
+    def test_templates_adapt_to_small_layers(self):
+        small = Layer.conv2d("small", 3, 8, 4, 1)
+        for style in DATAFLOW_STYLES:
+            mapping = get_dataflow(style)(small, (4, 4))
+            assert mapping.validate(small) == []
+
+    def test_templates_work_on_gemm_layers(self):
+        gemm = Layer.gemm("fc", m=128, n=512, k=256)
+        for style in DATAFLOW_STYLES:
+            mapping = get_dataflow(style)(gemm, (8, 8))
+            assert mapping.validate(gemm) == []
+
+    def test_templates_require_two_level_array(self, layer):
+        with pytest.raises(ValueError):
+            dla_like(layer, (8,))
+        with pytest.raises(ValueError):
+            dla_like(layer, (2, 2, 2))
+
+
+class TestLookup:
+    def test_lookup_by_alias(self):
+        assert get_dataflow("nvdla") is dla_like
+        assert get_dataflow("Eyeriss") is eye_like
+        assert get_dataflow("shidiannao") is shi_like
+        assert get_dataflow("dla-like") is dla_like
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(KeyError):
+            get_dataflow("tpu")

@@ -1,0 +1,92 @@
+"""Tests for per-level mapping directives."""
+
+import pytest
+
+from repro.mapping.directives import LevelMapping
+from repro.workloads.dims import DIMS
+
+
+@pytest.fixture
+def level():
+    return LevelMapping(
+        spatial_size=16,
+        parallel_dim="K",
+        order=("K", "C", "Y", "X", "R", "S"),
+        tiles={"K": 4, "C": 8, "Y": 2, "X": 2, "R": 3, "S": 3},
+    )
+
+
+class TestConstruction:
+    def test_valid_level(self, level):
+        assert level.spatial_size == 16
+        assert level.tile("C") == 8
+
+    def test_rejects_bad_spatial_size(self):
+        with pytest.raises(ValueError):
+            LevelMapping(spatial_size=0, parallel_dim="K", order=DIMS,
+                         tiles={d: 1 for d in DIMS})
+
+    def test_rejects_bad_parallel_dim(self):
+        with pytest.raises(ValueError):
+            LevelMapping(spatial_size=1, parallel_dim="Z", order=DIMS,
+                         tiles={d: 1 for d in DIMS})
+
+    def test_rejects_non_permutation_order(self):
+        with pytest.raises(ValueError):
+            LevelMapping(spatial_size=1, parallel_dim="K",
+                         order=("K", "K", "C", "Y", "X", "R"),
+                         tiles={d: 1 for d in DIMS})
+
+    def test_rejects_non_positive_tiles(self):
+        tiles = {d: 1 for d in DIMS}
+        tiles["Y"] = 0
+        with pytest.raises(ValueError):
+            LevelMapping(spatial_size=1, parallel_dim="K", order=DIMS, tiles=tiles)
+
+    def test_missing_tile_dimension_raises(self):
+        with pytest.raises(KeyError):
+            LevelMapping(spatial_size=1, parallel_dim="K", order=DIMS,
+                         tiles={"K": 1, "C": 1})
+
+
+class TestModification:
+    def test_with_tiles(self, level):
+        updated = level.with_tiles(K=7)
+        assert updated.tile("K") == 7
+        assert level.tile("K") == 4  # immutable original
+
+    def test_with_spatial_size(self, level):
+        assert level.with_spatial_size(3).spatial_size == 3
+
+    def test_with_parallel_dim(self, level):
+        assert level.with_parallel_dim("Y").parallel_dim == "Y"
+        with pytest.raises(ValueError):
+            level.with_parallel_dim("Q")
+
+    def test_with_order(self, level):
+        new_order = ("S", "R", "X", "Y", "C", "K")
+        assert level.with_order(new_order).order == new_order
+
+    def test_clipped(self, level):
+        clipped = level.clipped({"K": 2, "C": 100, "Y": 1, "X": 1, "R": 1, "S": 1})
+        assert clipped.tile("K") == 2
+        assert clipped.tile("C") == 8  # smaller than parent, untouched
+        assert clipped.tile("R") == 1
+
+
+class TestRendering:
+    def test_describe_contains_every_dim(self, level):
+        text = level.describe()
+        for dim in DIMS:
+            assert dim in text
+        assert "P=K" in text
+
+    def test_as_dict_roundtrip(self, level):
+        data = level.as_dict()
+        rebuilt = LevelMapping(
+            spatial_size=data["spatial_size"],
+            parallel_dim=data["parallel_dim"],
+            order=tuple(data["order"]),
+            tiles=data["tiles"],
+        )
+        assert rebuilt == level

@@ -1,0 +1,104 @@
+"""Tests for the multi-level Mapping container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping, uniform_mapping
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+
+
+class TestBasics:
+    def test_pe_array_and_num_pes(self, simple_mapping):
+        assert simple_mapping.pe_array == (8, 16)
+        assert simple_mapping.num_pes == 128
+        assert simple_mapping.num_levels == 2
+
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            Mapping(levels=())
+
+    def test_iteration(self, simple_mapping):
+        assert len(list(simple_mapping)) == 2
+        assert len(simple_mapping) == 2
+
+
+class TestTileExtents:
+    def test_extents_respect_layer(self, simple_mapping, conv_layer):
+        extents = simple_mapping.tile_extents(conv_layer)
+        assert len(extents) == 2
+        for dim in DIMS:
+            assert extents[0][dim] <= conv_layer.dims[dim]
+            assert extents[1][dim] <= extents[0][dim]
+
+    def test_oversized_tiles_are_clipped(self, conv_layer):
+        level = LevelMapping(
+            spatial_size=4,
+            parallel_dim="K",
+            order=DIMS,
+            tiles={dim: 10_000 for dim in DIMS},
+        )
+        mapping = Mapping(levels=(level,))
+        extents = mapping.tile_extents(conv_layer)
+        assert extents[0] == {dim: conv_layer.dims[dim] for dim in DIMS}
+
+    def test_clipped_to_layer_is_legal(self, conv_layer):
+        level = LevelMapping(
+            spatial_size=4,
+            parallel_dim="K",
+            order=DIMS,
+            tiles={dim: 10_000 for dim in DIMS},
+        )
+        mapping = Mapping(levels=(level, level))
+        clipped = mapping.clipped_to_layer(conv_layer)
+        assert clipped.validate(conv_layer) == []
+
+    def test_validate_reports_violations(self, conv_layer):
+        level = LevelMapping(
+            spatial_size=4,
+            parallel_dim="K",
+            order=DIMS,
+            tiles={**{dim: 1 for dim in DIMS}, "K": 100_000},
+        )
+        mapping = Mapping(levels=(level,))
+        problems = mapping.validate(conv_layer)
+        assert len(problems) == 1
+        assert "K" in problems[0]
+
+
+class TestWithLevelAndDescribe:
+    def test_with_level_replaces_one_level(self, simple_mapping):
+        new_inner = simple_mapping.levels[1].with_spatial_size(32)
+        updated = simple_mapping.with_level(1, new_inner)
+        assert updated.pe_array == (8, 32)
+        assert simple_mapping.pe_array == (8, 16)
+
+    def test_describe_names_levels_outermost_first(self, simple_mapping):
+        text = simple_mapping.describe()
+        lines = text.splitlines()
+        assert lines[0].startswith("L2:")
+        assert lines[1].startswith("L1:")
+
+    def test_as_dict(self, simple_mapping):
+        data = simple_mapping.as_dict()
+        assert len(data["levels"]) == 2
+
+
+class TestUniformMapping:
+    def test_uniform_mapping_is_legal(self, conv_layer):
+        mapping = uniform_mapping(conv_layer, (4, 8), ("K", "C"))
+        assert mapping.validate(conv_layer) == []
+        assert mapping.pe_array == (4, 8)
+
+    def test_uniform_mapping_requires_matching_lengths(self, conv_layer):
+        with pytest.raises(ValueError):
+            uniform_mapping(conv_layer, (4, 8), ("K",))
+
+    @given(rows=st.integers(1, 64), cols=st.integers(1, 64))
+    def test_uniform_mapping_property(self, rows, cols):
+        layer = Layer.conv2d("p", 32, 64, 14, 3)
+        mapping = uniform_mapping(layer, (rows, cols), ("K", "C"))
+        assert mapping.num_pes == rows * cols
+        assert mapping.validate(layer) == []

@@ -1,0 +1,105 @@
+"""Tests for tile footprints and minimum buffer requirements."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapping.directives import LevelMapping
+from repro.mapping.mapping import Mapping, uniform_mapping
+from repro.mapping.tiles import buffer_requirements, macro_extents, operand_footprint
+from repro.workloads.dims import DIMS
+from repro.workloads.layer import Layer
+
+
+class TestOperandFootprint:
+    def test_conv_footprint_formulas(self, conv_layer):
+        extents = {"K": 4, "C": 8, "Y": 2, "X": 3, "R": 3, "S": 3}
+        footprint = operand_footprint(conv_layer, extents)
+        assert footprint["W"] == 4 * 8 * 3 * 3
+        assert footprint["O"] == 4 * 2 * 3
+        assert footprint["I"] == 8 * ((2 - 1) * 1 + 3) * ((3 - 1) * 1 + 3)
+
+    def test_stride_enlarges_input_halo(self):
+        layer = Layer.conv2d("s2", 8, 8, 8, 3, stride=2)
+        extents = {"K": 1, "C": 1, "Y": 4, "X": 4, "R": 3, "S": 3}
+        footprint = operand_footprint(layer, extents)
+        assert footprint["I"] == ((4 - 1) * 2 + 3) ** 2
+
+    def test_depthwise_footprints(self, depthwise_layer):
+        extents = {"K": 1, "C": 8, "Y": 2, "X": 2, "R": 3, "S": 3}
+        footprint = operand_footprint(depthwise_layer, extents)
+        assert footprint["W"] == 8 * 3 * 3
+        assert footprint["O"] == 8 * 2 * 2
+
+    def test_full_layer_footprint_matches_tensor_sizes(self, conv_layer):
+        extents = {dim: conv_layer.dims[dim] for dim in DIMS}
+        footprint = operand_footprint(conv_layer, extents)
+        assert footprint == conv_layer.tensor_sizes()
+
+
+class TestMacroExtents:
+    def test_parallel_dim_scales_with_spatial_size(self):
+        tiles = {"K": 2, "C": 4, "Y": 1, "X": 1, "R": 1, "S": 1}
+        parent = {"K": 64, "C": 4, "Y": 1, "X": 1, "R": 1, "S": 1}
+        macro = macro_extents(tiles, "K", 8, parent)
+        assert macro["K"] == 16
+        assert macro["C"] == 4
+
+    def test_macro_capped_at_parent(self):
+        tiles = {"K": 8, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1}
+        parent = {"K": 20, "C": 1, "Y": 1, "X": 1, "R": 1, "S": 1}
+        macro = macro_extents(tiles, "K", 16, parent)
+        assert macro["K"] == 20
+
+
+class TestBufferRequirements:
+    def test_two_level_requirement_structure(self, conv_layer, simple_mapping):
+        requirement = buffer_requirements(conv_layer, simple_mapping)
+        assert len(requirement.per_level) == 2
+        assert requirement.l1_bytes_per_pe == requirement.per_level[-1]["total_bytes"]
+        assert requirement.l2_bytes == requirement.per_level[0]["total_bytes"]
+
+    def test_l2_requirement_at_least_l1(self, conv_layer, simple_mapping):
+        # The macro tile at L2 covers at least one PE's tile.
+        requirement = buffer_requirements(conv_layer, simple_mapping)
+        assert requirement.l2_bytes >= requirement.l1_bytes_per_pe
+
+    def test_bytes_per_element_scales_linearly(self, conv_layer, simple_mapping):
+        one = buffer_requirements(conv_layer, simple_mapping, bytes_per_element=1)
+        two = buffer_requirements(conv_layer, simple_mapping, bytes_per_element=2)
+        assert two.l1_bytes_per_pe == 2 * one.l1_bytes_per_pe
+        assert two.l2_bytes == 2 * one.l2_bytes
+
+    def test_single_level_mapping(self, conv_layer):
+        level = LevelMapping(
+            spatial_size=4, parallel_dim="K", order=DIMS,
+            tiles={dim: 2 for dim in DIMS},
+        )
+        requirement = buffer_requirements(conv_layer, Mapping(levels=(level,)))
+        assert requirement.l2_bytes == requirement.l1_bytes_per_pe
+
+    def test_growing_a_tile_never_shrinks_the_requirement(self, conv_layer):
+        base = uniform_mapping(conv_layer, (4, 8), ("K", "C"))
+        inner = base.levels[1].with_tiles(Y=1)
+        grown_inner = base.levels[1].with_tiles(Y=4)
+        small = buffer_requirements(conv_layer, base.with_level(1, inner))
+        large = buffer_requirements(conv_layer, base.with_level(1, grown_inner))
+        assert large.l1_bytes_per_pe >= small.l1_bytes_per_pe
+
+    @given(
+        k=st.integers(1, 64),
+        c=st.integers(1, 64),
+        y=st.integers(1, 16),
+        x=st.integers(1, 16),
+    )
+    def test_requirement_positive_property(self, k, c, y, x):
+        layer = Layer.conv2d("p", 64, 64, 16, 3)
+        level = LevelMapping(
+            spatial_size=4,
+            parallel_dim="K",
+            order=DIMS,
+            tiles={"K": k, "C": c, "Y": y, "X": x, "R": 3, "S": 3},
+        )
+        requirement = buffer_requirements(layer, Mapping(levels=(level, level)))
+        assert requirement.l1_bytes_per_pe > 0
+        assert requirement.l2_bytes > 0

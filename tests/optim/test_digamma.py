@@ -1,0 +1,106 @@
+"""Tests for the DiGamma algorithm and the GAMMA mapper."""
+
+import numpy as np
+import pytest
+
+from repro.arch.platform import EDGE
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.optim.digamma import DiGamma, DiGammaHyperParameters
+from repro.optim.gamma import GammaMapper
+from repro.optim.random_search import RandomSearch
+from tests.optim.helpers import QuadraticTracker
+
+
+class TestHyperParameters:
+    def test_defaults_valid(self):
+        params = DiGammaHyperParameters()
+        assert 0 < params.elite_ratio < 1
+
+    def test_resolved_population_scales_with_budget(self):
+        params = DiGammaHyperParameters()
+        assert params.resolved_population(500) == 20
+        assert params.resolved_population(2500) == 100
+        assert params.resolved_population(100_000) == 100
+
+    def test_explicit_population_wins(self):
+        params = DiGammaHyperParameters(population_size=60)
+        assert params.resolved_population(10) == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiGammaHyperParameters(population_size=2)
+        with pytest.raises(ValueError):
+            DiGammaHyperParameters(elite_ratio=0.0)
+        with pytest.raises(TypeError):
+            DiGammaHyperParameters(mutation_rate=0.5)  # unknown field
+        with pytest.raises(ValueError):
+            DiGammaHyperParameters(crossover_rate=1.5)
+
+
+class TestDiGammaOnStub:
+    def test_respects_budget(self, rng):
+        tracker = QuadraticTracker(sampling_budget=150)
+        DiGamma(DiGammaHyperParameters(population_size=20)).run(tracker, rng)
+        assert tracker.evaluations == 150
+
+    def test_improves_over_first_sample(self, rng):
+        tracker = QuadraticTracker(sampling_budget=400)
+        DiGamma(DiGammaHyperParameters(population_size=20)).run(tracker, rng)
+        assert tracker.best_fitness > tracker.first_sample_fitness()
+
+
+class TestDiGammaEndToEnd:
+    def test_finds_valid_edge_design(self, tiny_model):
+        framework = CoOptimizationFramework(tiny_model, EDGE)
+        result = framework.search(DiGamma(), sampling_budget=300, seed=0)
+        assert result.found_valid
+        assert result.best.design.area.total <= EDGE.area_budget_um2
+
+    def test_beats_random_search_on_the_same_budget(self):
+        # On a realistically sized convolutional workload the domain-aware
+        # operators must clearly outperform blind random sampling.
+        from repro.workloads.layer import Layer
+        from repro.workloads.model import build_model
+
+        model = build_model(
+            "convnet",
+            [
+                Layer.conv2d("conv1", 64, 128, 28, 3),
+                Layer.conv2d("conv2", 128, 128, 14, 3),
+            ],
+        )
+        framework = CoOptimizationFramework(model, EDGE)
+        digamma = framework.search(DiGamma(), sampling_budget=400, seed=1)
+        random = framework.search(RandomSearch(), sampling_budget=400, seed=1)
+        assert digamma.found_valid
+        assert digamma.best_latency <= random.best_latency * 1.05
+
+    def test_deterministic_given_seed(self, tiny_model):
+        framework = CoOptimizationFramework(tiny_model, EDGE)
+        a = framework.search(DiGamma(), sampling_budget=200, seed=5)
+        b = framework.search(DiGamma(), sampling_budget=200, seed=5)
+        assert a.best_latency == b.best_latency
+
+    def test_ablation_flags_still_produce_valid_designs(self, tiny_model):
+        framework = CoOptimizationFramework(tiny_model, EDGE)
+        for variant in (
+            DiGamma(use_hw_operators=False),
+            DiGamma(use_structured_operators=False),
+        ):
+            result = framework.search(variant, sampling_budget=200, seed=0)
+            assert result.found_valid
+
+
+class TestGammaMapper:
+    def test_gamma_never_changes_the_fixed_hardware(self, tiny_model, small_hardware):
+        framework = CoOptimizationFramework(
+            tiny_model, EDGE, fixed_hardware=small_hardware
+        )
+        result = framework.search(GammaMapper(), sampling_budget=300, seed=0)
+        assert result.found_valid
+        assert result.best.design.hardware.pe_array == small_hardware.pe_array
+        assert result.best.design.hardware.l1_size == small_hardware.l1_size
+
+    def test_gamma_name(self):
+        assert GammaMapper().name == "GAMMA"
+        assert GammaMapper().use_hw_operators is False

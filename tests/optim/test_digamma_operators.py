@@ -1,0 +1,205 @@
+"""Tests for DiGamma's specialised genetic operators."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.genome import GenomeSpace
+from repro.optim.digamma import operators
+from repro.workloads.dims import DIMS
+from tests.optim.helpers import make_space
+
+
+@pytest.fixture
+def space():
+    return make_space(max_pes=256)
+
+
+@pytest.fixture
+def parents(space, rng):
+    return space.random_genome(rng), space.random_genome(rng)
+
+
+class TestCrossover:
+    def test_child_genes_come_from_parents(self, parents, rng):
+        parent_a, parent_b = parents
+        child = operators.crossover(parent_a, parent_b, rng)
+        for level, a_level, b_level in zip(child.levels, parent_a.levels, parent_b.levels):
+            for dim in DIMS:
+                assert level.tiles[dim] in (a_level.tiles[dim], b_level.tiles[dim])
+            assert level.parallel_dim in (a_level.parallel_dim, b_level.parallel_dim)
+
+    def test_order_and_hw_stay_with_first_parent(self, parents, rng):
+        parent_a, parent_b = parents
+        child = operators.crossover(parent_a, parent_b, rng)
+        for level, a_level in zip(child.levels, parent_a.levels):
+            assert list(level.order) == list(a_level.order)
+            assert level.spatial_size == a_level.spatial_size
+
+    def test_parents_not_modified(self, parents, rng):
+        parent_a, parent_b = parents
+        before_a = parent_a.to_mapping()
+        before_b = parent_b.to_mapping()
+        operators.crossover(parent_a, parent_b, rng)
+        assert parent_a.to_mapping() == before_a
+        assert parent_b.to_mapping() == before_b
+
+
+class TestReorder:
+    def test_order_stays_a_permutation(self, space, rng):
+        for _ in range(30):
+            genome = space.random_genome(rng)
+            operators.reorder(genome, rng)
+            for level in genome.levels:
+                assert sorted(level.order) == sorted(DIMS)
+
+    def test_only_order_changes(self, space, rng):
+        genome = space.random_genome(rng)
+        tiles_before = [dict(level.tiles) for level in genome.levels]
+        spatial_before = genome.pe_array
+        operators.reorder(genome, rng)
+        assert [dict(level.tiles) for level in genome.levels] == tiles_before
+        assert genome.pe_array == spatial_before
+
+    def test_eventually_changes_the_order(self, space, rng):
+        genome = space.random_genome(rng)
+        original = [list(level.order) for level in genome.levels]
+        changed = False
+        for _ in range(20):
+            operators.reorder(genome, rng)
+            if [list(level.order) for level in genome.levels] != original:
+                changed = True
+                break
+        assert changed
+
+
+class TestGrow:
+    def test_moves_by_a_factor_of_two_and_stays_bounded(self, space, rng):
+        for _ in range(50):
+            genome = space.random_genome(rng)
+            before = [dict(level.tiles) for level in genome.levels]
+            operators.grow(genome, space, rng)
+            after = [dict(level.tiles) for level in genome.levels]
+            differences = [
+                (index, dim)
+                for index in range(len(before))
+                for dim in DIMS
+                if before[index][dim] != after[index][dim]
+            ]
+            assert len(differences) <= 1
+            for index, dim in differences:
+                old, new = before[index][dim], after[index][dim]
+                assert new in (min(space.dim_bounds[dim], old * 2), max(1, old // 2))
+
+    def test_never_leaves_bounds(self, space, rng):
+        genome = space.random_genome(rng)
+        for _ in range(100):
+            operators.grow(genome, space, rng)
+            for level in genome.levels:
+                for dim in DIMS:
+                    assert 1 <= level.tiles[dim] <= space.dim_bounds[dim]
+
+
+class TestMutateMap:
+    def test_only_mapping_genes_change(self, space, rng):
+        for _ in range(30):
+            genome = space.random_genome(rng)
+            spatial_before = genome.pe_array
+            order_before = [list(level.order) for level in genome.levels]
+            operators.mutate_map(genome, space, rng)
+            assert genome.pe_array == spatial_before
+            assert [list(level.order) for level in genome.levels] == order_before
+
+    def test_tiles_stay_in_bounds(self, space, rng):
+        genome = space.random_genome(rng)
+        for _ in range(100):
+            operators.mutate_map(genome, space, rng)
+            for level in genome.levels:
+                for dim in DIMS:
+                    assert 1 <= level.tiles[dim] <= space.dim_bounds[dim]
+                assert level.parallel_dim in DIMS
+
+
+class TestMutateHW:
+    def test_respects_max_pes(self, space, rng):
+        genome = space.random_genome(rng)
+        for _ in range(100):
+            operators.mutate_hw(genome, space, rng)
+            assert genome.num_pes <= space.max_pes * 2  # aspect-ratio transfer slack
+
+    def test_noop_when_hw_fixed(self, rng):
+        fixed_space = GenomeSpace(
+            dim_bounds={d: 8 for d in DIMS},
+            max_pes=256,
+            num_levels=2,
+            fixed_pe_array=(8, 16),
+        )
+        genome = fixed_space.random_genome(rng)
+        before = genome.pe_array
+        for _ in range(20):
+            operators.mutate_hw(genome, fixed_space, rng)
+        assert genome.pe_array == before
+
+    def test_non_parallel_tiles_untouched(self, space, rng):
+        genome = space.random_genome(rng)
+        tiles_before = [dict(level.tiles) for level in genome.levels]
+        parallel_dims = [level.parallel_dim for level in genome.levels]
+        operators.mutate_hw(genome, space, rng)
+        for before, level, parallel in zip(tiles_before, genome.levels, parallel_dims):
+            for dim in DIMS:
+                if dim != parallel:
+                    assert level.tiles[dim] == before[dim]
+
+    def test_eventually_changes_the_array(self, space, rng):
+        genome = space.random_genome(rng)
+        original = genome.pe_array
+        changed = False
+        for _ in range(30):
+            operators.mutate_hw(genome, space, rng)
+            if genome.pe_array != original:
+                changed = True
+                break
+        assert changed
+
+
+class TestBalanceParallel:
+    def test_parallel_tiles_become_one(self, space, rng):
+        for _ in range(20):
+            genome = space.random_genome(rng)
+            operators.balance_parallel(genome, space)
+            for level in genome.levels:
+                assert level.tiles[level.parallel_dim] == 1
+
+    def test_other_tiles_spatial_sizes_and_orders_unchanged(self, space, rng):
+        genome = space.random_genome(rng)
+        pe_array = genome.pe_array
+        orders = [list(level.order) for level in genome.levels]
+        other_tiles = [
+            {dim: level.tiles[dim] for dim in DIMS if dim != level.parallel_dim}
+            for level in genome.levels
+        ]
+        operators.balance_parallel(genome, space)
+        assert genome.pe_array == pe_array
+        assert [list(level.order) for level in genome.levels] == orders
+        for level, before in zip(genome.levels, other_tiles):
+            for dim, value in before.items():
+                assert level.tiles[dim] == value
+
+    def test_full_utilization_after_balancing(self, space, rng):
+        # With unit parallel tiles the number of spatial chunks equals the
+        # parent extent, so no sub-cluster can sit idle on large dimensions.
+        from repro.cost.reuse import analyze_levels
+        from repro.workloads.dims import LayerDims
+        from repro.workloads.layer import Layer, OpType
+
+        layer = Layer(
+            name="big",
+            op_type=OpType.CONV,
+            dims=LayerDims(**{dim: space.dim_bounds[dim] for dim in DIMS}),
+        )
+        genome = space.random_genome(rng)
+        operators.balance_parallel(genome, space)
+        analyses = analyze_levels(layer, genome.to_mapping())
+        outer = analyses[0]
+        assert outer.active == min(
+            outer.spatial_size, space.dim_bounds[outer.parallel_dim]
+        )

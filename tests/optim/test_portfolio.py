@@ -1,0 +1,59 @@
+"""Tests for the passive portfolio optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.optim.one_plus_one import OnePlusOneES
+from repro.optim.portfolio import PassivePortfolio
+from repro.optim.random_search import RandomSearch
+from tests.optim.helpers import QuadraticTracker
+
+
+class TestPortfolio:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            PassivePortfolio(members=[])
+
+    def test_default_members(self):
+        portfolio = PassivePortfolio()
+        assert len(portfolio.members) == 3
+
+    def test_budget_split_across_members(self, rng):
+        class CountingMember:
+            name = "counter"
+
+            def __init__(self):
+                self.evaluations = 0
+
+            def run(self, tracker, rng):
+                while not tracker.exhausted:
+                    tracker.evaluate_vector(rng.random(tracker.vector_dimension))
+                    self.evaluations += 1
+
+        members = [CountingMember(), CountingMember(), CountingMember()]
+        portfolio = PassivePortfolio(members=members)
+        tracker = QuadraticTracker(sampling_budget=90)
+        portfolio.run(tracker, rng)
+        assert tracker.evaluations == 90
+        counts = [member.evaluations for member in members]
+        assert counts == [30, 30, 30]
+
+    def test_last_member_gets_leftover_budget(self, rng):
+        portfolio = PassivePortfolio(members=[RandomSearch(), OnePlusOneES()])
+        tracker = QuadraticTracker(sampling_budget=75)
+        portfolio.run(tracker, rng)
+        assert tracker.evaluations == 75
+
+    def test_improves_over_first_sample(self, rng):
+        portfolio = PassivePortfolio()
+        tracker = QuadraticTracker(sampling_budget=300)
+        portfolio.run(tracker, rng)
+        assert tracker.best_fitness > tracker.first_sample_fitness()
+
+    def test_deterministic_given_rng_seed(self):
+        results = []
+        for _ in range(2):
+            tracker = QuadraticTracker(sampling_budget=120)
+            PassivePortfolio().run(tracker, np.random.default_rng(11))
+            results.append(tracker.best_fitness)
+        assert results[0] == results[1]

@@ -1,0 +1,32 @@
+"""Tests for the optimizer registry."""
+
+import pytest
+
+from repro.optim.base import Optimizer
+from repro.optim.registry import available_optimizers, get_optimizer
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_present(self):
+        names = available_optimizers()
+        for expected in ("random", "stdga", "pso", "tbpsa", "(1+1)-es", "de",
+                         "portfolio", "cma", "digamma", "gamma"):
+            assert expected in names
+
+    @pytest.mark.parametrize("name", available_optimizers())
+    def test_every_entry_instantiates_an_optimizer(self, name):
+        optimizer = get_optimizer(name)
+        assert isinstance(optimizer, Optimizer)
+        assert optimizer.name
+
+    def test_each_call_returns_a_fresh_instance(self):
+        assert get_optimizer("digamma") is not get_optimizer("digamma")
+
+    def test_aliases_and_case(self):
+        assert get_optimizer("CMA-ES").name == "CMA"
+        assert get_optimizer("OnePlusOne").name == "(1+1)-ES"
+        assert get_optimizer("Standard GA").name == "stdGA"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_optimizer("bayesopt")

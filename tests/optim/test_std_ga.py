@@ -1,0 +1,31 @@
+"""Tests for the standard GA baseline."""
+
+import pytest
+
+from repro.arch.platform import EDGE
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.optim.std_ga import StandardGA
+from tests.optim.helpers import QuadraticTracker
+
+
+class TestStandardGA:
+    def test_hyper_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StandardGA(population_size=2)
+        with pytest.raises(ValueError):
+            StandardGA(elite_ratio=1.0)
+
+    def test_respects_budget(self, rng):
+        tracker = QuadraticTracker(sampling_budget=100)
+        StandardGA(population_size=20).run(tracker, rng)
+        assert tracker.evaluations == 100
+
+    def test_improves_over_first_sample(self, rng):
+        tracker = QuadraticTracker(sampling_budget=400)
+        StandardGA(population_size=20).run(tracker, rng)
+        assert tracker.best_fitness > tracker.first_sample_fitness()
+
+    def test_finds_valid_edge_design(self, tiny_model):
+        framework = CoOptimizationFramework(tiny_model, EDGE)
+        result = framework.search(StandardGA(population_size=20), sampling_budget=200, seed=0)
+        assert result.found_valid

@@ -1,0 +1,54 @@
+"""Tests for DiGamma hyper-parameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro.arch.platform import EDGE
+from repro.optim.digamma import DiGammaHyperParameters
+from repro.optim.tuning import TuningResult, sample_hyper_parameters, tune_digamma
+from repro.workloads.registry import get_model
+
+
+class TestSampling:
+    def test_sampled_configurations_are_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            params = sample_hyper_parameters(rng)
+            assert isinstance(params, DiGammaHyperParameters)
+            assert params.population_size >= 20
+            assert 0.0 < params.elite_ratio < 1.0
+
+    def test_sampling_is_diverse(self):
+        rng = np.random.default_rng(1)
+        populations = {sample_hyper_parameters(rng).population_size for _ in range(20)}
+        assert len(populations) > 1
+
+
+class TestTuning:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tune_digamma(
+            get_model("ncf"),
+            EDGE,
+            trials=3,
+            sampling_budget=80,
+            seed=0,
+        )
+
+    def test_returns_all_trials(self, result):
+        assert isinstance(result, TuningResult)
+        assert len(result.trials) == 3
+
+    def test_best_is_the_minimum_objective(self, result):
+        best_value = min(trial.objective_value for trial in result.trials)
+        assert result.best_objective_value == best_value
+
+    def test_default_configuration_is_included(self, result):
+        assert result.trials[0].hyper_parameters == DiGammaHyperParameters()
+
+    def test_summary_mentions_population(self, result):
+        assert "population" in result.summary()
+
+    def test_invalid_trial_count_rejected(self):
+        with pytest.raises(ValueError):
+            tune_digamma(get_model("ncf"), EDGE, trials=0, sampling_budget=10)

@@ -1,0 +1,108 @@
+"""Tests for the post-search analysis utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ParetoPoint,
+    compare_designs,
+    convergence_curve,
+    pareto_front,
+    results_to_pareto_points,
+    samples_to_reach,
+    speedup_over,
+)
+from repro.arch.platform import EDGE
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.search import SearchResult
+from repro.optim.digamma import DiGamma
+from repro.optim.random_search import RandomSearch
+from repro.workloads.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def searches():
+    framework = CoOptimizationFramework(get_model("ncf"), EDGE)
+    return {
+        "DiGamma": framework.search(DiGamma(), sampling_budget=150, seed=0),
+        "Random": framework.search(RandomSearch(), sampling_budget=150, seed=0),
+    }
+
+
+class TestConvergence:
+    def test_curve_is_monotonically_improving(self, searches):
+        curve = convergence_curve(searches["DiGamma"])
+        assert curve
+        values = [value for _, value in curve]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == searches["DiGamma"].best_latency
+
+    def test_invalid_penalty_entries_are_dropped(self):
+        result = SearchResult(
+            optimizer_name="x", best=None, evaluations=3, sampling_budget=3,
+            wall_time_seconds=0.0, history=((1, -1e20), (2, -5.0)),
+        )
+        assert convergence_curve(result) == [(2, 5.0)]
+
+    def test_samples_to_reach(self, searches):
+        result = searches["DiGamma"]
+        assert samples_to_reach(result, float("inf")) is not None
+        assert samples_to_reach(result, result.best_latency) == result.history[-1][0]
+        assert samples_to_reach(result, 0.0) is None
+
+
+class TestSpeedup:
+    def test_speedup_between_valid_results(self, searches):
+        value = speedup_over(searches["Random"], searches["DiGamma"])
+        assert value > 0
+        assert value == pytest.approx(
+            searches["Random"].best_latency / searches["DiGamma"].best_latency
+        )
+
+    def test_degenerate_cases(self, searches):
+        empty = SearchResult(optimizer_name="none", best=None, evaluations=0,
+                             sampling_budget=1, wall_time_seconds=0.0)
+        assert speedup_over(empty, searches["DiGamma"]) == float("inf")
+        assert speedup_over(searches["DiGamma"], empty) == 0.0
+        assert math.isnan(speedup_over(empty, empty))
+
+
+class TestPareto:
+    def test_dominance(self):
+        a = ParetoPoint("a", latency=1.0, area=1.0)
+        b = ParetoPoint("b", latency=2.0, area=2.0)
+        c = ParetoPoint("c", latency=0.5, area=3.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c) and not c.dominates(a)
+
+    def test_front_filters_dominated_points(self):
+        points = [
+            ParetoPoint("fast", 1.0, 10.0),
+            ParetoPoint("small", 10.0, 1.0),
+            ParetoPoint("bad", 10.0, 10.0),
+            ParetoPoint("balanced", 5.0, 5.0),
+        ]
+        front = pareto_front(points)
+        labels = {point.label for point in front}
+        assert labels == {"fast", "small", "balanced"}
+        assert [point.label for point in front] == ["fast", "balanced", "small"]
+
+    def test_results_to_pareto_points(self, searches):
+        points = results_to_pareto_points(searches)
+        assert {point.label for point in points} <= set(searches)
+        for point in points:
+            assert point.latency > 0 and point.area > 0
+
+
+class TestCompareDesigns:
+    def test_report_contains_every_scheme(self, searches):
+        text = compare_designs(searches)
+        assert "DiGamma" in text and "Random" in text
+        assert "latency" in text
+
+    def test_invalid_results_render_as_na(self):
+        empty = SearchResult(optimizer_name="none", best=None, evaluations=0,
+                             sampling_budget=1, wall_time_seconds=0.0)
+        assert "N/A" in compare_designs({"none": empty})

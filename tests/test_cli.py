@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestModels:
+    def test_lists_all_models(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        for name in ("resnet18", "bert", "dlrm"):
+            assert name in output
+
+
+class TestSearch:
+    def test_search_prints_design_and_saves_json(self, capsys, tmp_path):
+        output_path = tmp_path / "design.json"
+        exit_code = main([
+            "search", "--model", "ncf", "--budget", "80",
+            "--optimizer", "digamma", "--output", str(output_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "DiGamma" in output
+        assert "Mapping" in output
+        data = json.loads(output_path.read_text())
+        assert data["found_valid"] is True
+
+    def test_search_suite_of_models(self, capsys):
+        exit_code = main(["search", "--model", "ncf", "dlrm", "--budget", "60"])
+        assert exit_code == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_unknown_optimizer_raises(self):
+        with pytest.raises(KeyError):
+            main(["search", "--model", "ncf", "--optimizer", "bayesopt", "--budget", "5"])
+
+
+class TestEvaluate:
+    def test_evaluate_dla_on_edge(self, capsys):
+        exit_code = main([
+            "evaluate", "--model", "ncf", "--dataflow", "dla",
+            "--pe-rows", "8", "--pe-cols", "8",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "dla-like" in output
+        assert "valid" in output
+
+
+class TestFigureForwarding:
+    def test_fig5_forwarding(self, capsys):
+        exit_code = main([
+            "fig5", "--platform", "edge", "--budget", "40", "--models", "ncf",
+        ])
+        assert exit_code == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_parser_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["search"])
+        assert args.model == ["resnet18"]
+        assert args.platform == "edge"
+        assert args.budget == 2000

@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the whole library."""
+
+import pytest
+
+import repro
+from repro import (
+    CLOUD,
+    EDGE,
+    CoOptimizationFramework,
+    CostModel,
+    DiGamma,
+    GammaMapper,
+    Genome,
+    HardwareConfig,
+    Objective,
+    get_dataflow,
+    get_model,
+    get_optimizer,
+)
+from repro.experiments.settings import make_fixed_hardware
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_docstring_flow(self):
+        framework = CoOptimizationFramework(get_model("ncf"), EDGE)
+        result = framework.search(DiGamma(), sampling_budget=120, seed=0)
+        assert result.found_valid
+
+
+class TestRealModelsEndToEnd:
+    @pytest.mark.parametrize("model_name", ["resnet18", "mobilenet_v2", "bert", "dlrm"])
+    def test_coopt_finds_valid_edge_designs(self, model_name):
+        framework = CoOptimizationFramework(get_model(model_name), EDGE)
+        result = framework.search(DiGamma(), sampling_budget=250, seed=0)
+        assert result.found_valid
+        design = result.best.design
+        assert design.area.total <= EDGE.area_budget_um2
+        assert design.performance.latency > 0
+        assert design.hardware.num_pes >= 1
+
+    def test_cloud_designs_use_more_pes_than_edge(self):
+        model = get_model("resnet50")
+        edge = CoOptimizationFramework(model, EDGE).search(
+            DiGamma(), sampling_budget=400, seed=0
+        )
+        cloud = CoOptimizationFramework(model, CLOUD).search(
+            DiGamma(), sampling_budget=400, seed=0
+        )
+        assert edge.found_valid and cloud.found_valid
+        assert cloud.best.design.hardware.num_pes > edge.best.design.hardware.num_pes
+        assert cloud.best_latency < edge.best_latency
+
+    def test_fixed_hw_plus_gamma_pipeline(self):
+        model = get_model("mnasnet")
+        fixed_hw = make_fixed_hardware(EDGE, 0.75)
+        framework = CoOptimizationFramework(model, EDGE, fixed_hardware=fixed_hw)
+        result = framework.search(GammaMapper(), sampling_budget=250, seed=0)
+        assert result.found_valid
+        assert result.best.design.hardware.pe_array == fixed_hw.pe_array
+
+    def test_objective_switch_changes_best_design_selection(self):
+        model = get_model("ncf")
+        latency_fw = CoOptimizationFramework(model, EDGE, objective=Objective.LATENCY)
+        energy_fw = CoOptimizationFramework(model, EDGE, objective=Objective.ENERGY)
+        latency_result = latency_fw.search(DiGamma(), sampling_budget=200, seed=0)
+        energy_result = energy_fw.search(DiGamma(), sampling_budget=200, seed=0)
+        assert latency_result.found_valid and energy_result.found_valid
+        assert energy_result.best.design.energy <= latency_result.best.design.energy * 1.2
+
+
+class TestManualDesignFlow:
+    def test_evaluate_a_hand_built_design_point(self):
+        # A user can bypass the search entirely: build a mapping from a
+        # dataflow template, evaluate it with the cost model and inspect
+        # every report field.
+        model = get_model("resnet18")
+        layer = model.unique_layers()[1]
+        mapping = get_dataflow("dla")(layer, (16, 16))
+        report = CostModel().evaluate_layer(
+            layer, mapping, noc_bandwidth=64.0, dram_bandwidth=16.0
+        )
+        assert report.latency > 0
+        assert report.utilization > 0
+
+    def test_registry_round_trip_with_framework(self):
+        framework = CoOptimizationFramework(get_model("ncf"), EDGE)
+        for name in ("random", "cma", "digamma"):
+            result = framework.search(get_optimizer(name), sampling_budget=60, seed=0)
+            assert result.evaluations <= 60
+
+    def test_genome_from_template_evaluates_in_framework(self):
+        model = get_model("ncf")
+        framework = CoOptimizationFramework(model, EDGE)
+        layer = model.unique_layers()[0]
+        genome = Genome.from_mapping(get_dataflow("dla")(layer, (8, 8)))
+        evaluation = framework.evaluator.evaluate_genome(genome)
+        assert evaluation.design.hardware.pe_array == (8, 8)

@@ -1,0 +1,88 @@
+"""Tests for JSON serialization of designs and results."""
+
+import pytest
+
+from repro.arch.hardware import HardwareConfig
+from repro.arch.platform import EDGE
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.mapping.dataflows import dla_like
+from repro.optim.digamma import DiGamma
+from repro.serialization import (
+    design_to_dict,
+    genome_from_dict,
+    genome_to_dict,
+    hardware_from_dict,
+    hardware_to_dict,
+    load_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_json,
+    search_result_to_dict,
+)
+from repro.encoding.genome import Genome
+
+
+class TestHardwareRoundTrip:
+    def test_round_trip(self, small_hardware):
+        rebuilt = hardware_from_dict(hardware_to_dict(small_hardware))
+        assert rebuilt == small_hardware
+
+    def test_defaults_filled_for_missing_optional_fields(self):
+        data = hardware_to_dict(HardwareConfig())
+        del data["bytes_per_element"]
+        del data["frequency_mhz"]
+        rebuilt = hardware_from_dict(data)
+        assert rebuilt.bytes_per_element == 1
+        assert rebuilt.frequency_mhz == 1000.0
+
+
+class TestMappingAndGenomeRoundTrip:
+    def test_mapping_round_trip(self, conv_layer):
+        mapping = dla_like(conv_layer, (8, 16))
+        rebuilt = mapping_from_dict(mapping_to_dict(mapping))
+        assert rebuilt == mapping
+
+    def test_genome_round_trip(self, conv_layer):
+        genome = Genome.from_mapping(dla_like(conv_layer, (4, 4)))
+        rebuilt = genome_from_dict(genome_to_dict(genome))
+        assert rebuilt.to_mapping() == genome.to_mapping()
+
+    def test_json_serializable(self, conv_layer, tmp_path):
+        mapping = dla_like(conv_layer, (8, 16))
+        path = save_json(mapping_to_dict(mapping), tmp_path / "mapping.json")
+        assert path.exists()
+        assert mapping_from_dict(load_json(path)) == mapping
+
+
+class TestSearchResultSerialization:
+    @pytest.fixture(scope="class")
+    def search_result(self):
+        from repro.workloads.registry import get_model
+
+        framework = CoOptimizationFramework(get_model("ncf"), EDGE)
+        return framework.search(DiGamma(), sampling_budget=100, seed=0)
+
+    def test_design_dict_fields(self, search_result):
+        assert search_result.found_valid
+        data = design_to_dict(search_result.best.design)
+        assert set(data) == {"hardware", "mapping", "metrics", "per_layer"}
+        assert data["metrics"]["latency_cycles"] == search_result.best_latency
+        assert data["metrics"]["area_um2"] <= EDGE.area_budget_um2
+        assert len(data["per_layer"]) >= 1
+
+    def test_search_result_dict(self, search_result):
+        data = search_result_to_dict(search_result)
+        assert data["optimizer"] == "DiGamma"
+        assert data["found_valid"] is True
+        assert data["evaluations"] == 100
+        assert "best" in data
+        assert "genome" in data["best"]
+        rebuilt_hw = hardware_from_dict(data["best"]["hardware"])
+        assert rebuilt_hw == search_result.best.design.hardware
+
+    def test_save_and_load_round_trip(self, search_result, tmp_path):
+        path = save_json(search_result_to_dict(search_result), tmp_path / "out" / "r.json")
+        loaded = load_json(path)
+        assert loaded["sampling_budget"] == 100
+        mapping = mapping_from_dict(loaded["best"]["mapping"])
+        assert mapping == search_result.best.design.mapping

@@ -1,0 +1,92 @@
+"""Tests for the dimension vocabulary and LayerDims."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.dims import (
+    DIMS,
+    INPUT_DIMS,
+    OUTPUT_DIMS,
+    REDUCTION_DIMS,
+    WEIGHT_DIMS,
+    LayerDims,
+    validate_dim,
+)
+
+
+class TestDimConstants:
+    def test_six_dimensions(self):
+        assert len(DIMS) == 6
+        assert set(DIMS) == {"K", "C", "Y", "X", "R", "S"}
+
+    def test_weight_dims_subset(self):
+        assert set(WEIGHT_DIMS) <= set(DIMS)
+        assert set(WEIGHT_DIMS) == {"K", "C", "R", "S"}
+
+    def test_input_dims_subset(self):
+        assert set(INPUT_DIMS) == {"C", "Y", "X", "R", "S"}
+
+    def test_output_dims_subset(self):
+        assert set(OUTPUT_DIMS) == {"K", "Y", "X"}
+
+    def test_reduction_dims(self):
+        assert set(REDUCTION_DIMS) == {"C", "R", "S"}
+        # Reduction dims never index the output tensor.
+        assert not set(REDUCTION_DIMS) & set(OUTPUT_DIMS)
+
+    def test_validate_dim_accepts_known(self):
+        for dim in DIMS:
+            assert validate_dim(dim) == dim
+
+    def test_validate_dim_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            validate_dim("Z")
+
+
+class TestLayerDims:
+    def test_defaults_are_one(self):
+        dims = LayerDims()
+        assert all(dims[d] == 1 for d in DIMS)
+        assert dims.volume == 1
+
+    def test_mapping_interface(self):
+        dims = LayerDims(K=4, C=3, Y=2, X=2, R=1, S=1)
+        assert len(dims) == 6
+        assert list(dims) == list(DIMS)
+        assert dims["K"] == 4
+        assert dims.as_dict() == {"K": 4, "C": 3, "Y": 2, "X": 2, "R": 1, "S": 1}
+
+    def test_volume(self):
+        dims = LayerDims(K=4, C=3, Y=2, X=2, R=3, S=3)
+        assert dims.volume == 4 * 3 * 2 * 2 * 3 * 3
+
+    def test_replace(self):
+        dims = LayerDims(K=4)
+        replaced = dims.replace(K=8, C=2)
+        assert replaced["K"] == 8
+        assert replaced["C"] == 2
+        assert dims["K"] == 4  # original unchanged
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            LayerDims(K=0)
+        with pytest.raises(ValueError):
+            LayerDims(C=-3)
+
+    def test_rejects_unknown_key_access(self):
+        dims = LayerDims()
+        with pytest.raises(ValueError):
+            dims["Q"]
+
+    @given(
+        k=st.integers(1, 512),
+        c=st.integers(1, 512),
+        y=st.integers(1, 64),
+        x=st.integers(1, 64),
+        r=st.integers(1, 7),
+        s=st.integers(1, 7),
+    )
+    def test_volume_equals_product_property(self, k, c, y, x, r, s):
+        dims = LayerDims(K=k, C=c, Y=y, X=x, R=r, S=s)
+        assert dims.volume == k * c * y * x * r * s

@@ -1,0 +1,142 @@
+"""Tests for layer construction and tensor-size accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.layer import Layer, OpType
+
+
+class TestConvLayer:
+    def test_conv2d_constructor(self):
+        layer = Layer.conv2d("conv", in_channels=3, out_channels=64, out_hw=112,
+                             kernel=7, stride=2)
+        assert layer.op_type is OpType.CONV
+        assert layer.dims["K"] == 64
+        assert layer.dims["C"] == 3
+        assert layer.dims["Y"] == 112
+        assert layer.dims["X"] == 112
+        assert layer.dims["R"] == 7
+        assert layer.dims["S"] == 7
+        assert layer.stride == 2
+
+    def test_macs(self):
+        layer = Layer.conv2d("conv", 16, 32, 8, 3)
+        assert layer.macs == 32 * 16 * 8 * 8 * 3 * 3
+
+    def test_total_macs_uses_count(self):
+        layer = Layer.conv2d("conv", 16, 32, 8, 3, count=4)
+        assert layer.total_macs == 4 * layer.macs
+
+    def test_input_spatial_with_stride(self):
+        layer = Layer.conv2d("conv", 3, 64, 112, 7, stride=2)
+        in_y, in_x = layer.input_spatial()
+        assert in_y == (112 - 1) * 2 + 7
+        assert in_x == in_y
+
+    def test_tensor_sizes(self):
+        layer = Layer.conv2d("conv", 16, 32, 8, 3)
+        sizes = layer.tensor_sizes()
+        assert sizes["W"] == 32 * 16 * 3 * 3
+        assert sizes["O"] == 32 * 8 * 8
+        assert sizes["I"] == 16 * 10 * 10
+
+    def test_rectangular_shapes(self):
+        layer = Layer.conv2d("conv", 16, 32, (8, 4), (3, 1))
+        assert layer.dims["Y"] == 8
+        assert layer.dims["X"] == 4
+        assert layer.dims["R"] == 3
+        assert layer.dims["S"] == 1
+
+    def test_relevance_conv(self):
+        layer = Layer.conv2d("conv", 16, 32, 8, 3)
+        relevance = layer.relevance()
+        assert set(relevance["W"]) == {"K", "C", "R", "S"}
+        assert set(relevance["I"]) == {"C", "Y", "X", "R", "S"}
+        assert set(relevance["O"]) == {"K", "Y", "X"}
+
+    def test_invalid_stride_and_count(self):
+        with pytest.raises(ValueError):
+            Layer.conv2d("conv", 3, 8, 8, 3, stride=0)
+        with pytest.raises(ValueError):
+            Layer.conv2d("conv", 3, 8, 8, 3, count=0)
+
+
+class TestDepthwiseLayer:
+    def test_depthwise_constructor(self):
+        layer = Layer.depthwise("dw", channels=96, out_hw=14, kernel=3)
+        assert layer.op_type is OpType.DWCONV
+        assert layer.dims["K"] == 1
+        assert layer.dims["C"] == 96
+
+    def test_depthwise_macs(self):
+        layer = Layer.depthwise("dw", 96, 14, 3)
+        assert layer.macs == 96 * 14 * 14 * 3 * 3
+
+    def test_depthwise_tensor_sizes(self):
+        layer = Layer.depthwise("dw", 96, 14, 3)
+        sizes = layer.tensor_sizes()
+        assert sizes["W"] == 96 * 3 * 3
+        assert sizes["O"] == 96 * 14 * 14
+        assert sizes["I"] == 96 * 16 * 16
+
+    def test_depthwise_relevance_ties_output_to_channels(self):
+        layer = Layer.depthwise("dw", 96, 14, 3)
+        relevance = layer.relevance()
+        assert "C" in relevance["O"]
+        assert "K" not in relevance["O"]
+
+    def test_depthwise_rejects_explicit_k(self):
+        from repro.workloads.dims import LayerDims
+
+        with pytest.raises(ValueError):
+            Layer(name="bad", op_type=OpType.DWCONV, dims=LayerDims(K=4, C=16))
+
+
+class TestGemmLayer:
+    def test_gemm_constructor_maps_dims(self):
+        layer = Layer.gemm("fc", m=64, n=256, k=512)
+        assert layer.op_type is OpType.GEMM
+        assert layer.dims["Y"] == 64   # M
+        assert layer.dims["K"] == 256  # N
+        assert layer.dims["C"] == 512  # reduction
+        assert layer.dims["X"] == 1
+        assert layer.dims["R"] == 1
+        assert layer.dims["S"] == 1
+
+    def test_gemm_macs(self):
+        layer = Layer.gemm("fc", m=64, n=256, k=512)
+        assert layer.macs == 64 * 256 * 512
+
+    def test_gemm_tensor_sizes(self):
+        layer = Layer.gemm("fc", m=64, n=256, k=512)
+        sizes = layer.tensor_sizes()
+        assert sizes["W"] == 256 * 512
+        assert sizes["I"] == 512 * 64
+        assert sizes["O"] == 256 * 64
+
+
+class TestSignature:
+    def test_identical_shapes_share_signature(self):
+        a = Layer.conv2d("a", 16, 32, 8, 3)
+        b = Layer.conv2d("b", 16, 32, 8, 3, count=5)
+        assert a.signature() == b.signature()
+
+    def test_different_shapes_differ(self):
+        a = Layer.conv2d("a", 16, 32, 8, 3)
+        b = Layer.conv2d("b", 16, 32, 8, 3, stride=2)
+        c = Layer.gemm("c", 8, 8, 8)
+        assert a.signature() != b.signature()
+        assert a.signature() != c.signature()
+
+    @given(
+        channels=st.integers(1, 256),
+        hw=st.integers(1, 56),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 2),
+    )
+    def test_macs_positive_property(self, channels, hw, kernel, stride):
+        layer = Layer.conv2d("p", channels, channels, hw, kernel, stride=stride)
+        assert layer.macs > 0
+        sizes = layer.tensor_sizes()
+        assert all(value > 0 for value in sizes.values())

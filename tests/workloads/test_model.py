@@ -1,0 +1,64 @@
+"""Tests for the Model container."""
+
+import pytest
+
+from repro.workloads.layer import Layer
+from repro.workloads.model import Model, build_model
+
+
+@pytest.fixture
+def layers():
+    return [
+        Layer.conv2d("a", 3, 16, 32, 3),
+        Layer.conv2d("b", 16, 16, 32, 3, count=2),
+        Layer.conv2d("c", 16, 16, 32, 3),  # same shape as "b"
+        Layer.gemm("fc", 1, 10, 16),
+    ]
+
+
+class TestModel:
+    def test_build_and_iterate(self, layers):
+        model = build_model("m", layers)
+        assert len(model) == 4
+        assert [layer.name for layer in model] == ["a", "b", "c", "fc"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Model(name="empty", layers=())
+
+    def test_rejects_duplicate_names(self):
+        layer = Layer.conv2d("dup", 3, 8, 8, 3)
+        with pytest.raises(ValueError):
+            build_model("m", [layer, layer])
+
+    def test_total_macs(self, layers):
+        model = build_model("m", layers)
+        assert model.total_macs == sum(layer.total_macs for layer in layers)
+
+    def test_total_weight_elements(self, layers):
+        model = build_model("m", layers)
+        expected = sum(l.tensor_sizes()["W"] * l.count for l in layers)
+        assert model.total_weight_elements == expected
+
+    def test_unique_layers_merges_counts(self, layers):
+        model = build_model("m", layers)
+        unique = model.unique_layers()
+        assert len(unique) == 3
+        merged = {layer.name: layer for layer in unique}
+        # "b" (count 2) and "c" (count 1) share a shape -> merged count 3.
+        assert merged["b"].count == 3
+
+    def test_unique_layers_preserve_total_macs(self, layers):
+        model = build_model("m", layers)
+        unique_macs = sum(layer.total_macs for layer in model.unique_layers())
+        assert unique_macs == model.total_macs
+
+    def test_unique_layers_order_is_first_occurrence(self, layers):
+        model = build_model("m", layers)
+        assert [layer.name for layer in model.unique_layers()] == ["a", "b", "fc"]
+
+    def test_summary_mentions_every_layer(self, layers):
+        model = build_model("m", layers)
+        summary = model.summary()
+        for layer in layers:
+            assert layer.name in summary

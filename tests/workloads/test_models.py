@@ -1,0 +1,113 @@
+"""Tests for the seven built-in DNN model definitions."""
+
+import pytest
+
+from repro.workloads.layer import OpType
+from repro.workloads.registry import available_models, get_model
+
+
+class TestRegistry:
+    def test_seven_models_available(self):
+        models = available_models()
+        assert len(models) == 7
+        assert set(models) == {
+            "mobilenet_v2",
+            "resnet18",
+            "resnet50",
+            "mnasnet",
+            "bert",
+            "dlrm",
+            "ncf",
+        }
+
+    @pytest.mark.parametrize("name", available_models())
+    def test_every_model_builds(self, name):
+        model = get_model(name)
+        assert len(model) > 0
+        assert model.total_macs > 0
+
+    def test_aliases_and_case(self):
+        assert get_model("Mbnet-V2").name == "mobilenet_v2"
+        assert get_model("RESNET18").name == "resnet18"
+        assert get_model("bert-base").name == "bert"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model("alexnet")
+
+
+class TestVisionModels:
+    def test_resnet18_macs_in_expected_range(self):
+        # ResNet-18 at 224x224 is ~1.8 GMACs.
+        model = get_model("resnet18")
+        assert 1.5e9 < model.total_macs < 2.2e9
+
+    def test_resnet50_macs_in_expected_range(self):
+        # ResNet-50 at 224x224 is ~4 GMACs.
+        model = get_model("resnet50")
+        assert 3.3e9 < model.total_macs < 4.8e9
+
+    def test_resnet50_heavier_than_resnet18(self):
+        assert get_model("resnet50").total_macs > get_model("resnet18").total_macs
+
+    def test_mobilenet_v2_macs_in_expected_range(self):
+        # MobileNetV2 is ~300 MMACs.
+        model = get_model("mobilenet_v2")
+        assert 0.25e9 < model.total_macs < 0.45e9
+
+    def test_mobilenet_v2_contains_depthwise(self):
+        model = get_model("mobilenet_v2")
+        assert any(layer.op_type is OpType.DWCONV for layer in model)
+
+    def test_mnasnet_macs_in_expected_range(self):
+        # MnasNet-B1 is ~300-330 MMACs.
+        model = get_model("mnasnet")
+        assert 0.25e9 < model.total_macs < 0.5e9
+
+    def test_mnasnet_uses_5x5_kernels(self):
+        model = get_model("mnasnet")
+        assert any(layer.dims["R"] == 5 for layer in model)
+
+    def test_vision_models_end_with_classifier(self):
+        for name in ("resnet18", "resnet50", "mobilenet_v2", "mnasnet"):
+            model = get_model(name)
+            last = model.layers[-1]
+            assert last.op_type is OpType.GEMM
+            assert last.dims["K"] == 1000
+
+
+class TestLanguageAndRecommendationModels:
+    def test_bert_is_all_gemm(self):
+        model = get_model("bert")
+        assert all(layer.op_type is OpType.GEMM for layer in model)
+
+    def test_bert_macs_scale_with_sequence_length(self):
+        from repro.workloads.models.bert import bert_base
+
+        short = bert_base(sequence_length=128)
+        long = bert_base(sequence_length=512)
+        assert long.total_macs > short.total_macs
+
+    def test_bert_is_much_heavier_than_recommendation_models(self):
+        bert = get_model("bert")
+        assert bert.total_macs > 10 * get_model("dlrm").total_macs
+        assert bert.total_macs > 100 * get_model("ncf").total_macs
+
+    def test_dlrm_and_ncf_are_gemm_only(self):
+        for name in ("dlrm", "ncf"):
+            model = get_model(name)
+            assert all(layer.op_type is OpType.GEMM for layer in model)
+
+    def test_recommendation_models_reject_bad_batch(self):
+        from repro.workloads.models.dlrm import dlrm
+        from repro.workloads.models.ncf import ncf
+
+        with pytest.raises(ValueError):
+            dlrm(batch_size=0)
+        with pytest.raises(ValueError):
+            ncf(batch_size=-1)
+
+    def test_dlrm_layer_widths_follow_mlp_stacks(self):
+        model = get_model("dlrm")
+        first = model.layers[0]
+        assert first.dims["C"] == 13  # dense-feature input width

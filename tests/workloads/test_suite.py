@@ -1,0 +1,60 @@
+"""Tests for multi-model suites."""
+
+import pytest
+
+from repro.arch.platform import EDGE
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.optim.digamma import DiGamma
+from repro.workloads.registry import get_model
+from repro.workloads.suite import ModelSuite
+
+
+class TestConstruction:
+    def test_from_names(self):
+        suite = ModelSuite.from_names("rec", ["ncf", "dlrm"])
+        assert len(suite.models) == 2
+        assert suite.weights == (1, 1)
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            ModelSuite.from_names("bad", ["ncf"], weights=[1, 2])
+        with pytest.raises(ValueError):
+            ModelSuite.from_names("bad", ["ncf"], weights=[0])
+        with pytest.raises(ValueError):
+            ModelSuite(name="empty", models=(), weights=())
+
+    def test_total_macs_is_weighted_sum(self):
+        suite = ModelSuite.from_names("rec", ["ncf", "dlrm"], weights=[3, 1])
+        expected = 3 * get_model("ncf").total_macs + get_model("dlrm").total_macs
+        assert suite.total_macs == expected
+        assert suite.per_model_macs()["ncf"] == 3 * get_model("ncf").total_macs
+
+    def test_summary_mentions_members(self):
+        suite = ModelSuite.from_names("rec", ["ncf", "dlrm"])
+        text = suite.summary()
+        assert "ncf" in text and "dlrm" in text
+
+
+class TestFlattening:
+    def test_as_model_prefixes_layer_names(self):
+        suite = ModelSuite.from_names("rec", ["ncf", "dlrm"])
+        combined = suite.as_model()
+        assert combined.name == "rec"
+        assert all("." in layer.name for layer in combined.layers)
+        assert len(combined.layers) == len(get_model("ncf")) + len(get_model("dlrm"))
+
+    def test_as_model_weights_scale_counts(self):
+        weighted = ModelSuite.from_names("rec", ["ncf"], weights=[5]).as_model()
+        plain = get_model("ncf")
+        assert weighted.total_macs == 5 * plain.total_macs
+
+    def test_shared_shapes_merge_in_unique_layers(self):
+        suite = ModelSuite.from_names("double", ["ncf", "ncf"])
+        combined = suite.as_model()
+        assert len(combined.unique_layers()) == len(get_model("ncf").unique_layers())
+
+    def test_suite_runs_through_the_framework(self):
+        combined = ModelSuite.from_names("rec", ["ncf", "dlrm"]).as_model()
+        framework = CoOptimizationFramework(combined, EDGE)
+        result = framework.search(DiGamma(), sampling_budget=120, seed=0)
+        assert result.found_valid

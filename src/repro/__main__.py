@@ -53,11 +53,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
         model = ModelSuite.from_names("suite", args.model).as_model()
     platform = get_platform(args.platform)
     framework = CoOptimizationFramework(
-        model, platform, objective=Objective.from_name(args.objective)
+        model,
+        platform,
+        objective=Objective.from_name(args.objective),
+        use_cache=not args.no_cache,
+        workers=args.workers,
     )
     optimizer = get_optimizer(args.optimizer)
-    result = framework.search(optimizer, sampling_budget=args.budget, seed=args.seed)
+    try:
+        result = framework.search(optimizer, sampling_budget=args.budget, seed=args.seed)
+    finally:
+        framework.close()
     print(result.summary())
+    _print_cache_stats(framework)
     if result.found_valid:
         print()
         print(result.best.design.describe())
@@ -65,6 +73,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
             path = save_json(search_result_to_dict(result), args.output)
             print(f"\nSaved search result to {path}")
     return 0 if result.found_valid else 1
+
+
+def _print_cache_stats(framework: CoOptimizationFramework) -> None:
+    """Report evaluation-cache efficiency of one finished search run."""
+    evaluator = framework.evaluator
+    if not evaluator.use_cache:
+        print("evaluation cache: disabled (--no-cache)")
+        return
+    if evaluator.workers and evaluator.cache_stats.requests == 0:
+        print("evaluation cache: per-worker (stats live in the worker processes)")
+        return
+    print(f"design cache: {evaluator.design_cache_stats.summary()}")
+    print(f"layer cache:  {evaluator.layer_cache_stats.summary()}")
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -102,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--output", default=None,
                         help="optional path for the JSON result")
+    search.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for batched population "
+                             "evaluation (default: in-process)")
+    search.add_argument("--no-cache", action="store_true",
+                        help="disable evaluation memoization (results are "
+                             "bit-identical either way)")
 
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate a fixed dataflow on a model"

@@ -3,18 +3,27 @@
 The evaluator takes an accelerator design point (the PE hierarchy implied by
 a :class:`~repro.mapping.mapping.Mapping` plus platform bandwidths) and a
 layer, and produces latency, traffic, energy, utilization and buffer
-requirements from a data-centric reuse analysis.
+requirements from a data-centric reuse analysis.  The hot path runs through
+the tuple-based fast engine (:mod:`repro.cost.engine`) behind a bounded LRU
+memo (:mod:`repro.cost.cache`); the reference dict-based analysis is kept
+for parity testing and baseline benchmarks.
 """
 
+from repro.cost.cache import CacheStats, LRUCache
+from repro.cost.engine import evaluate_layer_key, layer_mapping_key
 from repro.cost.maestro import CostModel
 from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.cost.reuse import LevelAnalysis, analyze_levels, operand_fetches
 
 __all__ = [
+    "CacheStats",
     "CostModel",
+    "LRUCache",
     "LayerPerformance",
     "ModelPerformance",
     "LevelAnalysis",
     "analyze_levels",
+    "evaluate_layer_key",
+    "layer_mapping_key",
     "operand_fetches",
 ]

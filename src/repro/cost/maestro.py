@@ -7,6 +7,16 @@ requirements.  The analysis is data-centric: reuse is inferred from loop
 order, spatial mapping and tile sizes (see :mod:`repro.cost.reuse`), never
 from simulation, so a single evaluation costs microseconds and the
 optimization loop can afford tens of thousands of samples.
+
+Two implementations of the per-layer analysis coexist:
+
+* the **fast engine** (:mod:`repro.cost.engine`), which works on
+  precomputed layer statics and tuple-indexed mappings and memoizes layer
+  reports in a bounded LRU keyed on the clipped per-layer mapping — the
+  default on every hot path; and
+* the **reference path** (``engine="reference"``), the original dict-based
+  analysis kept verbatim as ground truth for the bit-identical parity tests
+  and as the baseline for the throughput benchmarks.
 """
 
 from __future__ import annotations
@@ -15,6 +25,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping as TMapping, Union
 
 from repro.arch.energy import EnergyModel
+from repro.cost.cache import CacheStats, LRUCache
+from repro.cost.engine import (
+    energy_coefficients,
+    evaluate_layer_key,
+    layer_mapping_key,
+    make_report,
+)
 from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.cost.reuse import (
     LevelAnalysis,
@@ -27,9 +44,42 @@ from repro.mapping.tiles import buffer_requirements, operand_footprint
 from repro.workloads.dims import DIMS
 from repro.workloads.layer import Layer
 from repro.workloads.model import Model
+from repro.workloads.statics import layer_statics, model_statics
 
 #: Accepted ways of supplying mappings to :meth:`CostModel.evaluate_model`.
 MappingProvider = Union[Mapping, Callable[[Layer], Mapping], TMapping[str, Mapping]]
+
+#: Default bound of the per-layer report cache.  Each entry is one flat
+#: tuple of scalar report fields (a few hundred bytes, invisible to the
+#: cyclic GC), so the default costs a couple of MB while comfortably
+#: covering a GA generation's working set.
+DEFAULT_LAYER_CACHE_SIZE = 16384
+
+
+def _report_values(report: LayerPerformance) -> tuple:
+    """Cacheable scalar fields of a report (everything but name and count).
+
+    GC-untracked (a flat tuple of numbers), so a full cache does not slow
+    down cyclic garbage collections the way thousands of live report
+    objects would.  ``make_report(layer.name, *values, layer.count)``
+    reconstitutes the report for any same-shaped layer.
+    """
+    values = report.__dict__
+    return (
+        values["latency"],
+        values["compute_cycles"],
+        values["noc_cycles"],
+        values["dram_cycles"],
+        values["macs"],
+        values["l2_to_l1_bytes"],
+        values["dram_bytes"],
+        values["l1_access_bytes"],
+        values["energy"],
+        values["active_pes"],
+        values["num_pes"],
+        values["l1_requirement_bytes"],
+        values["l2_requirement_bytes"],
+    )
 
 
 @dataclass(frozen=True)
@@ -42,10 +92,38 @@ class CostModel:
         Per-MAC and per-byte energy coefficients.
     bytes_per_element:
         Tensor element width in bytes.
+    cache_size:
+        Bound of the memoized per-layer report cache (0 disables caching).
+    engine:
+        ``"fast"`` (default) uses the tuple-based engine and the cache;
+        ``"reference"`` runs the original dict-based analysis uncached.
     """
 
     energy_model: EnergyModel = EnergyModel()
     bytes_per_element: int = 1
+    cache_size: int = DEFAULT_LAYER_CACHE_SIZE
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
+        object.__setattr__(self, "_cache", LRUCache(self.cache_size))
+        object.__setattr__(
+            self, "_energy_coefficients", energy_coefficients(self.energy_model)
+        )
+
+    # -- cache introspection -----------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the per-layer report cache."""
+        return self._cache.stats()
+
+    def cache_clear(self) -> None:
+        """Drop all memoized layer reports and reset the counters."""
+        self._cache.clear()
 
     # -- single layer ------------------------------------------------------
 
@@ -62,6 +140,48 @@ class CostModel:
         layer's dimensions, so any syntactically valid mapping can be
         evaluated (the encoding never produces hard failures, only bad
         scores).
+        """
+        if noc_bandwidth <= 0 or dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.engine == "reference":
+            return self.evaluate_layer_reference(
+                layer, mapping, noc_bandwidth, dram_bandwidth
+            )
+        statics = layer_statics(layer)
+        key = layer_mapping_key(statics, mapping)
+        # Statics are canonical per layer shape (identity-hashed), which
+        # keeps the composite key cheap while distinguishing layers whose
+        # different shapes happen to clip a mapping identically.  Cached
+        # values are plain field tuples (see evaluate_model for why).
+        cache_key = (statics, key, noc_bandwidth, dram_bandwidth)
+        cache = self._cache
+        entry = cache.get(cache_key)
+        if entry is not None:
+            return make_report(layer.name, *entry, layer.count)
+        report = evaluate_layer_key(
+            statics,
+            key,
+            noc_bandwidth,
+            dram_bandwidth,
+            self.bytes_per_element,
+            self._energy_coefficients,
+            layer.name,
+            layer.count,
+        )
+        cache.put(cache_key, _report_values(report))
+        return report
+
+    def evaluate_layer_reference(
+        self,
+        layer: Layer,
+        mapping: Mapping,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> LayerPerformance:
+        """The original (uncached, dict-based) per-layer analysis.
+
+        Ground truth for the fast engine: the parity tests assert that
+        :meth:`evaluate_layer` reproduces this bit for bit.
         """
         if noc_bandwidth <= 0 or dram_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
@@ -136,12 +256,63 @@ class CostModel:
         layer, clipped to each layer's dimensions), a callable
         ``layer -> Mapping``, or a dict keyed by layer name.
         """
-        reports: List[LayerPerformance] = []
-        for layer in model.unique_layers():
-            mapping = _resolve_mapping(mappings, layer)
-            reports.append(
-                self.evaluate_layer(layer, mapping, noc_bandwidth, dram_bandwidth)
-            )
+        if self.engine == "reference":
+            reports: List[LayerPerformance] = []
+            for layer in model.unique_layers():
+                mapping = _resolve_mapping(mappings, layer, clip=True)
+                reports.append(
+                    self.evaluate_layer(layer, mapping, noc_bandwidth, dram_bandwidth)
+                )
+            return ModelPerformance(model_name=model.name, layers=tuple(reports))
+
+        # Fused fast path: one cache/engine round per unique layer, with
+        # per-evaluation constants hoisted and the cache dict operated on
+        # directly (see LRUCache.data) to keep the per-layer overhead at a
+        # couple of dict operations.  The cache stores plain field tuples
+        # rather than report objects: tuples of scalars are untracked by the
+        # cyclic GC, so thousands of cached entries do not slow collections
+        # down; reports are rebuilt on hits via the engine's bulk
+        # constructor.
+        if noc_bandwidth <= 0 or dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        cache = self._cache
+        cache_on = cache.maxsize > 0
+        data = cache.data
+        maxsize = cache.maxsize
+        hits = misses = 0
+        bpe = self.bytes_per_element
+        energy = self._energy_coefficients
+        shared = mappings if isinstance(mappings, Mapping) else None
+        reports = []
+        for layer, statics in model_statics(model):
+            mapping = shared if shared is not None else _resolve_mapping(mappings, layer)
+            key = layer_mapping_key(statics, mapping)
+            entry = None
+            if cache_on:
+                cache_key = (statics, key, noc_bandwidth, dram_bandwidth)
+                entry = data.get(cache_key)
+            if entry is None:
+                report = evaluate_layer_key(
+                    statics,
+                    key,
+                    noc_bandwidth,
+                    dram_bandwidth,
+                    bpe,
+                    energy,
+                    layer.name,
+                    layer.count,
+                )
+                if cache_on:
+                    misses += 1
+                    data[cache_key] = _report_values(report)
+                    if len(data) > maxsize:
+                        data.popitem(last=False)
+            else:
+                hits += 1
+                report = make_report(layer.name, *entry, layer.count)
+            reports.append(report)
+        cache.hits += hits
+        cache.misses += misses
         return ModelPerformance(model_name=model.name, layers=tuple(reports))
 
     # -- internals ---------------------------------------------------------
@@ -218,14 +389,22 @@ class CostModel:
         return fill_l2 + fill_l1
 
 
-def _resolve_mapping(mappings: MappingProvider, layer: Layer) -> Mapping:
-    """Turn any accepted mapping provider into a concrete per-layer mapping."""
+def _resolve_mapping(
+    mappings: MappingProvider, layer: Layer, clip: bool = False
+) -> Mapping:
+    """Turn any accepted mapping provider into a concrete per-layer mapping.
+
+    The fast engine clips tile sizes itself while building the memoization
+    key, so eager clipping (``clip=True``) is only performed on the
+    reference path, where it reproduces the original evaluation flow.
+    """
     if isinstance(mappings, Mapping):
-        return mappings.clipped_to_layer(layer)
+        return mappings.clipped_to_layer(layer) if clip else mappings
     if callable(mappings):
-        return mappings(layer).clipped_to_layer(layer)
+        mapping = mappings(layer)
+        return mapping.clipped_to_layer(layer) if clip else mapping
     try:
         mapping = mappings[layer.name]
     except KeyError as error:
         raise KeyError(f"no mapping provided for layer {layer.name!r}") from error
-    return mapping.clipped_to_layer(layer)
+    return mapping.clipped_to_layer(layer) if clip else mapping

@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.mapping.directives import LevelMapping
 from repro.mapping.mapping import Mapping
-from repro.workloads.dims import DIMS, validate_dim
+from repro.workloads.dims import DIM_INDEX, DIMS, validate_dim
 from repro.workloads.model import Model
 
 
@@ -78,6 +78,34 @@ class Genome:
     def to_mapping(self) -> Mapping:
         """Freeze into an immutable :class:`Mapping`."""
         return Mapping(levels=tuple(level.to_level_mapping() for level in self.levels))
+
+    def cache_key(self) -> Tuple:
+        """The :meth:`Mapping.cache_key` of the decoded mapping, without decoding.
+
+        Applies the same gene clamping as :meth:`to_mapping`, so
+        ``genome.cache_key() == genome.to_mapping().cache_key()`` whenever
+        the genome decodes successfully; malformed genomes (bad dimension
+        names) raise ``KeyError`` here and ``ValueError`` on decode, and
+        genomes with non-permutation orders produce keys no valid mapping
+        can share.  Lets the evaluator consult its design memo before paying
+        for mapping construction.
+        """
+        dim_index = DIM_INDEX
+        parts = []
+        for level in self.levels:
+            tiles = level.tiles
+            spatial = int(level.spatial_size)
+            parts.append(
+                (
+                    (
+                        spatial if spatial > 1 else 1,
+                        dim_index[level.parallel_dim],
+                        tuple([dim_index[dim] for dim in level.order]),
+                    ),
+                    tuple([max(1, int(tiles[dim])) for dim in DIMS]),
+                )
+            )
+        return tuple(parts)
 
     @staticmethod
     def from_mapping(mapping: Mapping) -> "Genome":

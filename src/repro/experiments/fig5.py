@@ -99,22 +99,26 @@ def run_fig5(
             model,
             platform,
             bytes_per_element=settings.bytes_per_element,
+            **settings.framework_options(),
         )
         result.latency[model_name] = {}
         result.latency_area_product[model_name] = {}
         result.searches[model_name] = {}
-        for optimizer_name in optimizers:
-            optimizer = get_optimizer(optimizer_name)
-            search = framework.search(
-                optimizer,
-                sampling_budget=settings.sampling_budget,
-                seed=settings.seed,
-            )
-            result.latency[model_name][optimizer.name] = search.best_latency
-            result.latency_area_product[model_name][optimizer.name] = (
-                search.best_latency_area_product
-            )
-            result.searches[model_name][optimizer.name] = search
+        try:
+            for optimizer_name in optimizers:
+                optimizer = get_optimizer(optimizer_name)
+                search = framework.search(
+                    optimizer,
+                    sampling_budget=settings.sampling_budget,
+                    seed=settings.seed,
+                )
+                result.latency[model_name][optimizer.name] = search.best_latency
+                result.latency_area_product[model_name][optimizer.name] = (
+                    search.best_latency_area_product
+                )
+                result.searches[model_name][optimizer.name] = search
+        finally:
+            framework.close()
     return result
 
 

@@ -100,39 +100,49 @@ def run_fig6(
 
         # HW-opt: fixed dataflows, grid-searched hardware.
         co_framework = CoOptimizationFramework(
-            model, platform, bytes_per_element=settings.bytes_per_element
+            model,
+            platform,
+            bytes_per_element=settings.bytes_per_element,
+            **settings.framework_options(),
         )
-        for style in DATAFLOW_STYLES:
+        try:
+            for style in DATAFLOW_STYLES:
+                search = co_framework.search(
+                    HardwareGridSearch(style),
+                    sampling_budget=settings.sampling_budget,
+                    seed=settings.seed,
+                )
+                _record(result, model_name, f"Grid-S+{style}-like", search)
+
+            # Mapping-opt: fixed hardware, GAMMA-searched mapping.
+            for style, compute_fraction in FIXED_HW_STYLES.items():
+                fixed_hw = make_fixed_hardware(platform, compute_fraction)
+                framework = CoOptimizationFramework(
+                    model,
+                    platform,
+                    fixed_hardware=fixed_hw,
+                    bytes_per_element=settings.bytes_per_element,
+                    **settings.framework_options(),
+                )
+                try:
+                    search = framework.search(
+                        GammaMapper(),
+                        sampling_budget=settings.sampling_budget,
+                        seed=settings.seed,
+                    )
+                finally:
+                    framework.close()
+                _record(result, model_name, f"{style}+Gamma", search)
+
+            # HW-Map co-optimization: DiGamma.
             search = co_framework.search(
-                HardwareGridSearch(style),
+                DiGamma(),
                 sampling_budget=settings.sampling_budget,
                 seed=settings.seed,
             )
-            _record(result, model_name, f"Grid-S+{style}-like", search)
-
-        # Mapping-opt: fixed hardware, GAMMA-searched mapping.
-        for style, compute_fraction in FIXED_HW_STYLES.items():
-            fixed_hw = make_fixed_hardware(platform, compute_fraction)
-            framework = CoOptimizationFramework(
-                model,
-                platform,
-                fixed_hardware=fixed_hw,
-                bytes_per_element=settings.bytes_per_element,
-            )
-            search = framework.search(
-                GammaMapper(),
-                sampling_budget=settings.sampling_budget,
-                seed=settings.seed,
-            )
-            _record(result, model_name, f"{style}+Gamma", search)
-
-        # HW-Map co-optimization: DiGamma.
-        search = co_framework.search(
-            DiGamma(),
-            sampling_budget=settings.sampling_budget,
-            seed=settings.seed,
-        )
-        _record(result, model_name, "DiGamma", search)
+            _record(result, model_name, "DiGamma", search)
+        finally:
+            co_framework.close()
     return result
 
 

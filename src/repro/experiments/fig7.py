@@ -117,45 +117,55 @@ def run_fig7(
     solutions: Dict[str, SchemeSolution] = {}
 
     co_framework = CoOptimizationFramework(
-        model, platform, bytes_per_element=settings.bytes_per_element
-    )
-
-    # HW-opt representative: grid-searched HW with the dla-like mapping.
-    search = co_framework.search(
-        HardwareGridSearch("dla"),
-        sampling_budget=settings.sampling_budget,
-        seed=settings.seed,
-    )
-    solutions["HW-opt (Grid-S + dla-like)"] = SchemeSolution(
-        scheme="HW-opt (Grid-S + dla-like)", search=search
-    )
-
-    # Mapping-opt representative: Compute-focused fixed HW with GAMMA.
-    fixed_hw = make_fixed_hardware(platform, FIXED_HW_STYLES["Compute-focused"])
-    mapping_framework = CoOptimizationFramework(
         model,
         platform,
-        fixed_hardware=fixed_hw,
         bytes_per_element=settings.bytes_per_element,
-    )
-    search = mapping_framework.search(
-        GammaMapper(),
-        sampling_budget=settings.sampling_budget,
-        seed=settings.seed,
-    )
-    solutions["Mapping-opt (Compute-focused + Gamma)"] = SchemeSolution(
-        scheme="Mapping-opt (Compute-focused + Gamma)", search=search
+        **settings.framework_options(),
     )
 
-    # Co-optimization: DiGamma.
-    search = co_framework.search(
-        DiGamma(),
-        sampling_budget=settings.sampling_budget,
-        seed=settings.seed,
-    )
-    solutions["HW-Map-co-opt (DiGamma)"] = SchemeSolution(
-        scheme="HW-Map-co-opt (DiGamma)", search=search
-    )
+    try:
+        # HW-opt representative: grid-searched HW with the dla-like mapping.
+        search = co_framework.search(
+            HardwareGridSearch("dla"),
+            sampling_budget=settings.sampling_budget,
+            seed=settings.seed,
+        )
+        solutions["HW-opt (Grid-S + dla-like)"] = SchemeSolution(
+            scheme="HW-opt (Grid-S + dla-like)", search=search
+        )
+
+        # Mapping-opt representative: Compute-focused fixed HW with GAMMA.
+        fixed_hw = make_fixed_hardware(platform, FIXED_HW_STYLES["Compute-focused"])
+        mapping_framework = CoOptimizationFramework(
+            model,
+            platform,
+            fixed_hardware=fixed_hw,
+            bytes_per_element=settings.bytes_per_element,
+            **settings.framework_options(),
+        )
+        try:
+            search = mapping_framework.search(
+                GammaMapper(),
+                sampling_budget=settings.sampling_budget,
+                seed=settings.seed,
+            )
+        finally:
+            mapping_framework.close()
+        solutions["Mapping-opt (Compute-focused + Gamma)"] = SchemeSolution(
+            scheme="Mapping-opt (Compute-focused + Gamma)", search=search
+        )
+
+        # Co-optimization: DiGamma.
+        search = co_framework.search(
+            DiGamma(),
+            sampling_budget=settings.sampling_budget,
+            seed=settings.seed,
+        )
+        solutions["HW-Map-co-opt (DiGamma)"] = SchemeSolution(
+            scheme="HW-Map-co-opt (DiGamma)", search=search
+        )
+    finally:
+        co_framework.close()
 
     return Fig7Result(
         model=model_name,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.arch.area import AreaModel
 from repro.arch.hardware import HardwareConfig
@@ -49,17 +49,31 @@ DEFAULT_SAMPLING_BUDGET = 1_500
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Knobs shared by the Fig. 5 / Fig. 6 / Fig. 7 harnesses."""
+    """Knobs shared by the Fig. 5 / Fig. 6 / Fig. 7 harnesses.
+
+    ``use_cache`` and ``workers`` configure the evaluation engine of every
+    search the harness runs: memoization on/off (results are bit-identical
+    either way) and the optional process-pool width for batched population
+    evaluation.
+    """
 
     models: Tuple[str, ...] = DEFAULT_MODELS
     sampling_budget: int = DEFAULT_SAMPLING_BUDGET
     seed: int = 0
     bytes_per_element: int = 1
+    use_cache: bool = True
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.sampling_budget < 1:
             raise ValueError("sampling_budget must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 when given")
         object.__setattr__(self, "models", tuple(self.models))
+
+    def framework_options(self) -> Dict[str, object]:
+        """Evaluation-engine kwargs for :class:`CoOptimizationFramework`."""
+        return {"use_cache": self.use_cache, "workers": self.workers}
 
 
 def make_fixed_hardware(

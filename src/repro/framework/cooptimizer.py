@@ -56,6 +56,10 @@ class CoOptimizationFramework:
     buffer_allocation:
         Buffer allocation strategy forwarded to the evaluator
         (``"exact"`` or ``"fill"``).
+    use_cache / workers / engine:
+        Evaluation-engine knobs forwarded to the evaluator: memoization
+        on/off, process-pool width for batched population evaluation, and
+        the fast/reference engine selector.
     """
 
     def __init__(
@@ -69,6 +73,9 @@ class CoOptimizationFramework:
         energy_model: Optional[EnergyModel] = None,
         bytes_per_element: int = 1,
         buffer_allocation: str = "exact",
+        use_cache: bool = True,
+        workers: Optional[int] = None,
+        engine: str = "fast",
     ):
         self.model = model
         self.platform = platform
@@ -83,8 +90,15 @@ class CoOptimizationFramework:
             energy_model=energy_model,
             bytes_per_element=bytes_per_element,
             buffer_allocation=buffer_allocation,
+            use_cache=use_cache,
+            workers=workers,
+            engine=engine,
         )
         self.space = self.evaluator.genome_space(num_levels=num_levels)
+
+    def close(self) -> None:
+        """Release evaluator resources (worker pool, caches)."""
+        self.evaluator.shutdown()
 
     def search(
         self,

@@ -9,14 +9,16 @@ can be plugged into the Optimization Block unchanged.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.arch.area import AreaBreakdown, AreaModel
 from repro.arch.energy import EnergyModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
-from repro.cost.maestro import CostModel
+from repro.cost.cache import CacheStats, LRUCache
+from repro.cost.maestro import DEFAULT_LAYER_CACHE_SIZE, CostModel
 from repro.cost.performance import ModelPerformance
 from repro.encoding.genome import Genome, GenomeSpace
 from repro.framework.constraints import ConstraintChecker
@@ -31,6 +33,36 @@ from repro.workloads.model import Model
 #: invalid one, while the severity grading still gives the search a slope
 #: back towards the feasible region.
 INVALID_FITNESS_SCALE = 1e18
+
+#: Bound of the whole-design memo (one entry per distinct raw mapping).
+DEFAULT_DESIGN_CACHE_SIZE = 2048
+
+#: Evaluator installed in each worker process (see ``_init_worker``).
+_WORKER_EVALUATOR: Optional["DesignEvaluator"] = None
+
+
+def _init_worker(evaluator: "DesignEvaluator") -> None:
+    """Install the pickled evaluator once per worker process."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _evaluate_in_worker(genome: Genome) -> "EvaluationResult":
+    """Evaluate one genome in a worker process (pool map target)."""
+    return _WORKER_EVALUATOR.evaluate_genome(genome)
+
+
+def _with_genome(result: "EvaluationResult", genome: Genome) -> "EvaluationResult":
+    """A copy of ``result`` carrying ``genome``, without the __init__ cost.
+
+    Equivalent to ``dataclasses.replace(result, genome=genome)``; the frozen
+    dataclass stores fields in the instance dict, so a bulk dict copy
+    suffices and runs several times faster on this per-evaluation path.
+    """
+    wrapped = object.__new__(EvaluationResult)
+    wrapped.__dict__.update(result.__dict__)
+    wrapped.__dict__["genome"] = genome
+    return wrapped
 
 
 @dataclass(frozen=True)
@@ -84,6 +116,17 @@ class DesignEvaluator:
         buffer capacity the decoded mapping needs; ``"fill"`` instead gives
         the L2 all of the area budget left over after PEs and L1s, which is
         the naive alternative used by the buffer-allocation ablation.
+    use_cache:
+        When True (default) memoize whole-design and per-layer evaluations
+        behind bounded LRU caches.  Results are bit-identical either way;
+        the flag exists for benchmarking and debugging (``--no-cache``).
+    workers:
+        Default process-pool width for :meth:`evaluate_population`.
+        ``None``/``1`` evaluates sequentially in-process.
+    engine:
+        Cost-model engine selector (``"fast"`` or ``"reference"``); the
+        reference engine is the seed implementation kept for parity tests
+        and baseline benchmarks.
     """
 
     def __init__(
@@ -96,11 +139,16 @@ class DesignEvaluator:
         energy_model: Optional[EnergyModel] = None,
         bytes_per_element: int = 1,
         buffer_allocation: str = "exact",
+        use_cache: bool = True,
+        workers: Optional[int] = None,
+        engine: str = "fast",
     ):
         if buffer_allocation not in ("exact", "fill"):
             raise ValueError(
                 f"buffer_allocation must be 'exact' or 'fill', got {buffer_allocation!r}"
             )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1 when given, got {workers}")
         self.model = model
         self.platform = platform
         self.objective = objective
@@ -109,14 +157,23 @@ class DesignEvaluator:
         self.area_model = area_model if area_model is not None else AreaModel()
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.bytes_per_element = bytes_per_element
+        self.use_cache = use_cache
+        self.workers = workers
         self.cost_model = CostModel(
             energy_model=self.energy_model,
             bytes_per_element=bytes_per_element,
+            cache_size=DEFAULT_LAYER_CACHE_SIZE if use_cache else 0,
+            engine=engine,
         )
         self.constraint_checker = ConstraintChecker(
             area_budget_um2=platform.area_budget_um2,
             fixed_hardware=fixed_hardware,
         )
+        self._design_cache = LRUCache(
+            DEFAULT_DESIGN_CACHE_SIZE if use_cache and engine == "fast" else 0
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
 
     # -- public API --------------------------------------------------------
 
@@ -138,18 +195,87 @@ class DesignEvaluator:
         )
 
     def evaluate_genome(self, genome: Genome) -> EvaluationResult:
-        """Decode and score an encoded individual."""
-        mapping = genome.to_mapping()
-        result = self.evaluate_mapping(mapping)
-        return EvaluationResult(
-            fitness=result.fitness,
-            valid=result.valid,
-            objective=result.objective,
-            objective_value=result.objective_value,
-            design=result.design,
-            violations=result.violations,
-            genome=genome,
-        )
+        """Decode and score an encoded individual.
+
+        Whole evaluations are memoized on the mapping's canonical key:
+        identical raw mappings (elites copied between generations, converged
+        populations) skip decoding and scoring entirely.
+        """
+        key = genome.cache_key()
+        result = self._design_cache.get(key)
+        if result is None:
+            result = self.evaluate_mapping(genome.to_mapping())
+            self._design_cache.put(key, result)
+        return _with_genome(result, genome)
+
+    def evaluate_population(
+        self,
+        genomes: Sequence[Genome],
+        workers: Optional[int] = None,
+    ) -> List[EvaluationResult]:
+        """Score a whole population in one call, preserving input order.
+
+        ``workers`` (default: the evaluator's ``workers`` setting) selects
+        an optional process pool; results are bit-identical to the
+        sequential path either way, because every evaluation is a pure
+        function of its genome.
+        """
+        genomes = list(genomes)
+        width = self.workers if workers is None else workers
+        if width is not None and width > 1 and len(genomes) > 1:
+            pool = self._ensure_pool(width)
+            chunksize = max(1, len(genomes) // (width * 2))
+            return list(
+                pool.map(_evaluate_in_worker, genomes, chunksize=chunksize)
+            )
+        return [self.evaluate_genome(genome) for genome in genomes]
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Combined hit/miss counters of the design and layer caches."""
+        return self._design_cache.stats().combined(self.cost_model.cache_stats)
+
+    @property
+    def design_cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the whole-design memo."""
+        return self._design_cache.stats()
+
+    @property
+    def layer_cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the per-layer report cache."""
+        return self.cost_model.cache_stats
+
+    def cache_clear(self) -> None:
+        """Drop all memoized evaluations and reset the counters."""
+        self._design_cache.clear()
+        self.cost_model.cache_clear()
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        """Start (or resize) the lazily created evaluation worker pool."""
+        if self._pool is None or self._pool_workers != workers:
+            self.shutdown()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self,),
+            )
+            self._pool_workers = workers
+        return self._pool
+
+    def __getstate__(self) -> dict:
+        # Worker pools never cross process boundaries; caches restart empty
+        # in the worker (see LRUCache.__getstate__).
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        state["_pool_workers"] = 0
+        return state
 
     def evaluate_mapping(
         self,

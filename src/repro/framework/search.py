@@ -4,17 +4,21 @@ The paper's Optimization Block exposes one knob to all algorithms: the
 sampling budget.  :class:`SearchTracker` enforces that budget, counts
 evaluations, records the best design point found so far and offers both the
 genome view and the flat-vector view of the encoding, so any algorithm can
-be plugged in without touching the framework.
+be plugged in without touching the framework.  Population-based algorithms
+should prefer the batched views (:meth:`SearchTracker.evaluate_batch` /
+:meth:`SearchTracker.evaluate_vector_batch`): whole generations are scored
+in one evaluator call, which keeps the memoized evaluation engine hot and
+lets the evaluator fan the work out over worker processes.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cost.cache import CacheStats
 from repro.encoding.genome import Genome, GenomeSpace
 from repro.encoding.repair import repair_genome
 from repro.encoding.vector_codec import VectorCodec
@@ -76,10 +80,42 @@ class SearchTracker:
         self._record(result)
         return result.fitness
 
+    def evaluate_batch(self, genomes: Sequence[Genome]) -> List[float]:
+        """Evaluate a population slice in one call; returns its fitnesses.
+
+        Only as many genomes as the remaining budget allows are evaluated
+        (in order), so the returned list may be shorter than the input —
+        callers should stop when that happens.  Results are bit-identical
+        to evaluating the same genomes one by one.
+        """
+        batch = list(genomes)[: self.remaining]
+        repaired = [repair_genome(genome.copy(), self.space) for genome in batch]
+        results = self.evaluator.evaluate_population(repaired)
+        fitnesses: List[float] = []
+        for result in results:
+            self.evaluations += 1
+            self._record(result)
+            fitnesses.append(result.fitness)
+        return fitnesses
+
+    def evaluate_vector_batch(self, vectors: Sequence[np.ndarray]) -> List[float]:
+        """Evaluate a batch of flat vectors; returns their fitnesses.
+
+        Budget semantics match :meth:`evaluate_batch`.
+        """
+        batch = list(vectors)[: self.remaining]
+        genomes = [self.codec.decode(vector) for vector in batch]
+        return self.evaluate_batch(genomes)
+
     @property
     def vector_dimension(self) -> int:
         """Length of the flat-vector encoding."""
         return self.codec.dimension
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Combined evaluation-cache counters of the underlying evaluator."""
+        return self.evaluator.cache_stats
 
     # -- internals ---------------------------------------------------------
 
@@ -113,6 +149,13 @@ class SearchResult:
         return self.best is not None and self.best.valid
 
     @property
+    def evals_per_second(self) -> float:
+        """Search throughput (evaluations per wall-clock second)."""
+        if self.wall_time_seconds <= 0.0:
+            return 0.0
+        return self.evaluations / self.wall_time_seconds
+
+    @property
     def best_latency(self) -> float:
         """Latency of the best valid design (``inf`` when none was found)."""
         if not self.found_valid:
@@ -138,11 +181,12 @@ class SearchResult:
         if not self.found_valid:
             return (
                 f"{self.optimizer_name}: no valid design found "
-                f"({self.evaluations}/{self.sampling_budget} samples)"
+                f"({self.evaluations}/{self.sampling_budget} samples, "
+                f"{self.evals_per_second:.0f} evals/s)"
             )
         return (
             f"{self.optimizer_name}: latency={self.best_latency:.3e} cycles, "
             f"LAP={self.best_latency_area_product:.3e} "
             f"({self.evaluations}/{self.sampling_budget} samples, "
-            f"{self.wall_time_seconds:.1f}s)"
+            f"{self.wall_time_seconds:.1f}s, {self.evals_per_second:.0f} evals/s)"
         )

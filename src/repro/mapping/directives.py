@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping as TMapping, Tuple
 
-from repro.workloads.dims import DIMS, validate_dim
+from repro.workloads.dims import DIM_INDEX, DIMS, validate_dim
+
+_DIMS_SET = frozenset(DIMS)
 
 
 @dataclass(frozen=True)
@@ -42,7 +44,7 @@ class LevelMapping:
         if self.spatial_size < 1:
             raise ValueError(f"spatial_size must be >= 1, got {self.spatial_size}")
         validate_dim(self.parallel_dim)
-        if tuple(sorted(self.order)) != tuple(sorted(DIMS)):
+        if len(self.order) != len(DIMS) or set(self.order) != _DIMS_SET:
             raise ValueError(
                 f"order must be a permutation of {DIMS}, got {self.order}"
             )
@@ -52,6 +54,20 @@ class LevelMapping:
                 raise ValueError(f"tile size of {dim} must be >= 1, got {size}")
         object.__setattr__(self, "order", tuple(self.order))
         object.__setattr__(self, "tiles", tiles)
+        # Fast-path views consumed by the evaluation engine: tile sizes in
+        # canonical DIMS order and index-based loop order / parallel dim.
+        object.__setattr__(
+            self, "tiles_tuple", tuple(tiles[dim] for dim in DIMS)
+        )
+        object.__setattr__(
+            self, "order_indexes", tuple(DIM_INDEX[dim] for dim in self.order)
+        )
+        object.__setattr__(self, "parallel_index", DIM_INDEX[self.parallel_dim])
+        object.__setattr__(
+            self,
+            "static_key",
+            (self.spatial_size, self.parallel_index, self.order_indexes),
+        )
 
     # -- helpers -----------------------------------------------------------
 

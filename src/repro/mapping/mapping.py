@@ -52,6 +52,21 @@ class Mapping:
             total *= level.spatial_size
         return total
 
+    def cache_key(self) -> Tuple:
+        """Canonical hashable key of this mapping (layer-independent).
+
+        Two mappings with the same key decode to identical design points, so
+        the key is safe to memoize full evaluations on.  The key is cached on
+        the instance (mappings are immutable).
+        """
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            cached = tuple(
+                (level.static_key, level.tiles_tuple) for level in self.levels
+            )
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
+
     def tile_extents(self, layer: Layer) -> List[Dict[str, int]]:
         """Effective (clipped) per-sub-cluster tile extents at each level.
 

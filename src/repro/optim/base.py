@@ -3,10 +3,45 @@
 from __future__ import annotations
 
 import abc
+from typing import List, Sequence
 
 import numpy as np
 
+from repro.encoding.genome import Genome
 from repro.framework.search import SearchTracker
+
+
+def evaluate_genomes(tracker: SearchTracker, genomes: Sequence[Genome]) -> List[float]:
+    """Score a population through the tracker's batched view.
+
+    Falls back to one-by-one evaluation for tracker stubs without a batch
+    API.  Either way the returned list is truncated when the sampling
+    budget runs out mid-population; callers should stop in that case.
+    """
+    batch = getattr(tracker, "evaluate_batch", None)
+    if batch is not None:
+        return batch(genomes)
+    fitnesses: List[float] = []
+    for genome in genomes:
+        if tracker.exhausted:
+            break
+        fitnesses.append(tracker.evaluate_genome(genome))
+    return fitnesses
+
+
+def evaluate_vectors(
+    tracker: SearchTracker, vectors: Sequence[np.ndarray]
+) -> List[float]:
+    """Vector-view counterpart of :func:`evaluate_genomes`."""
+    batch = getattr(tracker, "evaluate_vector_batch", None)
+    if batch is not None:
+        return batch(vectors)
+    fitnesses: List[float] = []
+    for vector in vectors:
+        if tracker.exhausted:
+            break
+        fitnesses.append(tracker.evaluate_vector(vector))
+    return fitnesses
 
 
 class Optimizer(abc.ABC):

@@ -5,11 +5,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer
+from repro.optim.base import Optimizer, evaluate_vectors
 
 
 class DifferentialEvolution(Optimizer):
-    """Standard DE/rand/1/bin over the flat vector encoding."""
+    """Standard DE/rand/1/bin over the flat vector encoding.
+
+    The algorithm is generational: every generation's trial vectors are
+    built from the current population and scored as one batch, then the
+    one-to-one selection is applied.  This is the textbook synchronous DE
+    and lets the framework evaluate whole generations in a single call.
+    """
 
     name = "DE"
 
@@ -32,16 +38,15 @@ class DifferentialEvolution(Optimizer):
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         dimension = tracker.vector_dimension
         population = rng.random((self.population_size, dimension))
-        fitness = np.empty(self.population_size)
-        for index in range(self.population_size):
-            if tracker.exhausted:
-                return
-            fitness[index] = tracker.evaluate_vector(population[index])
+        fitness = np.asarray(
+            evaluate_vectors(tracker, list(population)), dtype=float
+        )
+        if fitness.size < self.population_size:
+            return
 
         while not tracker.exhausted:
+            trials = np.empty_like(population)
             for index in range(self.population_size):
-                if tracker.exhausted:
-                    return
                 candidates = [i for i in range(self.population_size) if i != index]
                 a, b, c = rng.choice(candidates, size=3, replace=False)
                 mutant = population[a] + self.differential_weight * (
@@ -51,9 +56,12 @@ class DifferentialEvolution(Optimizer):
 
                 cross = rng.random(dimension) < self.crossover_rate
                 cross[rng.integers(dimension)] = True
-                trial = np.where(cross, mutant, population[index])
+                trials[index] = np.where(cross, mutant, population[index])
 
-                trial_fitness = tracker.evaluate_vector(trial)
-                if trial_fitness >= fitness[index]:
-                    population[index] = trial
-                    fitness[index] = trial_fitness
+            trial_fitness = evaluate_vectors(tracker, list(trials))
+            for index, value in enumerate(trial_fitness):
+                if value >= fitness[index]:
+                    population[index] = trials[index]
+                    fitness[index] = value
+            if len(trial_fitness) < self.population_size:
+                return

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.encoding.genome import Genome
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer
+from repro.optim.base import Optimizer, evaluate_genomes
 from repro.optim.digamma import operators
 
 
@@ -117,11 +117,9 @@ class DiGamma(Optimizer):
         population = [
             operators.seeded_genome(space, rng) for _ in range(num_seeded)
         ] + space.random_population(population_size - num_seeded, rng)
-        fitnesses: List[float] = []
-        for genome in population:
-            if tracker.exhausted:
-                return
-            fitnesses.append(tracker.evaluate_genome(genome))
+        fitnesses: List[float] = evaluate_genomes(tracker, population)
+        if len(fitnesses) < len(population):
+            return
 
         while not tracker.exhausted:
             order = list(np.argsort(fitnesses)[::-1])
@@ -135,11 +133,9 @@ class DiGamma(Optimizer):
                 children.append(self._make_child(parent_pool, space, rng))
 
             population = children
-            fitnesses = []
-            for genome in population:
-                if tracker.exhausted:
-                    return
-                fitnesses.append(tracker.evaluate_genome(genome))
+            fitnesses = evaluate_genomes(tracker, population)
+            if len(fitnesses) < len(population):
+                return
 
     # -- reproduction ----------------------------------------------------------
 

@@ -5,11 +5,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer
+from repro.optim.base import Optimizer, evaluate_vectors
 
 
 class ParticleSwarm(Optimizer):
-    """Global-best PSO with inertia weight on the flat vector encoding."""
+    """Global-best PSO with inertia weight on the flat vector encoding.
+
+    The swarm is updated synchronously: every sweep moves all particles
+    against the global best of the previous sweep, then scores the whole
+    swarm as one batch.  This is the textbook synchronous PSO and lets the
+    framework evaluate whole generations in a single call.
+    """
 
     name = "PSO"
 
@@ -39,19 +45,17 @@ class ParticleSwarm(Optimizer):
         global_best = positions[0].copy()
         global_fitness = -np.inf
 
-        for index in range(self.swarm_size):
-            if tracker.exhausted:
-                return
-            fitness = tracker.evaluate_vector(positions[index])
+        fitnesses = evaluate_vectors(tracker, list(positions))
+        for index, fitness in enumerate(fitnesses):
             personal_fitness[index] = fitness
             if fitness > global_fitness:
                 global_fitness = fitness
                 global_best = positions[index].copy()
+        if len(fitnesses) < self.swarm_size:
+            return
 
         while not tracker.exhausted:
             for index in range(self.swarm_size):
-                if tracker.exhausted:
-                    return
                 r_cognitive = rng.random(dimension)
                 r_social = rng.random(dimension)
                 velocities[index] = (
@@ -64,10 +68,13 @@ class ParticleSwarm(Optimizer):
                 )
                 positions[index] = np.clip(positions[index] + velocities[index], 0.0, 1.0)
 
-                fitness = tracker.evaluate_vector(positions[index])
+            fitnesses = evaluate_vectors(tracker, list(positions))
+            for index, fitness in enumerate(fitnesses):
                 if fitness > personal_fitness[index]:
                     personal_fitness[index] = fitness
                     personal_best[index] = positions[index].copy()
                 if fitness > global_fitness:
                     global_fitness = fitness
                     global_best = positions[index].copy()
+            if len(fitnesses) < self.swarm_size:
+                return

@@ -7,6 +7,9 @@ import numpy as np
 from repro.framework.search import SearchTracker
 from repro.optim.base import Optimizer
 
+#: Samples drawn per batched evaluation call.
+_CHUNK = 64
+
 
 class RandomSearch(Optimizer):
     """Sample independent random design points until the budget runs out.
@@ -14,13 +17,34 @@ class RandomSearch(Optimizer):
     Half the samples are drawn from the structured genome sampler (which is
     biased towards legal PE counts) and half from the uniform vector space,
     matching how a practitioner would randomise over the flat encoding.
+    Samples are scored in chunks so the evaluation engine sees batches, but
+    the sample stream is identical to drawing them one at a time.
     """
 
     name = "Random"
 
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        batch = getattr(tracker, "evaluate_batch", None)
         while not tracker.exhausted:
-            if rng.random() < 0.5:
-                tracker.evaluate_genome(tracker.space.random_genome(rng))
-            else:
-                tracker.evaluate_vector(tracker.codec.random_vector(rng))
+            chunk = min(_CHUNK, tracker.remaining)
+            samples = []
+            for _ in range(chunk):
+                if rng.random() < 0.5:
+                    samples.append((True, tracker.space.random_genome(rng)))
+                else:
+                    samples.append((False, tracker.codec.random_vector(rng)))
+            if batch is not None:
+                batch(
+                    [
+                        sample if is_genome else tracker.codec.decode(sample)
+                        for is_genome, sample in samples
+                    ]
+                )
+                continue
+            for is_genome, sample in samples:
+                if tracker.exhausted:
+                    break
+                if is_genome:
+                    tracker.evaluate_genome(sample)
+                else:
+                    tracker.evaluate_vector(sample)

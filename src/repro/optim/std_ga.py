@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.encoding.genome import Genome, log_uniform_int
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer
+from repro.optim.base import Optimizer, evaluate_genomes
 from repro.workloads.dims import DIMS
 
 
@@ -42,11 +42,9 @@ class StandardGA(Optimizer):
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         space = tracker.space
         population = space.random_population(self.population_size, rng)
-        fitnesses: List[float] = []
-        for genome in population:
-            if tracker.exhausted:
-                return
-            fitnesses.append(tracker.evaluate_genome(genome))
+        fitnesses = evaluate_genomes(tracker, population)
+        if len(fitnesses) < len(population):
+            return
 
         num_elites = max(1, int(self.population_size * self.elite_ratio))
         while not tracker.exhausted:
@@ -66,11 +64,9 @@ class StandardGA(Optimizer):
                 children.append(child)
 
             population = children
-            fitnesses = []
-            for genome in population:
-                if tracker.exhausted:
-                    return
-                fitnesses.append(tracker.evaluate_genome(genome))
+            fitnesses = evaluate_genomes(tracker, population)
+            if len(fitnesses) < len(population):
+                return
 
     # -- blind genetic operators --------------------------------------------
 

@@ -24,6 +24,9 @@ from typing import Dict, Iterator, Mapping, Tuple
 #: Canonical ordering of the six mapping dimensions.
 DIMS: Tuple[str, ...] = ("K", "C", "Y", "X", "R", "S")
 
+#: Position of each dimension in the canonical ordering (fast-path indexing).
+DIM_INDEX: Dict[str, int] = {dim: index for index, dim in enumerate(DIMS)}
+
 #: Dimensions that index the weight tensor.
 WEIGHT_DIMS: Tuple[str, ...] = ("K", "C", "R", "S")
 

@@ -168,7 +168,11 @@ class Layer:
 
     def signature(self) -> Tuple:
         """Hashable shape signature used to deduplicate identical layers."""
-        return (self.op_type, tuple(self.dims[d] for d in DIMS), self.stride)
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            cached = (self.op_type, tuple(self.dims[d] for d in DIMS), self.stride)
+            object.__setattr__(self, "_signature", cached)
+        return cached
 
 
 def _pair(value: int | Tuple[int, int]) -> Tuple[int, int]:

@@ -50,7 +50,14 @@ class Model:
         Returns new :class:`Layer` objects whose ``count`` is the sum of the
         multiplicities of all matching layers; the first occurrence's name is
         kept.  Mapping search tools evaluate each unique shape once.
+
+        The merged list is memoized (the model is immutable and this sits on
+        the fitness-evaluation hot path); a fresh list is returned each call
+        so callers may reorder it freely.
         """
+        cached = self.__dict__.get("_unique_layers")
+        if cached is not None:
+            return list(cached)
         merged: Dict[Tuple, Layer] = {}
         order: List[Tuple] = []
         for layer in self.layers:
@@ -67,7 +74,9 @@ class Model:
             else:
                 merged[key] = layer
                 order.append(key)
-        return [merged[key] for key in order]
+        unique = tuple(merged[key] for key in order)
+        object.__setattr__(self, "_unique_layers", unique)
+        return list(unique)
 
     def summary(self) -> str:
         """Human-readable multi-line summary of the model."""

@@ -1,0 +1,126 @@
+"""Precomputed per-layer invariants ("layer statics").
+
+Every cost-model evaluation of a layer needs the same handful of derived
+facts: the six dimension sizes in canonical order, the operand/dimension
+relevance of the operator type, the full tensor sizes and the MAC count.
+The seed implementation re-derived all of them from dicts on every call;
+this table computes them once per unique layer *shape* and hands the fast
+evaluation engine plain tuples indexed by dimension position.
+
+Statics are keyed on :meth:`Layer.signature`, so layers that share a shape
+(e.g. the repeated blocks of a ResNet stage) share one entry, and the entry
+is additionally memoized on the layer instance to skip even the signature
+hash on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, FrozenSet, Tuple
+
+from repro.workloads.dims import (
+    DIM_INDEX,
+    DIMS,
+    INPUT_DIMS,
+    OUTPUT_DIMS,
+    REDUCTION_DIMS,
+    WEIGHT_DIMS,
+)
+from repro.workloads.layer import Layer, OpType
+
+#: Indexes (into ``DIMS``) of the reduction dimensions.
+REDUCTION_INDEXES: FrozenSet[int] = frozenset(DIM_INDEX[d] for d in REDUCTION_DIMS)
+
+#: Depthwise output is indexed by ``C`` instead of ``K``.
+_DWCONV_WEIGHT_DIMS: Tuple[str, ...] = ("C", "R", "S")
+_DWCONV_OUTPUT_DIMS: Tuple[str, ...] = ("C", "Y", "X")
+
+
+def _index_set(dims: Tuple[str, ...]) -> FrozenSet[int]:
+    return frozenset(DIM_INDEX[d] for d in dims)
+
+
+@dataclass(frozen=True, eq=False)
+class LayerStatics:
+    """Shape-derived invariants of one layer, in fast-path form.
+
+    ``dims`` is the layer's dimension sizes as a tuple in ``DIMS`` order;
+    the ``*_indexes`` sets hold the positions (into ``DIMS``) of the
+    dimensions indexing each operand, so inner loops test membership on
+    small integers instead of strings.
+
+    Instances are canonical — one per distinct :meth:`Layer.signature`, via
+    the ``lru_cache`` below — so equality and hashing are by identity
+    (``eq=False``), which keeps statics cheap to use as cache-key parts.
+    """
+
+    signature: Tuple
+    op_type: OpType
+    dims: Tuple[int, ...]
+    stride: int
+    is_depthwise: bool
+    macs: int
+    weight_elements: int
+    input_elements: int
+    output_elements: int
+    weight_indexes: FrozenSet[int]
+    input_indexes: FrozenSet[int]
+    output_indexes: FrozenSet[int]
+    #: Memo used by the evaluation engine: loop order -> positions of the
+    #: (W, I, O) relevant dimensions within that order.
+    order_positions: Dict[Tuple[int, ...], Tuple] = field(default_factory=dict)
+
+
+@lru_cache(maxsize=None)
+def _statics_from_signature(signature: Tuple) -> LayerStatics:
+    op_type, dims, stride = signature
+    k, c, y, x, r, s = dims
+    in_y = (y - 1) * stride + r
+    in_x = (x - 1) * stride + s
+    is_depthwise = op_type is OpType.DWCONV
+    if is_depthwise:
+        weight = c * r * s
+        output = c * y * x
+        weight_dims, output_dims = _DWCONV_WEIGHT_DIMS, _DWCONV_OUTPUT_DIMS
+    else:
+        weight = k * c * r * s
+        output = k * y * x
+        weight_dims, output_dims = WEIGHT_DIMS, OUTPUT_DIMS
+    macs = 1
+    for size in dims:
+        macs *= size
+    return LayerStatics(
+        signature=signature,
+        op_type=op_type,
+        dims=dims,
+        stride=stride,
+        is_depthwise=is_depthwise,
+        macs=macs,
+        weight_elements=weight,
+        input_elements=c * in_y * in_x,
+        output_elements=output,
+        weight_indexes=_index_set(weight_dims),
+        input_indexes=_index_set(INPUT_DIMS),
+        output_indexes=_index_set(output_dims),
+    )
+
+
+def layer_statics(layer: Layer) -> LayerStatics:
+    """Statics of ``layer``, memoized on the instance and shared by shape."""
+    statics = layer.__dict__.get("_statics")
+    if statics is None:
+        statics = _statics_from_signature(layer.signature())
+        object.__setattr__(layer, "_statics", statics)
+    return statics
+
+
+def model_statics(model) -> Tuple[Tuple[Layer, LayerStatics], ...]:
+    """(unique layer, statics) pairs of a model, memoized on the instance."""
+    pairs = model.__dict__.get("_layer_statics")
+    if pairs is None:
+        pairs = tuple(
+            (layer, layer_statics(layer)) for layer in model.unique_layers()
+        )
+        object.__setattr__(model, "_layer_statics", pairs)
+    return pairs

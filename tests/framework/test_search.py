@@ -83,6 +83,21 @@ class TestSearchResult:
         assert result.best_latency_area_product == float("inf")
         assert "no valid design" in result.summary()
 
+    def test_evals_per_second(self):
+        result = SearchResult(
+            optimizer_name="x", best=None, evaluations=100, sampling_budget=100,
+            wall_time_seconds=2.0,
+        )
+        assert result.evals_per_second == 50.0
+        assert "evals/s" in result.summary()
+
+    def test_evals_per_second_zero_wall_time(self):
+        result = SearchResult(
+            optimizer_name="x", best=None, evaluations=5, sampling_budget=5,
+            wall_time_seconds=0.0,
+        )
+        assert result.evals_per_second == 0.0
+
     def test_valid_best_summary(self, tracker, rng):
         for _ in range(10):
             tracker.evaluate_genome(tracker.space.random_genome(rng))

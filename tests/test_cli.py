@@ -38,6 +38,28 @@ class TestSearch:
         with pytest.raises(KeyError):
             main(["search", "--model", "ncf", "--optimizer", "bayesopt", "--budget", "5"])
 
+    def test_search_prints_cache_stats(self, capsys):
+        exit_code = main(["search", "--model", "ncf", "--budget", "60"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "design cache:" in output
+        assert "layer cache:" in output
+        assert "evals/s" in output
+
+    def test_search_no_cache_flag(self, capsys):
+        exit_code = main(["search", "--model", "ncf", "--budget", "60", "--no-cache"])
+        assert exit_code == 0
+        assert "cache: disabled" in capsys.readouterr().out
+
+    def test_search_workers_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["search", "--workers", "2", "--no-cache"])
+        assert args.workers == 2
+        assert args.no_cache is True
+        defaults = parser.parse_args(["search"])
+        assert defaults.workers is None
+        assert defaults.no_cache is False
+
 
 class TestEvaluate:
     def test_evaluate_dla_on_edge(self, capsys):

@@ -14,6 +14,10 @@ Subcommands
 ``fig5`` / ``fig6`` / ``fig7`` / ``ablations``
     Regenerate the paper's figures (thin wrappers over
     ``repro.experiments``).
+``experiments``
+    The unified sweep runner: compile figure suites (or custom grids) into
+    jobs, stream results to a JSONL store, ``--resume`` interrupted sweeps
+    and split them with ``--shard i/N``.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from repro.experiments import ablations as ablations_module
 from repro.experiments import fig5 as fig5_module
 from repro.experiments import fig6 as fig6_module
 from repro.experiments import fig7 as fig7_module
+from repro.experiments import runner as runner_module
 from repro.framework.cooptimizer import CoOptimizationFramework
 from repro.framework.objective import Objective
 from repro.mapping.dataflows import DATAFLOW_STYLES, get_dataflow
@@ -143,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("fig6", add_help=False)
     subparsers.add_parser("fig7", add_help=False)
     subparsers.add_parser("ablations", add_help=False)
+    subparsers.add_parser("experiments", add_help=False)
     return parser
 
 
@@ -150,12 +156,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     argv = list(argv) if argv is not None else sys.argv[1:]
     # The figure subcommands forward their remaining arguments unchanged.
-    if argv and argv[0] in ("fig5", "fig6", "fig7", "ablations"):
+    if argv and argv[0] in ("fig5", "fig6", "fig7", "ablations", "experiments"):
         forwarding = {
             "fig5": fig5_module.main,
             "fig6": fig6_module.main,
             "fig7": fig7_module.main,
             "ablations": ablations_module.main,
+            "experiments": runner_module.main,
         }
         return forwarding[argv[0]](argv[1:])
 

@@ -1,23 +1,56 @@
-"""Experiment harnesses that regenerate the paper's tables and figures."""
+"""Experiment harnesses that regenerate the paper's tables and figures.
 
-from repro.experiments.settings import (
-    DEFAULT_MODELS,
-    ExperimentSettings,
-    FIG5_OPTIMIZERS,
-    make_fixed_hardware,
+Every harness compiles its grid into :class:`~repro.experiments.jobs.JobSpec`
+jobs and executes them through the shared
+:class:`~repro.experiments.runner.SweepRunner` engine, which streams results
+to a JSONL :class:`~repro.experiments.runner.ResultStore` and supports
+resuming and sharding (``python -m repro experiments --help``).
+"""
+
+from repro.experiments.jobs import (
+    JobSpec,
+    build_framework,
+    build_optimizer,
+    compile_grid,
+    job_from_dict,
+    job_to_dict,
 )
 from repro.experiments.reporting import (
     format_table,
     geometric_mean,
     normalize_by_column,
 )
+from repro.experiments.runner import (
+    ResultStore,
+    SweepRunner,
+    full_outcomes,
+    parse_shard,
+    select_shard,
+)
+from repro.experiments.settings import (
+    DEFAULT_MODELS,
+    ExperimentSettings,
+    FIG5_OPTIMIZERS,
+    make_fixed_hardware,
+)
 
 __all__ = [
     "DEFAULT_MODELS",
     "ExperimentSettings",
     "FIG5_OPTIMIZERS",
-    "make_fixed_hardware",
+    "JobSpec",
+    "ResultStore",
+    "SweepRunner",
+    "build_framework",
+    "build_optimizer",
+    "compile_grid",
     "format_table",
+    "full_outcomes",
     "geometric_mean",
+    "job_from_dict",
+    "job_to_dict",
+    "make_fixed_hardware",
     "normalize_by_column",
+    "parse_shard",
+    "select_shard",
 ]

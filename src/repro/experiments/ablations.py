@@ -18,19 +18,33 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.arch.platform import get_platform
+from repro.experiments.jobs import JobSpec
 from repro.experiments.reporting import format_table
-from repro.experiments.settings import DEFAULT_SAMPLING_BUDGET, ExperimentSettings
-from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.experiments.runner import (
+    Outcome,
+    ResultStore,
+    SweepRunner,
+    add_sweep_arguments,
+    settings_from_args,
+    validate_sweep_args,
+)
+from repro.experiments.settings import ExperimentSettings
 from repro.framework.search import SearchResult
-from repro.optim.digamma import DiGamma
-from repro.optim.std_ga import StandardGA
-from repro.workloads.registry import get_model
 
 #: Models used by the ablations (small + convolutional, per DESIGN.md A1/A2).
 ABLATION_MODELS = ("resnet18", "mnasnet")
+
+#: Operator-ablation variants: scheme label -> DiGamma constructor options
+#: (``None`` marks the blind standard GA).
+OPERATOR_VARIANTS: Dict[str, Optional[Dict[str, bool]]] = {
+    "DiGamma": {},
+    "no-HW-op": {"use_hw_operators": False},
+    "no-struct-ops": {"use_structured_operators": False},
+    "stdGA": None,
+}
 
 
 @dataclass
@@ -51,66 +65,103 @@ class AblationResult:
         )
 
 
+def compile_operator_ablation_jobs(
+    platform_name: str,
+    settings: ExperimentSettings,
+    models: Sequence[str] = ABLATION_MODELS,
+) -> List[JobSpec]:
+    """Compile the operator ablation (DiGamma variants vs stdGA) into jobs."""
+    jobs: List[JobSpec] = []
+    for model_name in models:
+        for scheme, options in OPERATOR_VARIANTS.items():
+            jobs.append(
+                JobSpec(
+                    model=model_name,
+                    platform=platform_name,
+                    optimizer="stdga" if options is None else "digamma",
+                    optimizer_options=options or {},
+                    scheme=scheme,
+                    sampling_budget=settings.sampling_budget,
+                    seed=settings.seed,
+                )
+            )
+    return jobs
+
+
+def compile_buffer_allocation_jobs(
+    platform_name: str,
+    settings: ExperimentSettings,
+    models: Sequence[str] = ("resnet18",),
+) -> List[JobSpec]:
+    """Compile the buffer-allocation ablation (exact vs fill) into jobs."""
+    return [
+        JobSpec(
+            model=model_name,
+            platform=platform_name,
+            optimizer="digamma",
+            buffer_allocation=allocation,
+            scheme=allocation,
+            sampling_budget=settings.sampling_budget,
+            seed=settings.seed,
+        )
+        for model_name in models
+        for allocation in ("exact", "fill")
+    ]
+
+
+def ablation_result_from_outcomes(
+    platform_name: str,
+    outcomes: Sequence[Outcome],
+    metric: str = "latency",
+) -> AblationResult:
+    """Assemble an ablation table from completed sweep outcomes.
+
+    ``metric`` selects the tabulated quantity: ``"latency"`` (operator
+    ablation) or ``"latency_area_product"`` (buffer-allocation ablation —
+    over-allocation does not change latency, it wastes area, so the metric
+    that exposes the strategy is the latency-area product).
+    """
+    variant_names = tuple(dict.fromkeys(spec.scheme_label for spec, _ in outcomes))
+    result = AblationResult(platform=platform_name, variant_names=variant_names)
+    for spec, search in outcomes:
+        value = (
+            search.best_latency_area_product
+            if metric == "latency_area_product"
+            else search.best_latency
+        )
+        result.latency.setdefault(spec.model, {})[spec.scheme_label] = value
+        result.searches.setdefault(spec.model, {})[spec.scheme_label] = search
+    return result
+
+
 def run_operator_ablation(
     platform_name: str = "edge",
     settings: Optional[ExperimentSettings] = None,
     models: Sequence[str] = ABLATION_MODELS,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> AblationResult:
     """Compare DiGamma against variants with operators disabled."""
     settings = settings if settings is not None else ExperimentSettings()
-    platform = get_platform(platform_name)
-    variants = {
-        "DiGamma": lambda: DiGamma(),
-        "no-HW-op": lambda: DiGamma(use_hw_operators=False),
-        "no-struct-ops": lambda: DiGamma(use_structured_operators=False),
-        "stdGA": lambda: StandardGA(),
-    }
-    result = AblationResult(platform=platform_name, variant_names=tuple(variants))
-    for model_name in models:
-        model = get_model(model_name)
-        framework = CoOptimizationFramework(model, platform)
-        result.latency[model_name] = {}
-        result.searches[model_name] = {}
-        for variant_name, factory in variants.items():
-            search = framework.search(
-                factory(),
-                sampling_budget=settings.sampling_budget,
-                seed=settings.seed,
-            )
-            result.latency[model_name][variant_name] = search.best_latency
-            result.searches[model_name][variant_name] = search
-    return result
+    jobs = compile_operator_ablation_jobs(platform_name, settings, models)
+    runner = SweepRunner(jobs, settings=settings, store=store, resume=resume)
+    return ablation_result_from_outcomes(platform_name, runner.run())
 
 
 def run_buffer_allocation_ablation(
     platform_name: str = "edge",
     settings: Optional[ExperimentSettings] = None,
     models: Sequence[str] = ("resnet18",),
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> AblationResult:
     """Compare exact-requirement buffer allocation against area filling."""
     settings = settings if settings is not None else ExperimentSettings()
-    platform = get_platform(platform_name)
-    variants = ("exact", "fill")
-    result = AblationResult(platform=platform_name, variant_names=variants)
-    for model_name in models:
-        model = get_model(model_name)
-        result.latency[model_name] = {}
-        result.searches[model_name] = {}
-        for allocation in variants:
-            framework = CoOptimizationFramework(
-                model, platform, buffer_allocation=allocation
-            )
-            search = framework.search(
-                DiGamma(),
-                sampling_budget=settings.sampling_budget,
-                seed=settings.seed,
-            )
-            # Buffer over-allocation does not change latency (reuse depends
-            # on the mapping, not the capacity), it wastes area: the metric
-            # that exposes the strategy is latency-area product.
-            result.latency[model_name][allocation] = search.best_latency_area_product
-            result.searches[model_name][allocation] = search
-    return result
+    jobs = compile_buffer_allocation_jobs(platform_name, settings, models)
+    runner = SweepRunner(jobs, settings=settings, store=store, resume=resume)
+    return ablation_result_from_outcomes(
+        platform_name, runner.run(), metric="latency_area_product"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -119,20 +170,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--platform", choices=("edge", "cloud"), default="edge", help="platform resources"
     )
-    parser.add_argument(
-        "--budget",
-        type=int,
-        default=DEFAULT_SAMPLING_BUDGET,
-        help="sampling budget per search",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    validate_sweep_args(parser, args)
 
-    settings = ExperimentSettings(sampling_budget=args.budget, seed=args.seed)
-    operator_result = run_operator_ablation(args.platform, settings)
+    settings = settings_from_args(args)
+    operator_result = run_operator_ablation(
+        args.platform, settings, store=args.store, resume=args.resume
+    )
     print(operator_result.report("Ablation A1 - DiGamma operators (latency, cycles)"))
     print()
-    buffer_result = run_buffer_allocation_ablation(args.platform, settings)
+    buffer_result = run_buffer_allocation_ablation(
+        args.platform, settings, store=args.store, resume=args.resume
+    )
     print(buffer_result.report(
         "Ablation A2 - buffer allocation strategy (latency-area product)"
     ))

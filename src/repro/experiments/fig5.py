@@ -15,24 +15,30 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.arch.platform import get_platform
+from repro.experiments.jobs import JobSpec
 from repro.experiments.reporting import (
     append_geomean_row,
     format_table,
     normalize_by_column,
 )
+from repro.experiments.runner import (
+    Outcome,
+    ResultStore,
+    SweepRunner,
+    add_sweep_arguments,
+    settings_from_args,
+    validate_sweep_args,
+)
 from repro.experiments.settings import (
     DEFAULT_MODELS,
-    DEFAULT_SAMPLING_BUDGET,
     FIG5_OPTIMIZERS,
     ExperimentSettings,
 )
-from repro.framework.cooptimizer import CoOptimizationFramework
 from repro.framework.search import SearchResult
-from repro.optim.registry import get_optimizer
-from repro.workloads.registry import get_model
+from repro.optim.registry import optimizer_class
 
 
 @dataclass
@@ -81,45 +87,55 @@ class Fig5Result:
         return "\n".join(parts)
 
 
+def compile_fig5_jobs(
+    platform_name: str,
+    settings: ExperimentSettings,
+    optimizers: Sequence[str] = FIG5_OPTIMIZERS,
+) -> List[JobSpec]:
+    """Compile the Fig. 5 grid (model x optimizer on one platform) into jobs."""
+    return [
+        JobSpec(
+            model=model_name,
+            platform=platform_name,
+            optimizer=optimizer_name,
+            sampling_budget=settings.sampling_budget,
+            seed=settings.seed,
+        )
+        for model_name in settings.models
+        for optimizer_name in optimizers
+    ]
+
+
+def fig5_result_from_outcomes(
+    platform_name: str,
+    optimizers: Sequence[str],
+    outcomes: Sequence[Outcome],
+) -> Fig5Result:
+    """Assemble the Fig. 5 tables from completed sweep outcomes."""
+    display_names = tuple(optimizer_class(name).name for name in optimizers)
+    result = Fig5Result(platform=platform_name, optimizer_names=display_names)
+    for spec, search in outcomes:
+        label = spec.scheme_label
+        result.latency.setdefault(spec.model, {})[label] = search.best_latency
+        result.latency_area_product.setdefault(spec.model, {})[label] = (
+            search.best_latency_area_product
+        )
+        result.searches.setdefault(spec.model, {})[label] = search
+    return result
+
+
 def run_fig5(
     platform_name: str = "edge",
     settings: Optional[ExperimentSettings] = None,
     optimizers: Sequence[str] = FIG5_OPTIMIZERS,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> Fig5Result:
     """Run the Fig. 5 comparison on one platform."""
     settings = settings if settings is not None else ExperimentSettings()
-    platform = get_platform(platform_name)
-
-    display_names = tuple(get_optimizer(name).name for name in optimizers)
-    result = Fig5Result(platform=platform_name, optimizer_names=display_names)
-
-    for model_name in settings.models:
-        model = get_model(model_name)
-        framework = CoOptimizationFramework(
-            model,
-            platform,
-            bytes_per_element=settings.bytes_per_element,
-            **settings.framework_options(),
-        )
-        result.latency[model_name] = {}
-        result.latency_area_product[model_name] = {}
-        result.searches[model_name] = {}
-        try:
-            for optimizer_name in optimizers:
-                optimizer = get_optimizer(optimizer_name)
-                search = framework.search(
-                    optimizer,
-                    sampling_budget=settings.sampling_budget,
-                    seed=settings.seed,
-                )
-                result.latency[model_name][optimizer.name] = search.best_latency
-                result.latency_area_product[model_name][optimizer.name] = (
-                    search.best_latency_area_product
-                )
-                result.searches[model_name][optimizer.name] = search
-        finally:
-            framework.close()
-    return result
+    jobs = compile_fig5_jobs(platform_name, settings, optimizers)
+    runner = SweepRunner(jobs, settings=settings, store=store, resume=resume)
+    return fig5_result_from_outcomes(platform_name, optimizers, runner.run())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -132,28 +148,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="platform resources to evaluate (default: edge)",
     )
     parser.add_argument(
-        "--budget",
-        type=int,
-        default=DEFAULT_SAMPLING_BUDGET,
-        help="sampling budget per search (paper uses 40000)",
-    )
-    parser.add_argument(
         "--models",
         nargs="+",
         default=list(DEFAULT_MODELS),
         help="models to evaluate (default: the paper's seven models)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    validate_sweep_args(parser, args)
 
-    settings = ExperimentSettings(
-        models=tuple(args.models),
-        sampling_budget=args.budget,
-        seed=args.seed,
-    )
+    settings = settings_from_args(args, models=args.models)
     platforms = ("edge", "cloud") if args.platform == "both" else (args.platform,)
     for platform_name in platforms:
-        result = run_fig5(platform_name, settings)
+        result = run_fig5(platform_name, settings, store=args.store, resume=args.resume)
         print(result.report())
         print()
     return 0

@@ -20,28 +20,30 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.arch.platform import get_platform
+from repro.experiments.jobs import JobSpec
 from repro.experiments.reporting import (
     append_geomean_row,
     format_table,
     normalize_by_column,
 )
+from repro.experiments.runner import (
+    Outcome,
+    ResultStore,
+    SweepRunner,
+    add_sweep_arguments,
+    settings_from_args,
+    validate_sweep_args,
+)
 from repro.experiments.settings import (
     DEFAULT_MODELS,
-    DEFAULT_SAMPLING_BUDGET,
     FIXED_HW_STYLES,
     ExperimentSettings,
-    make_fixed_hardware,
 )
-from repro.framework.cooptimizer import CoOptimizationFramework
 from repro.framework.search import SearchResult
 from repro.mapping.dataflows import DATAFLOW_STYLES
-from repro.optim.digamma import DiGamma
-from repro.optim.gamma import GammaMapper
-from repro.optim.grid_search import HardwareGridSearch
-from repro.workloads.registry import get_model
 
 #: Reference scheme used for normalization (the paper's best baseline).
 REFERENCE_SCHEME = "Compute-focused+Gamma"
@@ -84,71 +86,70 @@ def scheme_names() -> Tuple[str, ...]:
     return hw_opt + mapping_opt + ("DiGamma",)
 
 
-def run_fig6(
-    platform_name: str = "edge",
-    settings: Optional[ExperimentSettings] = None,
-) -> Fig6Result:
-    """Run the Fig. 6 comparison on one platform."""
-    settings = settings if settings is not None else ExperimentSettings()
-    platform = get_platform(platform_name)
-    result = Fig6Result(platform=platform_name, scheme_names=scheme_names())
+def compile_fig6_jobs(
+    platform_name: str,
+    settings: ExperimentSettings,
+) -> List[JobSpec]:
+    """Compile the Fig. 6 scheme comparison into jobs.
 
+    Per model: HW-opt grid searches (one per dataflow style), Mapping-opt
+    GAMMA searches (one per fixed-HW style) and the DiGamma co-optimization,
+    in the paper's column order.
+    """
+    jobs: List[JobSpec] = []
     for model_name in settings.models:
-        model = get_model(model_name)
-        result.latency[model_name] = {}
-        result.searches[model_name] = {}
-
-        # HW-opt: fixed dataflows, grid-searched hardware.
-        co_framework = CoOptimizationFramework(
-            model,
-            platform,
-            bytes_per_element=settings.bytes_per_element,
-            **settings.framework_options(),
+        common = dict(
+            model=model_name,
+            platform=platform_name,
+            sampling_budget=settings.sampling_budget,
+            seed=settings.seed,
         )
-        try:
-            for style in DATAFLOW_STYLES:
-                search = co_framework.search(
-                    HardwareGridSearch(style),
-                    sampling_budget=settings.sampling_budget,
-                    seed=settings.seed,
+        for style in DATAFLOW_STYLES:
+            jobs.append(
+                JobSpec(
+                    optimizer="grid",
+                    optimizer_options={"dataflow": style},
+                    scheme=f"Grid-S+{style}-like",
+                    **common,
                 )
-                _record(result, model_name, f"Grid-S+{style}-like", search)
-
-            # Mapping-opt: fixed hardware, GAMMA-searched mapping.
-            for style, compute_fraction in FIXED_HW_STYLES.items():
-                fixed_hw = make_fixed_hardware(platform, compute_fraction)
-                framework = CoOptimizationFramework(
-                    model,
-                    platform,
-                    fixed_hardware=fixed_hw,
-                    bytes_per_element=settings.bytes_per_element,
-                    **settings.framework_options(),
-                )
-                try:
-                    search = framework.search(
-                        GammaMapper(),
-                        sampling_budget=settings.sampling_budget,
-                        seed=settings.seed,
-                    )
-                finally:
-                    framework.close()
-                _record(result, model_name, f"{style}+Gamma", search)
-
-            # HW-Map co-optimization: DiGamma.
-            search = co_framework.search(
-                DiGamma(),
-                sampling_budget=settings.sampling_budget,
-                seed=settings.seed,
             )
-            _record(result, model_name, "DiGamma", search)
-        finally:
-            co_framework.close()
+        for style in FIXED_HW_STYLES:
+            jobs.append(
+                JobSpec(
+                    optimizer="gamma",
+                    fixed_hw_style=style,
+                    scheme=f"{style}+Gamma",
+                    **common,
+                )
+            )
+        jobs.append(JobSpec(optimizer="digamma", scheme="DiGamma", **common))
+    return jobs
+
+
+def fig6_result_from_outcomes(
+    platform_name: str, outcomes: Sequence[Outcome]
+) -> Fig6Result:
+    """Assemble the Fig. 6 table from completed sweep outcomes."""
+    result = Fig6Result(platform=platform_name, scheme_names=scheme_names())
+    for spec, search in outcomes:
+        result.latency.setdefault(spec.model, {})[spec.scheme_label] = (
+            search.best_latency
+        )
+        result.searches.setdefault(spec.model, {})[spec.scheme_label] = search
     return result
 
 
-def _record(result: Fig6Result, model_name: str, scheme: str, search: SearchResult) -> None:
-    result.latency[model_name][scheme] = search.best_latency
-    result.searches[model_name][scheme] = search
+def run_fig6(
+    platform_name: str = "edge",
+    settings: Optional[ExperimentSettings] = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
+) -> Fig6Result:
+    """Run the Fig. 6 comparison on one platform."""
+    settings = settings if settings is not None else ExperimentSettings()
+    jobs = compile_fig6_jobs(platform_name, settings)
+    runner = SweepRunner(jobs, settings=settings, store=store, resume=resume)
+    return fig6_result_from_outcomes(platform_name, runner.run())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -161,28 +162,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="platform resources to evaluate (default: edge)",
     )
     parser.add_argument(
-        "--budget",
-        type=int,
-        default=DEFAULT_SAMPLING_BUDGET,
-        help="sampling budget per search (paper uses 40000)",
-    )
-    parser.add_argument(
         "--models",
         nargs="+",
         default=list(DEFAULT_MODELS),
         help="models to evaluate (default: the paper's seven models)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    validate_sweep_args(parser, args)
 
-    settings = ExperimentSettings(
-        models=tuple(args.models),
-        sampling_budget=args.budget,
-        seed=args.seed,
-    )
+    settings = settings_from_args(args, models=args.models)
     platforms = ("edge", "cloud") if args.platform == "both" else (args.platform,)
     for platform_name in platforms:
-        result = run_fig6(platform_name, settings)
+        result = run_fig6(platform_name, settings, store=args.store, resume=args.resume)
         print(result.report())
         print()
     return 0

@@ -15,21 +15,21 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.arch.platform import get_platform
-from repro.experiments.settings import (
-    DEFAULT_SAMPLING_BUDGET,
-    FIXED_HW_STYLES,
-    ExperimentSettings,
-    make_fixed_hardware,
+from repro.experiments.jobs import JobSpec
+from repro.experiments.runner import (
+    Outcome,
+    ResultStore,
+    SweepRunner,
+    add_sweep_arguments,
+    settings_from_args,
+    validate_sweep_args,
 )
-from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.experiments.settings import ExperimentSettings
 from repro.framework.search import SearchResult
-from repro.optim.digamma import DiGamma
-from repro.optim.gamma import GammaMapper
-from repro.optim.grid_search import HardwareGridSearch
-from repro.workloads.registry import get_model
 
 
 @dataclass(frozen=True)
@@ -104,75 +104,65 @@ class Fig7Result:
         return "\n".join(lines)
 
 
+def compile_fig7_jobs(
+    model_name: str,
+    platform_name: str,
+    settings: ExperimentSettings,
+) -> List[JobSpec]:
+    """Compile the three representative schemes into jobs."""
+    common = dict(
+        model=model_name,
+        platform=platform_name,
+        sampling_budget=settings.sampling_budget,
+        seed=settings.seed,
+    )
+    return [
+        JobSpec(
+            optimizer="grid",
+            optimizer_options={"dataflow": "dla"},
+            scheme="HW-opt (Grid-S + dla-like)",
+            **common,
+        ),
+        JobSpec(
+            optimizer="gamma",
+            fixed_hw_style="Compute-focused",
+            scheme="Mapping-opt (Compute-focused + Gamma)",
+            **common,
+        ),
+        JobSpec(optimizer="digamma", scheme="HW-Map-co-opt (DiGamma)", **common),
+    ]
+
+
+def fig7_result_from_outcomes(
+    model_name: str,
+    platform_name: str,
+    outcomes: Sequence[Outcome],
+) -> Fig7Result:
+    """Assemble the Fig. 7 report from completed sweep outcomes."""
+    solutions: Dict[str, SchemeSolution] = {
+        spec.scheme_label: SchemeSolution(scheme=spec.scheme_label, search=search)
+        for spec, search in outcomes
+    }
+    return Fig7Result(
+        model=model_name,
+        platform=platform_name,
+        area_budget_um2=get_platform(platform_name).area_budget_um2,
+        solutions=solutions,
+    )
+
+
 def run_fig7(
     model_name: str = "mnasnet",
     platform_name: str = "edge",
     settings: Optional[ExperimentSettings] = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> Fig7Result:
     """Run the three representative schemes and collect their best solutions."""
     settings = settings if settings is not None else ExperimentSettings()
-    platform = get_platform(platform_name)
-    model = get_model(model_name)
-
-    solutions: Dict[str, SchemeSolution] = {}
-
-    co_framework = CoOptimizationFramework(
-        model,
-        platform,
-        bytes_per_element=settings.bytes_per_element,
-        **settings.framework_options(),
-    )
-
-    try:
-        # HW-opt representative: grid-searched HW with the dla-like mapping.
-        search = co_framework.search(
-            HardwareGridSearch("dla"),
-            sampling_budget=settings.sampling_budget,
-            seed=settings.seed,
-        )
-        solutions["HW-opt (Grid-S + dla-like)"] = SchemeSolution(
-            scheme="HW-opt (Grid-S + dla-like)", search=search
-        )
-
-        # Mapping-opt representative: Compute-focused fixed HW with GAMMA.
-        fixed_hw = make_fixed_hardware(platform, FIXED_HW_STYLES["Compute-focused"])
-        mapping_framework = CoOptimizationFramework(
-            model,
-            platform,
-            fixed_hardware=fixed_hw,
-            bytes_per_element=settings.bytes_per_element,
-            **settings.framework_options(),
-        )
-        try:
-            search = mapping_framework.search(
-                GammaMapper(),
-                sampling_budget=settings.sampling_budget,
-                seed=settings.seed,
-            )
-        finally:
-            mapping_framework.close()
-        solutions["Mapping-opt (Compute-focused + Gamma)"] = SchemeSolution(
-            scheme="Mapping-opt (Compute-focused + Gamma)", search=search
-        )
-
-        # Co-optimization: DiGamma.
-        search = co_framework.search(
-            DiGamma(),
-            sampling_budget=settings.sampling_budget,
-            seed=settings.seed,
-        )
-        solutions["HW-Map-co-opt (DiGamma)"] = SchemeSolution(
-            scheme="HW-Map-co-opt (DiGamma)", search=search
-        )
-    finally:
-        co_framework.close()
-
-    return Fig7Result(
-        model=model_name,
-        platform=platform_name,
-        area_budget_um2=platform.area_budget_um2,
-        solutions=solutions,
-    )
+    jobs = compile_fig7_jobs(model_name, platform_name, settings)
+    runner = SweepRunner(jobs, settings=settings, store=store, resume=resume)
+    return fig7_result_from_outcomes(model_name, platform_name, runner.run())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -182,17 +172,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--platform", choices=("edge", "cloud"), default="edge", help="platform resources"
     )
-    parser.add_argument(
-        "--budget",
-        type=int,
-        default=DEFAULT_SAMPLING_BUDGET,
-        help="sampling budget per search (paper uses 40000)",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    validate_sweep_args(parser, args)
 
-    settings = ExperimentSettings(sampling_budget=args.budget, seed=args.seed)
-    result = run_fig7(args.model, args.platform, settings)
+    settings = settings_from_args(args)
+    result = run_fig7(
+        args.model, args.platform, settings, store=args.store, resume=args.resume
+    )
     print(result.report())
     return 0
 

@@ -1,0 +1,220 @@
+"""Declarative job specifications for experiment sweeps.
+
+A :class:`JobSpec` names one search — model x platform x optimizer x
+objective x seed, plus the scheme-specific knobs the figure harnesses need
+(fixed-HW style for the Mapping-opt baselines, a dataflow style for the
+HW-opt grid search, the buffer-allocation strategy for the ablation).  Specs
+are plain frozen dataclasses: hashable, JSON-serializable and equipped with
+a stable ``job_id``, which is what lets a sweep be resumed (skip ids already
+in the result store) and sharded (split the job list across processes or
+machines) without any coordination beyond the JSONL store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.platform import get_platform
+from repro.experiments.settings import (
+    FIXED_HW_STYLES,
+    ExperimentSettings,
+    make_fixed_hardware,
+)
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.objective import Objective
+from repro.optim.base import Optimizer
+from repro.optim.grid_search import HardwareGridSearch
+from repro.optim.registry import optimizer_class
+from repro.workloads.registry import get_model
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One search of a sweep, fully described by data.
+
+    Parameters
+    ----------
+    model / platform / optimizer:
+        Registry names.  ``optimizer`` additionally accepts ``"grid"`` for
+        the HW-opt grid-search baseline (configured through
+        ``optimizer_options``, e.g. ``{"dataflow": "dla"}``).
+    sampling_budget / seed / objective:
+        The search knobs; ``objective`` is an :class:`Objective` value name.
+    optimizer_options:
+        Constructor keyword arguments for the optimizer (e.g. DiGamma
+        ablation switches).  Mappings are normalized to a sorted tuple of
+        pairs so specs stay hashable and their ids deterministic.
+    fixed_hw_style:
+        Optional key of :data:`FIXED_HW_STYLES`; enables the Fixed-HW use
+        case (Mapping-opt baselines).
+    buffer_allocation:
+        ``"exact"`` (default) or ``"fill"`` (buffer-allocation ablation).
+    scheme:
+        Optional display label used as the table column; defaults to the
+        optimizer's own display name.
+    """
+
+    model: str
+    platform: str
+    optimizer: str
+    sampling_budget: int
+    seed: int = 0
+    objective: str = "latency"
+    optimizer_options: Tuple[Tuple[str, Any], ...] = ()
+    fixed_hw_style: Optional[str] = None
+    buffer_allocation: str = "exact"
+    scheme: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.sampling_budget < 1:
+            raise ValueError("sampling_budget must be >= 1")
+        options = self.optimizer_options
+        if isinstance(options, Mapping):
+            options = tuple(sorted(options.items()))
+        else:
+            options = tuple(sorted((str(key), value) for key, value in options))
+        object.__setattr__(self, "optimizer_options", options)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def job_id(self) -> str:
+        """Stable, human-readable identity of this job within a sweep."""
+        parts = [self.model, self.platform, self.objective, self.optimizer]
+        if self.optimizer_options:
+            parts.append(",".join(f"{k}={v}" for k, v in self.optimizer_options))
+        if self.fixed_hw_style is not None:
+            parts.append(f"hw={self.fixed_hw_style}")
+        if self.buffer_allocation != "exact":
+            parts.append(f"alloc={self.buffer_allocation}")
+        parts.append(f"b{self.sampling_budget}")
+        parts.append(f"s{self.seed}")
+        return "/".join(parts)
+
+    @property
+    def framework_key(self) -> Tuple[str, str, str, Optional[str], str]:
+        """Jobs with equal keys can share one framework (and worker pool)."""
+        return (
+            self.model,
+            self.platform,
+            self.objective,
+            self.fixed_hw_style,
+            self.buffer_allocation,
+        )
+
+    @property
+    def scheme_label(self) -> str:
+        """Column label in the rendered tables."""
+        if self.scheme is not None:
+            return self.scheme
+        if self.optimizer == "grid":
+            dataflow = dict(self.optimizer_options).get("dataflow", "dla")
+            return f"Grid-S+{dataflow}-like"
+        # Registry optimizers carry their display name on the class, so no
+        # instance needs to be built just to label a table column.
+        return optimizer_class(self.optimizer).name
+
+
+# -- building the runtime objects ---------------------------------------------
+
+
+def build_optimizer(spec: JobSpec) -> Optimizer:
+    """Instantiate the optimizer a spec describes."""
+    options = dict(spec.optimizer_options)
+    if spec.optimizer == "grid":
+        return HardwareGridSearch(**options)
+    return optimizer_class(spec.optimizer)(**options)
+
+
+def build_framework(
+    spec: JobSpec, settings: Optional[ExperimentSettings] = None
+) -> CoOptimizationFramework:
+    """Build the co-optimization framework a spec's searches run through."""
+    settings = settings if settings is not None else ExperimentSettings()
+    platform = get_platform(spec.platform)
+    fixed_hardware = None
+    if spec.fixed_hw_style is not None:
+        fixed_hardware = make_fixed_hardware(
+            platform, FIXED_HW_STYLES[spec.fixed_hw_style]
+        )
+    return CoOptimizationFramework(
+        get_model(spec.model),
+        platform,
+        objective=Objective.from_name(spec.objective),
+        fixed_hardware=fixed_hardware,
+        buffer_allocation=spec.buffer_allocation,
+        bytes_per_element=settings.bytes_per_element,
+        **settings.framework_options(),
+    )
+
+
+# -- (de)serialization ---------------------------------------------------------
+
+
+def job_to_dict(spec: JobSpec) -> Dict[str, Any]:
+    """Serialize a job spec (inverse of :func:`job_from_dict`)."""
+    return {
+        "model": spec.model,
+        "platform": spec.platform,
+        "optimizer": spec.optimizer,
+        "sampling_budget": spec.sampling_budget,
+        "seed": spec.seed,
+        "objective": spec.objective,
+        "optimizer_options": dict(spec.optimizer_options),
+        "fixed_hw_style": spec.fixed_hw_style,
+        "buffer_allocation": spec.buffer_allocation,
+        "scheme": spec.scheme,
+    }
+
+
+def job_from_dict(data: Dict[str, Any]) -> JobSpec:
+    """Rebuild a job spec from :func:`job_to_dict` output."""
+    return JobSpec(
+        model=str(data["model"]),
+        platform=str(data["platform"]),
+        optimizer=str(data["optimizer"]),
+        sampling_budget=int(data["sampling_budget"]),
+        seed=int(data.get("seed", 0)),
+        objective=str(data.get("objective", "latency")),
+        optimizer_options=dict(data.get("optimizer_options", {})),
+        fixed_hw_style=data.get("fixed_hw_style"),
+        buffer_allocation=str(data.get("buffer_allocation", "exact")),
+        scheme=data.get("scheme"),
+    )
+
+
+# -- grid compilation ----------------------------------------------------------
+
+
+def compile_grid(
+    models: Iterable[str],
+    platforms: Iterable[str],
+    optimizers: Iterable[str],
+    sampling_budget: int,
+    seeds: Sequence[int] = (0,),
+    objectives: Sequence[str] = ("latency",),
+) -> List[JobSpec]:
+    """Compile the cross product of the given axes into a job list.
+
+    The order is deterministic (platform, model, optimizer, objective,
+    seed — outermost to innermost), which is what sharding relies on: every
+    shard of the same grid sees the same list and takes every N-th job.
+    """
+    jobs: List[JobSpec] = []
+    for platform in platforms:
+        for model in models:
+            for optimizer in optimizers:
+                for objective in objectives:
+                    for seed in seeds:
+                        jobs.append(
+                            JobSpec(
+                                model=model,
+                                platform=platform,
+                                optimizer=optimizer,
+                                sampling_budget=sampling_budget,
+                                seed=seed,
+                                objective=objective,
+                            )
+                        )
+    return jobs

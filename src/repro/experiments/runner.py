@@ -1,0 +1,556 @@
+"""Unified experiment execution: one engine for every sweep.
+
+The figure harnesses (Fig. 5/6/7, ablations) used to hand-roll the same
+model x platform x optimizer loop, framework lifecycle and argparse each.
+This module is the shared engine they now compile into:
+
+* :class:`ResultStore` — an append-only JSONL store of completed searches
+  (one ``{"job_id", "spec", "result"}`` record per line, written and
+  flushed as soon as each search finishes, so a killed sweep loses at most
+  the in-flight job).
+* :class:`SweepRunner` — executes a list of :class:`JobSpec` jobs through
+  shared :class:`CoOptimizationFramework` instances (one per
+  model/platform/constraint combination, so evaluation caches and worker
+  pools are reused across jobs), streams results to the store, and supports
+  ``resume`` (skip jobs whose ids are already stored) and ``shard i/N``
+  (take every N-th job of the full list).
+* a CLI, reachable as ``python -m repro experiments``, that compiles the
+  figure suites into job lists, runs them and renders the tables from the
+  result store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.jobs import (
+    JobSpec,
+    build_framework,
+    build_optimizer,
+    job_from_dict,
+    job_to_dict,
+)
+from repro.experiments.settings import (
+    DEFAULT_MODELS,
+    DEFAULT_SAMPLING_BUDGET,
+    FIG5_OPTIMIZERS,
+    ExperimentSettings,
+)
+from repro.framework.search import SearchResult
+from repro.serialization import search_result_from_dict, search_result_to_dict
+
+#: One completed job: its spec plus the search outcome.
+Outcome = Tuple[JobSpec, SearchResult]
+
+#: Smoke-sweep shape: one tiny model, three cheap-but-representative
+#: optimizers (CMA included so the tables' normalization reference exists),
+#: and a budget that finishes in seconds.  Used by ``--smoke`` and CI.
+SMOKE_MODELS = ("ncf",)
+SMOKE_OPTIMIZERS = ("random", "cma", "digamma")
+SMOKE_BUDGET = 40
+
+
+class ResultStore:
+    """Append-only JSONL store of completed search results.
+
+    Each line is an independent JSON record ``{"job_id": ..., "spec": ...,
+    "result": ...}``; later records for the same id win.  Malformed lines
+    (e.g. the partial last line of a killed writer) are skipped on load, so
+    a store surviving a crash is always resumable.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, spec: JobSpec, result: SearchResult) -> None:
+        """Persist one completed job; flushed immediately.
+
+        The record is emitted as one ``write`` syscall on an ``O_APPEND``
+        descriptor (not through buffered text I/O, which splits multi-KB
+        records into several syscalls), so shard processes sharing one
+        store file do not interleave each other's lines.
+        """
+        record = {
+            "job_id": spec.job_id,
+            "spec": job_to_dict(spec),
+            "result": search_result_to_dict(result),
+        }
+        data = (json.dumps(record, sort_keys=True) + "\n").encode()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            view = memoryview(data)
+            while view:  # short writes (ENOSPC mid-write, signals) must not
+                view = view[os.write(descriptor, view) :]  # silently truncate
+        finally:
+            os.close(descriptor)
+
+    def records(self) -> List[dict]:
+        """All well-formed records, in file order."""
+        if not self.path.exists():
+            return []
+        records = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # partial line from a killed writer
+        return records
+
+    def completed_ids(self) -> set:
+        """Ids of every job with a stored result."""
+        return {record["job_id"] for record in self.records()}
+
+    def load_results(self, only: Optional[set] = None) -> Dict[str, SearchResult]:
+        """Deserialize stored results, keyed by job id.
+
+        ``only`` restricts deserialization to the given ids — rebuilding a
+        ``SearchResult`` (design, per-layer reports, genome) is the
+        expensive part, so a shard resuming against a large shared store
+        should not pay it for every other shard's records.
+        """
+        return {
+            record["job_id"]: search_result_from_dict(record["result"])
+            for record in self.records()
+            if only is None or record["job_id"] in only
+        }
+
+    def load_jobs(self) -> Dict[str, JobSpec]:
+        """Deserialize every stored job spec, keyed by job id."""
+        return {
+            record["job_id"]: job_from_dict(record["spec"])
+            for record in self.records()
+        }
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``--shard i/N`` argument into a 1-based (index, count) pair."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError as error:
+        raise ValueError(f"shard must look like 'i/N', got {text!r}") from error
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must satisfy 1 <= i <= N, got {text!r}")
+    return index, count
+
+
+def select_shard(jobs: Sequence[JobSpec], index: int, count: int) -> List[JobSpec]:
+    """Shard ``index`` of ``count`` (1-based): every ``count``-th job."""
+    return list(jobs[index - 1 :: count])
+
+
+class SweepRunner:
+    """Execute a job list through shared framework/worker-pool lifecycles.
+
+    Parameters
+    ----------
+    jobs:
+        The full sweep, in a deterministic order (sharding depends on it).
+    settings:
+        Evaluation-engine knobs shared by every job (cache, workers,
+        bytes-per-element).  ``models`` / ``sampling_budget`` / ``seed`` on
+        the settings are ignored here — those live on the specs.
+    store:
+        Optional :class:`ResultStore` (or path); every completed search is
+        appended immediately.
+    resume:
+        Skip jobs whose ids are already in the store and return their
+        stored results instead of re-running them.
+    shard:
+        Optional 1-based ``(index, count)`` pair; only that slice of the
+        job list is executed.
+    progress:
+        Optional callable receiving one human-readable line per job.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[JobSpec],
+        settings: Optional[ExperimentSettings] = None,
+        store: Union[ResultStore, str, Path, None] = None,
+        resume: bool = False,
+        shard: Optional[Tuple[int, int]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.jobs = list(jobs)
+        self.settings = settings if settings is not None else ExperimentSettings()
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.resume = resume
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 1 <= index <= count:
+                raise ValueError(f"invalid shard {shard!r}")
+        self.shard = shard
+        self.progress = progress
+
+    @property
+    def shard_jobs(self) -> List[JobSpec]:
+        """The slice of the sweep this runner executes."""
+        if self.shard is None:
+            return list(self.jobs)
+        return select_shard(self.jobs, *self.shard)
+
+    def run(self) -> List[Outcome]:
+        """Execute (or reload) every job of this runner's shard, in order.
+
+        Jobs are deduplicated by ``job_id``: an id encodes everything that
+        affects the search outcome (the ``scheme`` label does not), so
+        specs sharing an id — e.g. the same DiGamma search appearing in two
+        suites under different labels — are executed once and the result is
+        returned for each of them.
+        """
+        jobs = self.shard_jobs
+        completed: Dict[str, SearchResult] = {}
+        if self.resume and self.store is not None:
+            completed = self.store.load_results(
+                only={spec.job_id for spec in jobs}
+            )
+        # Frameworks are shared across jobs and closed as soon as the last
+        # job needing them has run, bounding memory on large sweeps.
+        last_use: Dict[tuple, int] = {}
+        for position, spec in enumerate(jobs):
+            last_use[spec.framework_key] = position
+
+        outcomes: List[Outcome] = []
+        frameworks: Dict[tuple, object] = {}
+        try:
+            for position, spec in enumerate(jobs):
+                known = completed.get(spec.job_id)
+                if known is not None:
+                    outcomes.append((spec, known))
+                    self._say(f"[{position + 1}/{len(jobs)}] skip (stored): {spec.job_id}")
+                else:
+                    framework = frameworks.get(spec.framework_key)
+                    if framework is None:
+                        framework = build_framework(spec, self.settings)
+                        frameworks[spec.framework_key] = framework
+                    search = framework.search(
+                        build_optimizer(spec),
+                        sampling_budget=spec.sampling_budget,
+                        seed=spec.seed,
+                    )
+                    if self.store is not None:
+                        self.store.append(spec, search)
+                    completed[spec.job_id] = search
+                    outcomes.append((spec, search))
+                    self._say(
+                        f"[{position + 1}/{len(jobs)}] {spec.job_id}: {search.summary()}"
+                    )
+                if last_use[spec.framework_key] == position:
+                    framework = frameworks.pop(spec.framework_key, None)
+                    if framework is not None:
+                        framework.close()
+        finally:
+            for framework in frameworks.values():
+                framework.close()
+        return outcomes
+
+    def _say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+
+def full_outcomes(
+    jobs: Sequence[JobSpec],
+    outcomes: Sequence[Outcome],
+    store: Optional[ResultStore] = None,
+    stored_results: Optional[Dict[str, SearchResult]] = None,
+) -> Optional[List[Outcome]]:
+    """Outcomes for the *whole* sweep, merging this run with the store.
+
+    Returns ``None`` while some jobs have no result yet (e.g. other shards
+    still running) — callers should then skip table rendering.  Pass
+    ``stored_results`` (a preloaded ``store.load_results()`` dict) when
+    rendering several suites from one store, to avoid re-reading and
+    re-deserializing the whole file per suite.
+    """
+    have: Dict[str, SearchResult] = {}
+    if stored_results is not None:
+        have.update(stored_results)
+    elif store is not None:
+        have.update(store.load_results())
+    have.update({spec.job_id: result for spec, result in outcomes})
+    if any(spec.job_id not in have for spec in jobs):
+        return None
+    return [(spec, have[spec.job_id]) for spec in jobs]
+
+
+# -- shared CLI plumbing -------------------------------------------------------
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Args shared by the figure harness CLIs and ``repro experiments``."""
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=DEFAULT_SAMPLING_BUDGET,
+        help="sampling budget per search (paper uses 40000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="JSONL result store; completed searches stream into it",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs whose ids are already in the store",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for batched population evaluation",
+    )
+
+
+def validate_sweep_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject argument combinations that would silently do the wrong thing."""
+    if args.resume and not args.store:
+        parser.error("--resume requires --store (there is nothing to resume from)")
+
+
+def settings_from_args(
+    args: argparse.Namespace, models: Optional[Sequence[str]] = None
+) -> ExperimentSettings:
+    """Build :class:`ExperimentSettings` from parsed sweep arguments."""
+    return ExperimentSettings(
+        models=tuple(models) if models is not None else DEFAULT_MODELS,
+        sampling_budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+    )
+
+
+# -- the ``repro experiments`` CLI ---------------------------------------------
+
+
+def _compile_suites(args: argparse.Namespace) -> List[Tuple[str, List[JobSpec], Callable[[List[Outcome]], str]]]:
+    """Compile the requested suites into (label, jobs, renderer) entries."""
+    from repro.experiments import ablations as ablations_module
+    from repro.experiments import fig5 as fig5_module
+    from repro.experiments import fig6 as fig6_module
+    from repro.experiments import fig7 as fig7_module
+
+    settings = settings_from_args(args, models=args.models)
+    platforms = ("edge", "cloud") if args.platform == "both" else (args.platform,)
+    suites = (
+        ("fig5", "fig6", "fig7", "ablations") if args.suite == "all" else (args.suite,)
+    )
+    optimizers = tuple(args.optimizers)
+
+    entries: List[Tuple[str, List[JobSpec], Callable[[List[Outcome]], str]]] = []
+    for platform in platforms:
+        if "fig5" in suites:
+            jobs = fig5_module.compile_fig5_jobs(platform, settings, optimizers)
+            entries.append(
+                (
+                    f"fig5/{platform}",
+                    jobs,
+                    lambda outcomes, platform=platform, optimizers=optimizers: (
+                        fig5_module.fig5_result_from_outcomes(
+                            platform, optimizers, outcomes
+                        ).report()
+                    ),
+                )
+            )
+        if "fig6" in suites:
+            jobs = fig6_module.compile_fig6_jobs(platform, settings)
+            entries.append(
+                (
+                    f"fig6/{platform}",
+                    jobs,
+                    lambda outcomes, platform=platform: (
+                        fig6_module.fig6_result_from_outcomes(platform, outcomes).report()
+                    ),
+                )
+            )
+        if "fig7" in suites:
+            jobs = fig7_module.compile_fig7_jobs(args.model, platform, settings)
+            entries.append(
+                (
+                    f"fig7/{platform}",
+                    jobs,
+                    lambda outcomes, platform=platform: (
+                        fig7_module.fig7_result_from_outcomes(
+                            args.model, platform, outcomes
+                        ).report()
+                    ),
+                )
+            )
+        if "ablations" in suites:
+            operator_jobs = ablations_module.compile_operator_ablation_jobs(
+                platform, settings, models=args.models or ablations_module.ABLATION_MODELS
+            )
+            entries.append(
+                (
+                    f"ablations-operators/{platform}",
+                    operator_jobs,
+                    lambda outcomes, platform=platform: (
+                        ablations_module.ablation_result_from_outcomes(
+                            platform, outcomes
+                        ).report("Ablation A1 - DiGamma operators (latency, cycles)")
+                    ),
+                )
+            )
+            buffer_jobs = ablations_module.compile_buffer_allocation_jobs(
+                platform, settings, models=args.models or ("resnet18",)
+            )
+            entries.append(
+                (
+                    f"ablations-buffers/{platform}",
+                    buffer_jobs,
+                    lambda outcomes, platform=platform: (
+                        ablations_module.ablation_result_from_outcomes(
+                            platform, outcomes, metric="latency_area_product"
+                        ).report(
+                            "Ablation A2 - buffer allocation strategy "
+                            "(latency-area product)"
+                        )
+                    ),
+                )
+            )
+    return entries
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro experiments`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro experiments",
+        description="Unified experiment runner: compile figure suites (or a "
+        "custom grid) into jobs, execute them through one shared engine, "
+        "stream results to a JSONL store, resume and shard at will.",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("fig5", "fig6", "fig7", "ablations", "all"),
+        default="fig5",
+        help="which experiment suite to compile (default: fig5)",
+    )
+    parser.add_argument(
+        "--platform",
+        choices=("edge", "cloud", "both"),
+        default="edge",
+        help="platform resources to evaluate (default: edge)",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="models to evaluate (default: the suite's own model set)",
+    )
+    parser.add_argument(
+        "--optimizers",
+        nargs="+",
+        default=list(FIG5_OPTIMIZERS),
+        help="optimizers for the fig5 grid (default: the paper's nine)",
+    )
+    parser.add_argument(
+        "--model",
+        default="mnasnet",
+        help="model inspected by the fig7 suite (default: mnasnet)",
+    )
+    add_sweep_arguments(parser)
+    parser.add_argument(
+        "--shard",
+        default=None,
+        help="run only shard i/N of the job list (requires --store to merge)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sweep (ncf; random, cma, digamma; budget 40) for CI smoke tests",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro experiments``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.models = list(SMOKE_MODELS)
+        args.optimizers = list(SMOKE_OPTIMIZERS)
+        args.budget = min(args.budget, SMOKE_BUDGET)
+
+    entries = _compile_suites(args)
+    # Dedupe by job_id across suites BEFORE sharding: an id encodes the
+    # search outcome, so overlapping suites (e.g. DiGamma in fig5, fig6 and
+    # the ablations) contribute one job, and positional sharding never hands
+    # the same search to two shards.  full_outcomes re-fans results out to
+    # every suite's specs by id when rendering.
+    jobs: List[JobSpec] = []
+    seen_ids: set = set()
+    for _, suite_jobs, _ in entries:
+        for spec in suite_jobs:
+            if spec.job_id not in seen_ids:
+                seen_ids.add(spec.job_id)
+                jobs.append(spec)
+    shard = None
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as error:
+            parser.error(str(error))
+    validate_sweep_args(parser, args)
+    store = ResultStore(args.store) if args.store else None
+    if shard is not None and store is None:
+        parser.error("--shard requires --store (shards merge through the store)")
+
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    runner = SweepRunner(
+        jobs,
+        settings=settings_from_args(args, models=args.models),
+        store=store,
+        resume=args.resume,
+        shard=shard,
+        progress=progress,
+    )
+    outcomes = runner.run()
+
+    rendered_any = False
+    # Other processes' results only matter when sharded; a whole-sweep run
+    # already holds every outcome it compiled, so skip re-reading the store.
+    stored_results = (
+        store.load_results() if (store is not None and shard is not None) else {}
+    )
+    for label, suite_jobs, render in entries:
+        merged = full_outcomes(suite_jobs, outcomes, stored_results=stored_results)
+        if merged is None:
+            done = sum(
+                1
+                for spec in suite_jobs
+                if any(spec.job_id == ran.job_id for ran, _ in outcomes)
+            )
+            print(f"{label}: {done}/{len(suite_jobs)} jobs done in this shard; "
+                  "tables pending remaining shards")
+            continue
+        print(render(merged))
+        print()
+        rendered_any = True
+    if not rendered_any and shard is not None:
+        print(f"shard {args.shard}: {len(outcomes)} job(s) completed into {store.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

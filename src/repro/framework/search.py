@@ -45,6 +45,11 @@ class SearchTracker:
         self.codec = VectorCodec(space)
         self.sampling_budget = sampling_budget
         self.evaluations = 0
+        #: Number of calls to the batched evaluation views.
+        self.batch_calls = 0
+        #: Evaluations performed through the batched views (counted once,
+        #: even when a vector batch is routed through the genome batch).
+        self.batched_evaluations = 0
         self.best: Optional[EvaluationResult] = None
         #: (evaluation index, best fitness so far) recorded at every improvement.
         self.history: List[Tuple[int, float]] = []
@@ -91,6 +96,8 @@ class SearchTracker:
         batch = list(genomes)[: self.remaining]
         repaired = [repair_genome(genome.copy(), self.space) for genome in batch]
         results = self.evaluator.evaluate_population(repaired)
+        self.batch_calls += 1
+        self.batched_evaluations += len(results)
         fitnesses: List[float] = []
         for result in results:
             self.evaluations += 1

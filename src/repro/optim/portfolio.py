@@ -13,15 +13,26 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.encoding.genome import Genome
+
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer
+from repro.optim.base import Optimizer, evaluate_genomes, evaluate_vectors
 from repro.optim.de import DifferentialEvolution
 from repro.optim.one_plus_one import OnePlusOneES
 from repro.optim.pso import ParticleSwarm
 
 
 class _BudgetSlice:
-    """View of a tracker that exposes only a slice of the remaining budget."""
+    """View of a tracker that exposes only a slice of the remaining budget.
+
+    The batched evaluation views are forwarded so population-based members
+    (DE, PSO, GAs) keep the fast path — whole generations scored in one
+    evaluator call — instead of silently degrading to one-by-one
+    evaluation.  Batches are truncated to the slice's remaining allowance,
+    and the slice is charged for the number of results actually returned
+    (the underlying tracker may truncate further), so a cut-short batch
+    never overcharges the member.
+    """
 
     def __init__(self, tracker: SearchTracker, allowed: int):
         self._tracker = tracker
@@ -47,6 +58,16 @@ class _BudgetSlice:
     def evaluate_vector(self, vector) -> float:
         self._used += 1
         return self._tracker.evaluate_vector(vector)
+
+    def evaluate_batch(self, genomes: Sequence[Genome]) -> List[float]:
+        fitnesses = evaluate_genomes(self._tracker, list(genomes)[: self.remaining])
+        self._used += len(fitnesses)
+        return fitnesses
+
+    def evaluate_vector_batch(self, vectors: Sequence[np.ndarray]) -> List[float]:
+        fitnesses = evaluate_vectors(self._tracker, list(vectors)[: self.remaining])
+        self._used += len(fitnesses)
+        return fitnesses
 
 
 class PassivePortfolio(Optimizer):

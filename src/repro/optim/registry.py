@@ -47,12 +47,17 @@ def available_optimizers() -> List[str]:
     return list(_FACTORIES)
 
 
-def get_optimizer(name: str) -> Optimizer:
-    """Instantiate an optimizer by name (case-insensitive, aliases accepted)."""
+def optimizer_class(name: str) -> Callable[..., Optimizer]:
+    """Resolve an optimizer class by name without instantiating it."""
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
     if key not in _FACTORIES:
         raise KeyError(
             f"unknown optimizer {name!r}; available: {', '.join(available_optimizers())}"
         )
-    return _FACTORIES[key]()
+    return _FACTORIES[key]
+
+
+def get_optimizer(name: str) -> Optimizer:
+    """Instantiate an optimizer by name (case-insensitive, aliases accepted)."""
+    return optimizer_class(name)()

@@ -15,8 +15,11 @@ from typing import Any, Dict, Union
 
 from repro.arch.area import AreaBreakdown
 from repro.arch.hardware import HardwareConfig
+from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.encoding.genome import Genome, LevelGenes
 from repro.framework.designpoint import AcceleratorDesign
+from repro.framework.evaluator import EvaluationResult
+from repro.framework.objective import Objective
 from repro.framework.search import SearchResult
 from repro.mapping.directives import LevelMapping
 from repro.mapping.mapping import Mapping
@@ -110,12 +113,69 @@ def genome_from_dict(data: Dict[str, Any]) -> Genome:
 # -- designs and results -------------------------------------------------------
 
 
+def layer_performance_to_dict(layer: LayerPerformance) -> Dict[str, Any]:
+    """Serialize one layer's cost-model report (lossless)."""
+    return {
+        "name": layer.layer_name,
+        "count": layer.count,
+        "latency_cycles": layer.latency,
+        "compute_cycles": layer.compute_cycles,
+        "noc_cycles": layer.noc_cycles,
+        "dram_cycles": layer.dram_cycles,
+        "macs": layer.macs,
+        "l2_to_l1_bytes": layer.l2_to_l1_bytes,
+        "dram_bytes": layer.dram_bytes,
+        "l1_access_bytes": layer.l1_access_bytes,
+        "energy": layer.energy,
+        "active_pes": layer.active_pes,
+        "num_pes": layer.num_pes,
+        "l1_requirement_bytes": layer.l1_requirement_bytes,
+        "l2_requirement_bytes": layer.l2_requirement_bytes,
+        # Derived quantities, kept for human consumption of the JSON.
+        "utilization": layer.utilization,
+        "bottleneck": layer.bottleneck,
+    }
+
+
+def layer_performance_from_dict(data: Dict[str, Any]) -> LayerPerformance:
+    """Rebuild one layer report from :func:`layer_performance_to_dict` output."""
+    return LayerPerformance(
+        layer_name=str(data["name"]),
+        latency=float(data["latency_cycles"]),
+        compute_cycles=float(data["compute_cycles"]),
+        noc_cycles=float(data["noc_cycles"]),
+        dram_cycles=float(data["dram_cycles"]),
+        macs=int(data["macs"]),
+        l2_to_l1_bytes=float(data["l2_to_l1_bytes"]),
+        dram_bytes=float(data["dram_bytes"]),
+        l1_access_bytes=float(data["l1_access_bytes"]),
+        energy=float(data["energy"]),
+        active_pes=int(data["active_pes"]),
+        num_pes=int(data["num_pes"]),
+        l1_requirement_bytes=int(data["l1_requirement_bytes"]),
+        l2_requirement_bytes=int(data["l2_requirement_bytes"]),
+        count=int(data.get("count", 1)),
+    )
+
+
 def design_to_dict(design: AcceleratorDesign) -> Dict[str, Any]:
-    """Serialize a decoded accelerator design with its headline metrics."""
+    """Serialize a decoded accelerator design with its headline metrics.
+
+    The payload is lossless: :func:`design_from_dict` rebuilds an equal
+    design (hardware, mapping, per-layer performance and area breakdown),
+    which is what lets a JSONL result store feed ``--resume`` and render
+    byte-identical tables without re-evaluating anything.
+    """
     pe_pct, buffer_pct = design.area.pe_to_buffer_ratio
     return {
+        "model": design.performance.model_name,
         "hardware": hardware_to_dict(design.hardware),
         "mapping": mapping_to_dict(design.mapping),
+        "area": {
+            "pe_area": design.area.pe_area,
+            "l1_area": design.area.l1_area,
+            "l2_area": design.area.l2_area,
+        },
         "metrics": {
             "latency_cycles": design.latency,
             "energy": design.energy,
@@ -128,17 +188,30 @@ def design_to_dict(design: AcceleratorDesign) -> Dict[str, Any]:
             "dram_bytes": design.performance.dram_bytes,
         },
         "per_layer": [
-            {
-                "name": layer.layer_name,
-                "count": layer.count,
-                "latency_cycles": layer.latency,
-                "utilization": layer.utilization,
-                "bottleneck": layer.bottleneck,
-                "dram_bytes": layer.dram_bytes,
-            }
-            for layer in design.performance.layers
+            layer_performance_to_dict(layer) for layer in design.performance.layers
         ],
     }
+
+
+def design_from_dict(data: Dict[str, Any]) -> AcceleratorDesign:
+    """Rebuild an accelerator design from :func:`design_to_dict` output."""
+    performance = ModelPerformance(
+        model_name=str(data.get("model", "")),
+        layers=tuple(
+            layer_performance_from_dict(layer) for layer in data["per_layer"]
+        ),
+    )
+    area = AreaBreakdown(
+        pe_area=float(data["area"]["pe_area"]),
+        l1_area=float(data["area"]["l1_area"]),
+        l2_area=float(data["area"]["l2_area"]),
+    )
+    return AcceleratorDesign(
+        hardware=hardware_from_dict(data["hardware"]),
+        mapping=mapping_from_dict(data["mapping"]),
+        performance=performance,
+        area=area,
+    )
 
 
 def search_result_to_dict(result: SearchResult) -> Dict[str, Any]:
@@ -153,9 +226,54 @@ def search_result_to_dict(result: SearchResult) -> Dict[str, Any]:
     }
     if result.found_valid:
         payload["best"] = design_to_dict(result.best.design)
+        payload["best"]["fitness"] = result.best.fitness
+        payload["best"]["objective"] = result.best.objective.value
+        payload["best"]["objective_value"] = result.best.objective_value
         if result.best.genome is not None:
             payload["best"]["genome"] = genome_to_dict(result.best.genome)
     return payload
+
+
+def search_result_from_dict(data: Dict[str, Any]) -> SearchResult:
+    """Rebuild a search outcome from :func:`search_result_to_dict` output.
+
+    The best design (and its genome, when stored) is reconstructed in full,
+    so every derived metric the experiment tables use — ``best_latency``,
+    ``best_latency_area_product``, ``best_objective_value`` — matches the
+    original result exactly.  Results that found no valid design come back
+    with ``best=None``; the invalid best-so-far point (if any) is not
+    serialized in the first place.
+    """
+    best: "EvaluationResult | None" = None
+    if data.get("found_valid") and "best" in data:
+        stored = data["best"]
+        design = design_from_dict(stored)
+        objective = Objective.from_name(stored.get("objective", "latency"))
+        genome = (
+            genome_from_dict(stored["genome"]) if "genome" in stored else None
+        )
+        objective_value = float(
+            stored.get("objective_value", stored["metrics"]["latency_cycles"])
+        )
+        best = EvaluationResult(
+            fitness=float(stored.get("fitness", -objective_value)),
+            valid=True,
+            objective=objective,
+            objective_value=objective_value,
+            design=design,
+            violations=(),
+            genome=genome,
+        )
+    return SearchResult(
+        optimizer_name=str(data["optimizer"]),
+        best=best,
+        evaluations=int(data["evaluations"]),
+        sampling_budget=int(data["sampling_budget"]),
+        wall_time_seconds=float(data["wall_time_seconds"]),
+        history=tuple(
+            (int(index), float(fitness)) for index, fitness in data.get("history", ())
+        ),
+    )
 
 
 # -- file helpers --------------------------------------------------------------

@@ -1,0 +1,248 @@
+"""Tests of the unified experiment runner (jobs, store, resume, shard)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.fig5 import compile_fig5_jobs, run_fig5
+from repro.experiments.fig6 import compile_fig6_jobs
+from repro.experiments.jobs import (
+    JobSpec,
+    build_optimizer,
+    compile_grid,
+    job_from_dict,
+    job_to_dict,
+)
+from repro.experiments.runner import (
+    ResultStore,
+    SweepRunner,
+    full_outcomes,
+    parse_shard,
+    select_shard,
+)
+from repro.experiments.settings import ExperimentSettings
+
+TINY = ExperimentSettings(models=("ncf",), sampling_budget=40, seed=0)
+TINY_OPTIMIZERS = ("random", "digamma")
+
+
+class TestJobSpec:
+    def test_job_ids_unique_across_grid(self):
+        jobs = compile_grid(
+            models=("ncf", "dlrm"),
+            platforms=("edge", "cloud"),
+            optimizers=("random", "digamma"),
+            sampling_budget=40,
+            seeds=(0, 1),
+        )
+        ids = [spec.job_id for spec in jobs]
+        assert len(jobs) == 2 * 2 * 2 * 2
+        assert len(set(ids)) == len(ids)
+
+    def test_job_id_stable_under_option_ordering(self):
+        first = JobSpec(
+            model="ncf", platform="edge", optimizer="digamma", sampling_budget=10,
+            optimizer_options={"use_hw_operators": False, "seeded_fraction": 0.25},
+        )
+        second = JobSpec(
+            model="ncf", platform="edge", optimizer="digamma", sampling_budget=10,
+            optimizer_options={"seeded_fraction": 0.25, "use_hw_operators": False},
+        )
+        assert first == second
+        assert first.job_id == second.job_id
+
+    def test_job_round_trip(self):
+        spec = JobSpec(
+            model="resnet18", platform="cloud", optimizer="gamma",
+            sampling_budget=25, seed=3, objective="edp",
+            fixed_hw_style="Compute-focused", scheme="Compute-focused+Gamma",
+        )
+        rebuilt = job_from_dict(job_to_dict(spec))
+        assert rebuilt == spec
+        assert rebuilt.job_id == spec.job_id
+
+    def test_build_optimizer_grid_and_options(self):
+        grid_spec = JobSpec(
+            model="ncf", platform="edge", optimizer="grid",
+            optimizer_options={"dataflow": "shi"}, sampling_budget=10,
+        )
+        assert build_optimizer(grid_spec).name == "Grid-S+shi-like"
+        digamma_spec = JobSpec(
+            model="ncf", platform="edge", optimizer="digamma",
+            optimizer_options={"use_hw_operators": False}, sampling_budget=10,
+        )
+        assert build_optimizer(digamma_spec).use_hw_operators is False
+
+    def test_scheme_label_defaults_to_optimizer_name(self):
+        spec = JobSpec(
+            model="ncf", platform="edge", optimizer="cma", sampling_budget=10
+        )
+        assert spec.scheme_label == "CMA"
+
+
+class TestResultStore:
+    def test_append_and_load(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        SweepRunner(jobs, settings=TINY, store=store).run()
+        assert store.completed_ids() == {jobs[0].job_id}
+        loaded = store.load_results()[jobs[0].job_id]
+        assert loaded.evaluations == TINY.sampling_budget
+        assert store.load_jobs()[jobs[0].job_id] == jobs[0]
+
+    def test_malformed_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        store = ResultStore(path)
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        SweepRunner(jobs, settings=TINY, store=store).run()
+        with path.open("a") as handle:
+            handle.write('{"job_id": "killed-mid-wr')  # no newline, no close
+        assert len(store.records()) == 1
+        assert store.completed_ids() == {jobs[0].job_id}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.jsonl")
+        assert store.records() == []
+        assert store.completed_ids() == set()
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("1/4") == (1, 4)
+        assert parse_shard("4/4") == (4, 4)
+        for bad in ("0/4", "5/4", "4", "a/b", "1/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_job_list(self):
+        jobs = compile_grid(
+            models=("ncf", "dlrm", "resnet18"),
+            platforms=("edge",),
+            optimizers=("random", "digamma", "cma"),
+            sampling_budget=10,
+        )
+        shards = [select_shard(jobs, index, 4) for index in (1, 2, 3, 4)]
+        collected = [spec for shard in shards for spec in shard]
+        assert sorted(s.job_id for s in collected) == sorted(s.job_id for s in jobs)
+        assert sum(len(shard) for shard in shards) == len(jobs)
+
+    def test_sharded_runners_complete_the_sweep(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        jobs = compile_fig5_jobs("edge", TINY, TINY_OPTIMIZERS)
+        for index in (1, 2):
+            SweepRunner(
+                jobs, settings=TINY, store=store, shard=(index, 2)
+            ).run()
+        assert store.completed_ids() == {spec.job_id for spec in jobs}
+        merged = full_outcomes(jobs, [], store)
+        assert merged is not None
+        assert [spec.job_id for spec, _ in merged] == [spec.job_id for spec in jobs]
+
+
+class TestResume:
+    def test_resume_runs_only_missing_jobs(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        jobs = compile_fig5_jobs("edge", TINY, TINY_OPTIMIZERS)
+        # Simulate a sweep killed after the first job.
+        SweepRunner(jobs[:1], settings=TINY, store=store).run()
+        assert len(store.records()) == 1
+
+        progress = []
+        SweepRunner(
+            jobs, settings=TINY, store=store, resume=True,
+            progress=progress.append,
+        ).run()
+        # Only the missing job was appended; the first was skipped.
+        assert len(store.records()) == len(jobs)
+        assert any("skip (stored)" in line for line in progress)
+
+    def test_resumed_tables_are_byte_identical(self, tmp_path):
+        baseline = run_fig5("edge", TINY, TINY_OPTIMIZERS).report()
+
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        jobs = compile_fig5_jobs("edge", TINY, TINY_OPTIMIZERS)
+        SweepRunner(jobs[:1], settings=TINY, store=store).run()  # "killed" sweep
+        resumed = run_fig5(
+            "edge", TINY, TINY_OPTIMIZERS, store=store, resume=True
+        ).report()
+        assert resumed == baseline
+        # A second resume serves everything from the store, still identical.
+        reloaded = run_fig5(
+            "edge", TINY, TINY_OPTIMIZERS, store=store, resume=True
+        ).report()
+        assert reloaded == baseline
+        assert len(store.records()) == len(jobs)
+
+    def test_duplicate_job_ids_run_once_and_share_the_result(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        relabeled = [
+            JobSpec(**{**job_to_dict(spec), "scheme": "Random (again)"})
+            for spec in jobs
+        ]
+        outcomes = SweepRunner(jobs + relabeled, settings=TINY, store=store).run()
+        # Same job_id (the scheme label is presentation-only): one execution,
+        # one store record, the result returned under both labels.
+        assert len(outcomes) == 2
+        assert len(store.records()) == 1
+        assert outcomes[0][1] is outcomes[1][1]
+        assert outcomes[1][0].scheme_label == "Random (again)"
+
+
+class TestFig6Jobs:
+    def test_compile_covers_all_schemes(self):
+        jobs = compile_fig6_jobs("edge", TINY)
+        labels = {spec.scheme_label for spec in jobs}
+        assert len(jobs) == 7
+        assert sum("Grid-S" in label for label in labels) == 3
+        assert sum("+Gamma" in label for label in labels) == 3
+        assert "DiGamma" in labels
+        gamma_jobs = [spec for spec in jobs if spec.optimizer == "gamma"]
+        assert all(spec.fixed_hw_style is not None for spec in gamma_jobs)
+
+
+class TestExperimentsCLI:
+    def test_smoke_sweep(self, tmp_path, capsys):
+        store_path = tmp_path / "smoke.jsonl"
+        exit_code = repro_main(
+            ["experiments", "--smoke", "--quiet", "--store", str(store_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert store_path.exists()
+        records = [
+            json.loads(line)
+            for line in store_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(records) == 3  # ncf x (random, cma, digamma)
+        assert all(record["result"]["evaluations"] == 40 for record in records)
+
+    def test_shard_requires_store(self):
+        with pytest.raises(SystemExit):
+            repro_main(["experiments", "--smoke", "--shard", "1/2"])
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            repro_main(["experiments", "--smoke", "--resume"])
+
+    def test_overlapping_suites_share_one_search(self, tmp_path, capsys):
+        # The operator ablation's plain DiGamma and the buffer ablation's
+        # "exact" variant are the same search; the sweep runs it once.
+        store_path = tmp_path / "ablations.jsonl"
+        exit_code = repro_main([
+            "experiments", "--suite", "ablations", "--models", "ncf",
+            "--budget", "25", "--quiet", "--store", str(store_path),
+        ])
+        assert exit_code == 0
+        ids = [
+            json.loads(line)["job_id"]
+            for line in store_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(ids) == len(set(ids)) == 5  # 4 operator variants + "fill"
+        out = capsys.readouterr().out
+        assert "Ablation A1" in out
+        assert "Ablation A2" in out

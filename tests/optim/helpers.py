@@ -71,3 +71,33 @@ class QuadraticTracker:
     def first_sample_fitness(self) -> float:
         """Fitness of the very first sample (a random-start reference)."""
         return self.fitness_log[0] if self.fitness_log else -np.inf
+
+
+class BatchSpyTracker(QuadraticTracker):
+    """Quadratic tracker with the batched views and call counters.
+
+    Mirrors :class:`SearchTracker`'s batch semantics (truncate to the
+    remaining budget) while recording how many evaluations arrived through
+    the batched path — used to assert optimizers keep the fast path when
+    wrapped (e.g. inside a portfolio's budget slice).
+    """
+
+    def __init__(self, sampling_budget: int, dimension_target: float = 0.7):
+        super().__init__(sampling_budget, dimension_target)
+        self.batch_calls = 0
+        self.batched_evaluations = 0
+
+    def evaluate_batch(self, genomes) -> List[float]:
+        batch = list(genomes)[: self.remaining]
+        self.batch_calls += 1
+        self.batched_evaluations += len(batch)
+        return [self._score(self.codec.encode(genome)) for genome in batch]
+
+    def evaluate_vector_batch(self, vectors) -> List[float]:
+        batch = list(vectors)[: self.remaining]
+        self.batch_calls += 1
+        self.batched_evaluations += len(batch)
+        return [
+            self._score(np.clip(np.asarray(vector, dtype=float), 0.0, 1.0))
+            for vector in batch
+        ]

@@ -8,6 +8,7 @@ from repro.framework.cooptimizer import CoOptimizationFramework
 from repro.mapping.dataflows import dla_like
 from repro.optim.digamma import DiGamma
 from repro.serialization import (
+    design_from_dict,
     design_to_dict,
     genome_from_dict,
     genome_to_dict,
@@ -17,6 +18,7 @@ from repro.serialization import (
     mapping_from_dict,
     mapping_to_dict,
     save_json,
+    search_result_from_dict,
     search_result_to_dict,
 )
 from repro.encoding.genome import Genome
@@ -65,7 +67,7 @@ class TestSearchResultSerialization:
     def test_design_dict_fields(self, search_result):
         assert search_result.found_valid
         data = design_to_dict(search_result.best.design)
-        assert set(data) == {"hardware", "mapping", "metrics", "per_layer"}
+        assert set(data) == {"model", "hardware", "mapping", "area", "metrics", "per_layer"}
         assert data["metrics"]["latency_cycles"] == search_result.best_latency
         assert data["metrics"]["area_um2"] <= EDGE.area_budget_um2
         assert len(data["per_layer"]) >= 1
@@ -86,3 +88,58 @@ class TestSearchResultSerialization:
         assert loaded["sampling_budget"] == 100
         mapping = mapping_from_dict(loaded["best"]["mapping"])
         assert mapping == search_result.best.design.mapping
+
+    def test_design_round_trip(self, search_result):
+        design = search_result.best.design
+        rebuilt = design_from_dict(design_to_dict(design))
+        assert rebuilt.hardware == design.hardware
+        assert rebuilt.mapping == design.mapping
+        assert rebuilt.latency == design.latency
+        assert rebuilt.energy == design.energy
+        assert rebuilt.area.total == design.area.total
+        assert rebuilt.latency_area_product == design.latency_area_product
+        assert rebuilt.performance.layers == design.performance.layers
+
+    def test_search_result_round_trip(self, search_result):
+        rebuilt = search_result_from_dict(search_result_to_dict(search_result))
+        assert rebuilt.optimizer_name == search_result.optimizer_name
+        assert rebuilt.evaluations == search_result.evaluations
+        assert rebuilt.sampling_budget == search_result.sampling_budget
+        assert rebuilt.wall_time_seconds == search_result.wall_time_seconds
+        assert rebuilt.history == search_result.history
+        assert rebuilt.found_valid
+        assert rebuilt.best_latency == search_result.best_latency
+        assert rebuilt.best_latency_area_product == (
+            search_result.best_latency_area_product
+        )
+        assert rebuilt.best_objective_value == search_result.best_objective_value
+        assert rebuilt.best.fitness == search_result.best.fitness
+        assert rebuilt.best.objective == search_result.best.objective
+        assert rebuilt.best.genome is not None
+        assert (
+            rebuilt.best.genome.to_mapping()
+            == search_result.best.genome.to_mapping()
+        )
+
+    def test_search_result_round_trip_through_json(self, search_result, tmp_path):
+        path = save_json(search_result_to_dict(search_result), tmp_path / "result.json")
+        rebuilt = search_result_from_dict(load_json(path))
+        assert rebuilt.best_latency == search_result.best_latency
+        assert rebuilt.best_latency_area_product == (
+            search_result.best_latency_area_product
+        )
+        assert rebuilt.summary() == search_result.summary()
+
+    def test_search_result_without_valid_best(self):
+        data = {
+            "optimizer": "Random",
+            "evaluations": 5,
+            "sampling_budget": 5,
+            "wall_time_seconds": 0.1,
+            "found_valid": False,
+            "history": [],
+        }
+        rebuilt = search_result_from_dict(data)
+        assert rebuilt.best is None
+        assert not rebuilt.found_valid
+        assert rebuilt.best_latency == float("inf")

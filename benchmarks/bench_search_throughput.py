@@ -26,8 +26,10 @@ from repro.workloads.registry import get_model
 _ROUNDS = 3
 
 ENGINE_CONFIGS = {
-    "fast-cached": {},
-    "fast-uncached": {"use_cache": False},
+    "vector-cached": {},  # the default engine
+    "vector-uncached": {"use_cache": False},
+    "fast-cached": {"engine": "fast"},
+    "fast-uncached": {"engine": "fast", "use_cache": False},
     "reference": {"engine": "reference", "use_cache": False},
 }
 

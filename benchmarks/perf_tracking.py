@@ -32,10 +32,16 @@ from repro.workloads.layer import Layer
 from repro.workloads.registry import get_model
 
 SEARCH_CONFIGS = {
-    "fast_cached": {},
-    "fast_uncached": {"use_cache": False},
+    "vector_cached": {},  # the default engine: NumPy population batching
+    "fast_cached": {"engine": "fast"},
+    "fast_uncached": {"engine": "fast", "use_cache": False},
     "reference": {"engine": "reference", "use_cache": False},
 }
+
+#: The fast-cached evals/s recorded by the PR that introduced the scalar
+#: fast path (BENCH_cost_model.json as of that PR, same machine class).
+#: The vector engine's acceptance bar is >= 2x this number.
+PR1_FAST_CACHED_EVALS_PER_SECOND = 3804.4
 
 
 def bench_layer_eval(repeats: int = 2000) -> dict:
@@ -89,18 +95,71 @@ def bench_search_throughput(budget: int, reps: int, seed: int = 0) -> dict:
     assert len(set(fitness.values())) == 1, (
         f"engine configurations disagree on the search outcome: {fitness}"
     )
+    from repro.optim.digamma.algorithm import DiGammaHyperParameters
+
     return {
         "budget": budget,
         "reps": reps,
+        "population": DiGammaHyperParameters().resolved_population(budget),
         "evals_per_second": throughput,
+        "speedup_vector_vs_fast_cached": round(
+            throughput["vector_cached"] / throughput["fast_cached"], 2
+        ),
+        "speedup_vector_vs_pr1_fast_cached": round(
+            throughput["vector_cached"] / PR1_FAST_CACHED_EVALS_PER_SECOND, 2
+        ),
+        "speedup_vector_vs_reference": round(
+            throughput["vector_cached"] / throughput["reference"], 2
+        ),
         "speedup_cached_vs_reference": round(
             throughput["fast_cached"] / throughput["reference"], 2
         ),
         "speedup_uncached_vs_reference": round(
             throughput["fast_uncached"] / throughput["reference"], 2
         ),
-        "best_fitness": fitness["fast_cached"],
+        "best_fitness": fitness["vector_cached"],
     }
+
+
+def check_smoke(budget: int = 400) -> int:
+    """CI smoke: vector vs fast parity on a small population + micro-bench.
+
+    One DiGamma search per engine on a GA population (budget // 25 members)
+    asserting *bit-identical* best fitness, plus a throughput line so CI
+    logs track the speed plumbing.  Exits non-zero if the engines disagree
+    or the vector path failed to vectorize anything.
+    """
+    model = get_model("resnet18")
+    outcomes = {}
+    for name, kwargs in (
+        ("vector", {}),
+        ("fast", {"engine": "fast"}),
+    ):
+        framework = CoOptimizationFramework(model, get_platform("edge"), **kwargs)
+        start = time.perf_counter()
+        result = framework.search(
+            get_optimizer("digamma"), sampling_budget=budget, seed=0
+        )
+        elapsed = time.perf_counter() - start
+        vector_stats = framework.evaluator.cost_model.vector_stats
+        outcomes[name] = result
+        print(
+            f"{name:>6s}: {result.evaluations / elapsed:8.0f} evals/s, "
+            f"best fitness {result.best.fitness!r}, "
+            f"{vector_stats['rows_vectorized']} rows vectorized "
+            f"({vector_stats['rows_fallback']} scalar fallbacks)"
+        )
+        if name == "vector" and vector_stats["rows_vectorized"] == 0:
+            print("FAIL: the vector engine never vectorized a row")
+            return 1
+    if outcomes["vector"].best.fitness != outcomes["fast"].best.fitness:
+        print("FAIL: vector and fast engines disagree on the search outcome")
+        return 1
+    if outcomes["vector"].history != outcomes["fast"].history:
+        print("FAIL: vector and fast engines followed different trajectories")
+        return 1
+    print("OK: vector engine is bit-identical to the scalar fast engine")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -108,10 +167,18 @@ def main(argv=None) -> int:
     parser.add_argument("--budget", type=int, default=2000)
     parser.add_argument("--reps", type=int, default=5)
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke mode: assert vector/fast parity on a small search "
+        "and print a micro-benchmark line instead of writing the JSON",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_cost_model.json"),
     )
     args = parser.parse_args(argv)
+    if args.check:
+        return check_smoke(min(args.budget, 400))
 
     payload = {
         "benchmark": "cost-model and GA search throughput",

@@ -33,6 +33,7 @@ from repro.experiments import fig6 as fig6_module
 from repro.experiments import fig7 as fig7_module
 from repro.experiments import runner as runner_module
 from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.framework.evaluator import ENGINES
 from repro.framework.objective import Objective
 from repro.mapping.dataflows import DATAFLOW_STYLES, get_dataflow
 from repro.optim.registry import available_optimizers, get_optimizer
@@ -63,6 +64,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         objective=Objective.from_name(args.objective),
         use_cache=not args.no_cache,
         workers=args.workers,
+        engine=args.engine,
     )
     optimizer = get_optimizer(args.optimizer)
     try:
@@ -131,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--workers", type=int, default=None,
                         help="process-pool width for batched population "
                              "evaluation (default: in-process)")
+    search.add_argument("--engine", choices=ENGINES,
+                        default="vector",
+                        help="evaluation engine (bit-identical results; "
+                             "'vector' batches whole populations through "
+                             "NumPy, 'fast' is the scalar engine, "
+                             "'reference' the seed implementation)")
     search.add_argument("--no-cache", action="store_true",
                         help="disable evaluation memoization (results are "
                              "bit-identical either way)")

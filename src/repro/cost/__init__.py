@@ -5,23 +5,27 @@ a :class:`~repro.mapping.mapping.Mapping` plus platform bandwidths) and a
 layer, and produces latency, traffic, energy, utilization and buffer
 requirements from a data-centric reuse analysis.  The hot path runs through
 the tuple-based fast engine (:mod:`repro.cost.engine`) behind a bounded LRU
-memo (:mod:`repro.cost.cache`); the reference dict-based analysis is kept
-for parity testing and baseline benchmarks.
+memo (:mod:`repro.cost.cache`); whole populations batch through the NumPy
+structure-of-arrays engine (:mod:`repro.cost.vector_engine`); the reference
+dict-based analysis is kept for parity testing and baseline benchmarks.
 """
 
 from repro.cost.cache import CacheStats, LRUCache
 from repro.cost.engine import evaluate_layer_key, layer_mapping_key
-from repro.cost.maestro import CostModel
+from repro.cost.maestro import CostModel, LazyModelPerformance
 from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.cost.reuse import LevelAnalysis, analyze_levels, operand_fetches
+from repro.cost.vector_engine import VectorEngine
 
 __all__ = [
     "CacheStats",
     "CostModel",
     "LRUCache",
     "LayerPerformance",
+    "LazyModelPerformance",
     "ModelPerformance",
     "LevelAnalysis",
+    "VectorEngine",
     "analyze_levels",
     "evaluate_layer_key",
     "layer_mapping_key",

@@ -45,6 +45,21 @@ class CacheStats:
             maxsize=self.maxsize + other.maxsize,
         )
 
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter delta against an earlier snapshot of the same cache.
+
+        Size and bound stay absolute (they describe the cache now); only
+        the hit/miss counters are differenced.  Used for per-search cache
+        reporting on caches that live across searches (and, in the sweep
+        runner, across jobs).
+        """
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            size=self.size,
+            maxsize=self.maxsize,
+        )
+
     def summary(self) -> str:
         """One-line human-readable rendering."""
         return (

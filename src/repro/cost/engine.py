@@ -88,6 +88,34 @@ def make_report(
     )
     return report
 
+def report_values(report: LayerPerformance) -> tuple:
+    """Cacheable scalar fields of a report (everything but name and count).
+
+    GC-untracked (a flat tuple of numbers), so a full cache does not slow
+    down cyclic garbage collections the way thousands of live report
+    objects would.  ``make_report(layer.name, *values, layer.count)``
+    reconstitutes the report for any same-shaped layer.  The field order is
+    the contract shared by the layer-report cache and the vector engine's
+    column output.
+    """
+    values = report.__dict__
+    return (
+        values["latency"],
+        values["compute_cycles"],
+        values["noc_cycles"],
+        values["dram_cycles"],
+        values["macs"],
+        values["l2_to_l1_bytes"],
+        values["dram_bytes"],
+        values["l1_access_bytes"],
+        values["energy"],
+        values["active_pes"],
+        values["num_pes"],
+        values["l1_requirement_bytes"],
+        values["l2_requirement_bytes"],
+    )
+
+
 #: One level of a layer mapping key: ``((spatial_size, parallel_index,
 #: order_indexes), clipped_tiles)``.
 LevelKey = Tuple[Tuple[int, int, Tuple[int, ...]], Tuple[int, ...]]

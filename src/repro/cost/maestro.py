@@ -22,7 +22,9 @@ Two implementations of the per-layer analysis coexist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping as TMapping, Union
+from typing import Callable, Dict, List, Mapping as TMapping, Sequence, Union
+
+import numpy as np
 
 from repro.arch.energy import EnergyModel
 from repro.cost.cache import CacheStats, LRUCache
@@ -31,7 +33,9 @@ from repro.cost.engine import (
     evaluate_layer_key,
     layer_mapping_key,
     make_report,
+    report_values,
 )
+from repro.cost.vector_engine import VectorEngine
 from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.cost.reuse import (
     LevelAnalysis,
@@ -39,7 +43,7 @@ from repro.cost.reuse import (
     operand_fetches,
     spatial_distinct_factor,
 )
-from repro.mapping.mapping import Mapping
+from repro.mapping.mapping import Mapping, mapping_from_cache_key
 from repro.mapping.tiles import buffer_requirements, operand_footprint
 from repro.workloads.dims import DIMS
 from repro.workloads.layer import Layer
@@ -56,30 +60,93 @@ MappingProvider = Union[Mapping, Callable[[Layer], Mapping], TMapping[str, Mappi
 DEFAULT_LAYER_CACHE_SIZE = 16384
 
 
-def _report_values(report: LayerPerformance) -> tuple:
-    """Cacheable scalar fields of a report (everything but name and count).
+#: Kept as an alias: the canonical implementation moved next to the engine
+#: so the vector engine can share it without an import cycle.
+_report_values = report_values
 
-    GC-untracked (a flat tuple of numbers), so a full cache does not slow
-    down cyclic garbage collections the way thousands of live report
-    objects would.  ``make_report(layer.name, *values, layer.count)``
-    reconstitutes the report for any same-shaped layer.
+
+class LazyModelPerformance(ModelPerformance):
+    """A model report whose per-layer objects materialize on first access.
+
+    The batch path scores thousands of designs per generation, but almost
+    none of them are ever inspected layer by layer — only the handful that
+    win a search get serialized or summarised.  This subclass stores the
+    raw per-layer value tuples plus the four aggregates the fitness path
+    reads (latency, energy, buffer requirements, computed in the exact
+    accumulation order of the eager properties) and builds the
+    :class:`LayerPerformance` tuple lazily.  Every other inherited property
+    goes through ``self.layers`` and therefore works unchanged.
     """
-    values = report.__dict__
-    return (
-        values["latency"],
-        values["compute_cycles"],
-        values["noc_cycles"],
-        values["dram_cycles"],
-        values["macs"],
-        values["l2_to_l1_bytes"],
-        values["dram_bytes"],
-        values["l1_access_bytes"],
-        values["energy"],
-        values["active_pes"],
-        values["num_pes"],
-        values["l1_requirement_bytes"],
-        values["l2_requirement_bytes"],
-    )
+
+    @staticmethod
+    def build(
+        model_name: str,
+        names: tuple,
+        counts: tuple,
+        entries: tuple,
+        latency: float,
+        energy: float,
+        l1_requirement_bytes: int,
+        l2_requirement_bytes: int,
+    ) -> "LazyModelPerformance":
+        performance = object.__new__(LazyModelPerformance)
+        performance.__dict__.update(
+            model_name=model_name,
+            _names=names,
+            _counts=counts,
+            _entries=entries,
+            _latency=latency,
+            _energy=energy,
+            _l1_requirement=l1_requirement_bytes,
+            _l2_requirement=l2_requirement_bytes,
+        )
+        return performance
+
+    @property
+    def layers(self) -> tuple:
+        cached = self.__dict__.get("_layers")
+        if cached is None:
+            cached = tuple(
+                make_report(name, *entry, count)
+                for name, entry, count in zip(
+                    self._names, self._entries, self._counts
+                )
+            )
+            self.__dict__["_layers"] = cached
+        return cached
+
+    @property
+    def latency(self) -> float:
+        return self._latency
+
+    @property
+    def energy(self) -> float:
+        return self._energy
+
+    @property
+    def l1_requirement_bytes(self) -> int:
+        return self._l1_requirement
+
+    @property
+    def l2_requirement_bytes(self) -> int:
+        return self._l2_requirement
+
+
+def _model_dims_matrix(model: Model) -> np.ndarray:
+    """Unique-layer dimension sizes as an ``(L, 6)`` int64 matrix.
+
+    Memoized on the model instance (like :func:`model_statics`); the batch
+    path clips a mapping's tiles against every layer in two ``np.minimum``
+    calls instead of per-layer ``map(min, ...)`` loops.
+    """
+    matrix = model.__dict__.get("_dims_matrix")
+    if matrix is None:
+        matrix = np.array(
+            [statics.dims for _, statics in model_statics(model)],
+            dtype=np.int64,
+        )
+        object.__setattr__(model, "_dims_matrix", matrix)
+    return matrix
 
 
 @dataclass(frozen=True)
@@ -124,6 +191,43 @@ class CostModel:
     def cache_clear(self) -> None:
         """Drop all memoized layer reports and reset the counters."""
         self._cache.clear()
+
+    @property
+    def layer_cache(self) -> LRUCache:
+        """The layer-report cache instance (shareable via :meth:`adopt_cache`)."""
+        return self._cache
+
+    def adopt_cache(self, cache: LRUCache) -> None:
+        """Swap in an externally owned layer-report cache.
+
+        The sweep runner uses this to hand one warm cache to every job that
+        shares a model x platform x constraint combination: per-layer
+        reports are pure functions of (statics, clipped mapping key,
+        bandwidths) — all part of the cache key — so reuse across
+        objectives and optimizers is sound.
+        """
+        object.__setattr__(self, "_cache", cache)
+
+    # -- vector engine -----------------------------------------------------
+
+    def vector_engine(self) -> VectorEngine:
+        """The lazily created population-axis engine of this cost model."""
+        engine = self.__dict__.get("_vector_engine")
+        if engine is None:
+            engine = VectorEngine(self.bytes_per_element, self._energy_coefficients)
+            object.__setattr__(self, "_vector_engine", engine)
+        return engine
+
+    @property
+    def vector_stats(self) -> Dict[str, int]:
+        """Vectorized vs scalar-fallback row counts of the vector engine."""
+        engine = self.__dict__.get("_vector_engine")
+        if engine is None:
+            return {"rows_vectorized": 0, "rows_fallback": 0}
+        return {
+            "rows_vectorized": engine.rows_vectorized,
+            "rows_fallback": engine.rows_fallback,
+        }
 
     # -- single layer ------------------------------------------------------
 
@@ -314,6 +418,240 @@ class CostModel:
         cache.hits += hits
         cache.misses += misses
         return ModelPerformance(model_name=model.name, layers=tuple(reports))
+
+    # -- whole population --------------------------------------------------
+
+    def evaluate_model_batch(
+        self,
+        model: Model,
+        mappings: Sequence[Union[Mapping, tuple]],
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> List[ModelPerformance]:
+        """Evaluate one model under many mappings in a single array pass.
+
+        Each entry of ``mappings`` is a :class:`Mapping` or its raw
+        :meth:`Mapping.cache_key` parts (the genome encoding produces the
+        latter directly, skipping mapping construction).  The population
+        axis is packed into the vector engine: per-layer mapping keys are
+        built for every design (tile clipping vectorized against the
+        model's dimension matrix), deduplicated against the layer-report
+        cache *and* within the batch, and only the surviving unique rows
+        reach the arrays.  Results — reports, cache contents and hit/miss
+        counters — are identical to calling :meth:`evaluate_model` once per
+        mapping, except that at cache capacity the batch looks all its keys
+        up before inserting, so eviction-order effects on the *counters*
+        can differ; cached values themselves are pure functions of their
+        key either way.
+        """
+        if self.engine == "reference":
+            return [
+                self.evaluate_model(
+                    model,
+                    mapping
+                    if isinstance(mapping, Mapping)
+                    else mapping_from_cache_key(mapping),
+                    noc_bandwidth,
+                    dram_bandwidth,
+                )
+                for mapping in mappings
+            ]
+        if noc_bandwidth <= 0 or dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        pairs = model_statics(model)
+        dims_matrix = _model_dims_matrix(model)
+        engine = self.vector_engine()
+        layer_slots = [engine.statics_slot(statics) for _, statics in pairs]
+        slots_array = np.array(layer_slots, dtype=np.int64)
+        layer_names = tuple(layer.name for layer, _ in pairs)
+        layer_counts = tuple(layer.count for layer, _ in pairs)
+        num_layers = len(pairs)
+        cache = self._cache
+        cache_on = cache.maxsize > 0
+        data = cache.data
+        hits = misses = 0
+        pending: Dict[tuple, int] = {}
+        rows: List[tuple] = []
+        row_design: List[int] = []
+        row_layer: List[int] = []
+        packable = True  # all designs two-level with int64-safe genes
+        static_parts: List[tuple] = []
+        tiles0_arrays: List[np.ndarray] = []
+        tiles1_arrays: List[np.ndarray] = []
+        design_entries: List[List] = []
+        for design_index, mapping in enumerate(mappings):
+            parts = (
+                mapping.cache_key() if isinstance(mapping, Mapping) else mapping
+            )
+            two_level = len(parts) == 2
+            if two_level:
+                (static0, tiles0), (static1, tiles1) = parts
+                try:
+                    clipped0 = np.minimum(
+                        np.array(tiles0, dtype=np.int64), dims_matrix
+                    )
+                    clipped1 = np.minimum(
+                        np.array(tiles1, dtype=np.int64), clipped0
+                    )
+                except OverflowError:
+                    two_level = False  # beyond int64; tuple path is exact
+            if two_level:
+                keys = [
+                    ((static0, outer), (static1, inner))
+                    for outer, inner in zip(
+                        map(tuple, clipped0.tolist()),
+                        map(tuple, clipped1.tolist()),
+                    )
+                ]
+                static_parts.append(
+                    static0[:2] + static0[2] + static1[:2] + static1[2]
+                )
+                tiles0_arrays.append(clipped0)
+                tiles1_arrays.append(clipped1)
+            else:
+                if not isinstance(mapping, Mapping):
+                    mapping = mapping_from_cache_key(parts)
+                keys = [
+                    layer_mapping_key(statics, mapping) for _, statics in pairs
+                ]
+                packable = False
+            per_design: List = []
+            for layer_index, ((_, statics), key) in enumerate(zip(pairs, keys)):
+                cache_key = (statics, key, noc_bandwidth, dram_bandwidth)
+                if cache_on:
+                    entry = data.get(cache_key)
+                    if entry is not None:
+                        hits += 1
+                        per_design.append(entry)
+                        continue
+                row_index = pending.get(cache_key)
+                if row_index is None:
+                    row_index = len(rows)
+                    rows.append((statics, key))
+                    row_design.append(design_index)
+                    row_layer.append(layer_index)
+                    pending[cache_key] = row_index
+                    if cache_on:
+                        misses += 1
+                elif cache_on:
+                    # Sequential evaluation would have cached the first
+                    # occurrence by now, so this lookup counts as a hit.
+                    hits += 1
+                per_design.append(row_index)
+            design_entries.append(per_design)
+
+        values: List[tuple] = []
+        if rows:
+            layer_index = np.array(row_layer, dtype=np.int64)
+            if packable:
+                values = self._evaluate_rows_packed(
+                    engine,
+                    rows,
+                    static_parts,
+                    tiles0_arrays,
+                    tiles1_arrays,
+                    np.array(row_design, dtype=np.int64),
+                    layer_index,
+                    slots_array,
+                    num_layers,
+                    noc_bandwidth,
+                    dram_bandwidth,
+                )
+            else:
+                values = engine.evaluate_rows(
+                    rows,
+                    noc_bandwidth,
+                    dram_bandwidth,
+                    slots=[layer_slots[layer] for layer in row_layer],
+                )
+        if cache_on:
+            maxsize = cache.maxsize
+            for cache_key, row_index in pending.items():
+                data[cache_key] = values[row_index]
+                if len(data) > maxsize:
+                    data.popitem(last=False)
+            cache.hits += hits
+            cache.misses += misses
+
+        # Aggregates accumulate in the exact order of the eager properties
+        # (sum over layers of latency * count etc.), so the lazy reports are
+        # indistinguishable from eagerly built ones.
+        performances: List[ModelPerformance] = []
+        for per_design in design_entries:
+            resolved = tuple(
+                values[entry] if type(entry) is int else entry
+                for entry in per_design
+            )
+            latency = 0.0
+            energy = 0.0
+            l1_requirement = 0
+            l2_requirement = 0
+            for entry, count in zip(resolved, layer_counts):
+                latency += entry[0] * count
+                energy += entry[8] * count
+                if entry[11] > l1_requirement:
+                    l1_requirement = entry[11]
+                if entry[12] > l2_requirement:
+                    l2_requirement = entry[12]
+            performances.append(
+                LazyModelPerformance.build(
+                    model.name,
+                    layer_names,
+                    layer_counts,
+                    resolved,
+                    latency,
+                    energy,
+                    l1_requirement,
+                    l2_requirement,
+                )
+            )
+        return performances
+
+    @staticmethod
+    def _evaluate_rows_packed(
+        engine: VectorEngine,
+        rows: List[tuple],
+        static_parts: List[tuple],
+        tiles0_arrays: List[np.ndarray],
+        tiles1_arrays: List[np.ndarray],
+        row_design: np.ndarray,
+        row_layer: np.ndarray,
+        layer_slots: np.ndarray,
+        num_layers: int,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> List[tuple]:
+        """Assemble the engine's gene matrix with array gathers and run it.
+
+        The clipped tile arrays and per-design static parts already exist
+        from key building, so the per-row work reduces to two fancy-indexed
+        copies instead of re-flattening every key tuple.
+        """
+        try:
+            statics_matrix = np.array(static_parts, dtype=np.int64)
+        except OverflowError:
+            return engine.evaluate_rows(
+                rows,
+                noc_bandwidth,
+                dram_bandwidth,
+                slots=layer_slots[row_layer].tolist(),
+            )
+        tiles0 = np.stack(tiles0_arrays).reshape(-1, 6)
+        tiles1 = np.stack(tiles1_arrays).reshape(-1, 6)
+        row_position = row_design * num_layers + row_layer
+        matrix = np.empty((len(rows), 28), dtype=np.int64)
+        gathered = statics_matrix[row_design]
+        matrix[:, 0:8] = gathered[:, 0:8]
+        matrix[:, 8:14] = tiles0[row_position]
+        matrix[:, 14:22] = gathered[:, 8:16]
+        matrix[:, 22:28] = tiles1[row_position]
+        return engine.evaluate_packed(
+            rows,
+            matrix,
+            layer_slots[row_layer],
+            noc_bandwidth,
+            dram_bandwidth,
+        )
 
     # -- internals ---------------------------------------------------------
 

@@ -1,0 +1,577 @@
+"""Population-axis vectorized layer evaluation (NumPy structure-of-arrays).
+
+The scalar fast engine (:mod:`repro.cost.engine`) evaluates one
+(layer, mapping) pair per call; a GA generation asks for hundreds of them.
+This module evaluates a whole batch of such pairs — one *row* per
+(population member, unique layer) cache miss — in a single NumPy pass:
+
+* a packer flattens each row's layer mapping key (spatial sizes, parallel
+  dims, loop orders, clipped tiles) into one ``int64`` matrix and resolves
+  the per-layer invariants through a small statics table, and
+* the two-level reuse/latency/energy arithmetic of
+  :func:`repro.cost.engine._evaluate_two_level` is re-expressed as
+  elementwise array operations **in the same operation order**.
+
+Bit-identical results are the contract (enforced by
+``tests/cost/test_vector_engine.py``).  The scalar engine does its integer
+arithmetic exactly (Python ints) and rounds once when a quantity enters the
+float domain; IEEE-754 float64 multiplication/addition of *exactly
+representable* operands is also correctly rounded, so the array pipeline
+produces the same bits as long as every integer-chain intermediate stays
+below 2**53.  Rows where any monitored intermediate reaches that limit —
+and rows with non-two-level hierarchies or oversized layer statics — are
+flagged and routed through the scalar engine instead (the *scalar
+fallback*; see the README's engine-selection notes).  On the paper's
+workloads the flags never fire: traffic and trip-count intermediates top
+out around 1e13, two orders of magnitude below the limit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cost.engine import (
+    LayerMappingKey,
+    evaluate_layer_key,
+    report_values,
+)
+from repro.workloads.statics import REDUCTION_INDEXES, LayerStatics
+
+#: One row of work: a layer's statics plus one clipped mapping key.
+Row = Tuple[LayerStatics, LayerMappingKey]
+
+#: Integer-chain intermediates must stay below 2**53 for float64 products to
+#: be exact.  The guard subtracts a relative margin much larger than the
+#: worst accumulated rounding error (~1e-15), so a chain whose *exact* value
+#: brushes the limit can never sneak past the flag after rounding.
+_EXACT_LIMIT = float(2**53) * (1.0 - 1e-9)
+
+#: Below this many rows the NumPy fixed costs outweigh the per-row win and
+#: the batch is simply evaluated by the scalar engine.
+MIN_VECTOR_ROWS = 8
+
+#: Positions 0..5 within a loop order (broadcast helper for the scans).
+_ORDER_POSITIONS = np.arange(6, dtype=np.int64)
+
+#: Dimension-space mask of the reduction dimensions (for output "distinct"
+#: factors, mirroring ``spatial_distinct_factor``).
+_REDUCTION_MASK = np.array(
+    [index in REDUCTION_INDEXES for index in range(6)], dtype=bool
+)
+
+
+class VectorEngine:
+    """Batched, bit-identical counterpart of the scalar fast engine.
+
+    One instance per :class:`~repro.cost.maestro.CostModel`; it owns a small
+    statics table (one row per unique layer shape seen) and two counters,
+    ``rows_vectorized`` / ``rows_fallback``, that make the scalar-fallback
+    rate observable.
+    """
+
+    def __init__(
+        self,
+        bytes_per_element: int,
+        energy: Tuple[float, float, float, float],
+    ):
+        self.bytes_per_element = int(bytes_per_element)
+        self.energy = energy
+        self._bpe_f = float(self.bytes_per_element)
+        # Scaling by 1 or a power of two never rounds, so products that are
+        # only multiplied by ``bpe`` afterwards need no exactness flag.
+        self._bpe_exact = (
+            self.bytes_per_element & (self.bytes_per_element - 1)
+        ) == 0
+        self._statics_index: dict = {}
+        self._statics_rows: List[tuple] = []
+        self._table: Optional[tuple] = None
+        self.rows_vectorized = 0
+        self.rows_fallback = 0
+
+    # -- statics table -----------------------------------------------------
+
+    def _statics_slot(self, statics: LayerStatics) -> int:
+        """Row of ``statics`` in the table (assigned on first sight)."""
+        slot = self._statics_index.get(statics)
+        if slot is None:
+            dims = statics.dims
+            # Oversized shapes would overflow the int64/float64 pipeline;
+            # their rows always take the scalar path.
+            vectorizable = (
+                statics.macs < 2**53
+                and statics.output_elements < 2**53
+                and statics.stride < 2**31
+                and all(size < 2**31 for size in dims)
+            )
+            self._statics_rows.append(
+                (
+                    dims,
+                    statics.stride,
+                    statics.is_depthwise,
+                    statics.macs,
+                    statics.output_elements,
+                    tuple(index in statics.weight_indexes for index in range(6)),
+                    tuple(index in statics.input_indexes for index in range(6)),
+                    tuple(index in statics.output_indexes for index in range(6)),
+                    vectorizable,
+                )
+            )
+            slot = len(self._statics_rows) - 1
+            self._statics_index[statics] = slot
+            self._table = None
+        return slot
+
+    def _stacked_table(self) -> tuple:
+        """Statics columns as stacked arrays (rebuilt after new shapes)."""
+        if self._table is None:
+            rows = self._statics_rows
+            self._table = (
+                np.array([row[0] for row in rows], dtype=np.int64),  # dims
+                np.array([row[1] for row in rows], dtype=np.int64),  # stride
+                np.array([row[2] for row in rows], dtype=bool),  # depthwise
+                np.array([row[3] for row in rows], dtype=np.float64),  # macs
+                np.array([row[3] for row in rows], dtype=np.int64),
+                np.array([row[4] for row in rows], dtype=np.float64),  # out
+                np.array([row[5] for row in rows], dtype=bool),  # W mask
+                np.array([row[6] for row in rows], dtype=bool),  # I mask
+                np.array([row[7] for row in rows], dtype=bool),  # O mask
+            )
+        return self._table
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate_rows(
+        self,
+        rows: Sequence[Row],
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+        slots: Optional[Sequence[int]] = None,
+    ) -> List[tuple]:
+        """Evaluate every (statics, key) row; returns report value tuples.
+
+        The tuples follow :func:`repro.cost.engine.report_values` field
+        order, so they drop straight into the layer-report cache and are
+        reconstituted per layer with ``make_report``.  ``slots`` optionally
+        carries precomputed :meth:`statics_slot` values parallel to
+        ``rows``.  Handles any hierarchy depth (non-two-level rows go
+        scalar); the batch path uses :meth:`evaluate_packed` instead, which
+        skips the per-row flattening done here.
+        """
+        count = len(rows)
+        values: List[Optional[tuple]] = [None] * count
+        vec_positions: List[int] = []
+        flat: List[tuple] = []
+        vec_slots: List[int] = []
+        statics_rows = self._statics_rows
+        for position, (statics, key) in enumerate(rows):
+            if len(key) != 2:
+                values[position] = self._scalar_values(
+                    statics, key, noc_bandwidth, dram_bandwidth
+                )
+                continue
+            slot = (
+                slots[position] if slots is not None
+                else self._statics_slot(statics)
+            )
+            if not statics_rows[slot][8]:
+                values[position] = self._scalar_values(
+                    statics, key, noc_bandwidth, dram_bandwidth
+                )
+                continue
+            (static0, tile0), (static1, tile1) = key
+            flat.append(
+                static0[:2] + static0[2] + tile0 + static1[:2] + static1[2] + tile1
+            )
+            vec_slots.append(slot)
+            vec_positions.append(position)
+
+        if len(vec_positions) < MIN_VECTOR_ROWS:
+            for position in vec_positions:
+                statics, key = rows[position]
+                values[position] = self._scalar_values(
+                    statics, key, noc_bandwidth, dram_bandwidth
+                )
+            return values
+
+        try:
+            matrix = np.array(flat, dtype=np.int64)
+        except OverflowError:
+            # A gene beyond int64 (pathological hand-built mappings); the
+            # scalar engine's arbitrary-precision ints handle it fine.
+            for position in vec_positions:
+                statics, key = rows[position]
+                values[position] = self._scalar_values(
+                    statics, key, noc_bandwidth, dram_bandwidth
+                )
+            return values
+
+        tuples = self._finish_matrix(
+            rows,
+            vec_positions,
+            matrix,
+            np.array(vec_slots, dtype=np.int64),
+            noc_bandwidth,
+            dram_bandwidth,
+        )
+        if len(vec_positions) == count:
+            return tuples
+        for index, position in enumerate(vec_positions):
+            values[position] = tuples[index]
+        return values
+
+    def evaluate_packed(
+        self,
+        rows: Sequence[Row],
+        matrix: np.ndarray,
+        slots: np.ndarray,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> List[tuple]:
+        """Evaluate two-level rows whose genes are already packed.
+
+        ``matrix`` is the ``(n, 28)`` int64 gene matrix (spatial, parallel,
+        order, tiles per level) the batch path assembles with array gathers;
+        ``slots`` are the rows' statics-table slots.  ``rows`` is consulted
+        only when a row needs the scalar fallback.
+        """
+        count = len(rows)
+        statics_rows = self._statics_rows
+        keep: Optional[List[int]] = None
+        values: List[Optional[tuple]] = []
+        if not all(row[8] for row in statics_rows):
+            vectorizable = np.array(
+                [row[8] for row in statics_rows], dtype=bool
+            )[slots]
+            if not vectorizable.all():
+                values = [None] * count
+                keep = np.flatnonzero(vectorizable).tolist()
+                for position in np.flatnonzero(~vectorizable).tolist():
+                    statics, key = rows[position]
+                    values[position] = self._scalar_values(
+                        statics, key, noc_bandwidth, dram_bandwidth
+                    )
+                matrix = matrix[keep]
+                slots = slots[keep]
+        remaining = len(keep) if keep is not None else count
+        if remaining < MIN_VECTOR_ROWS:
+            positions = keep if keep is not None else range(count)
+            out = values if keep is not None else [None] * count
+            for position in positions:
+                statics, key = rows[position]
+                out[position] = self._scalar_values(
+                    statics, key, noc_bandwidth, dram_bandwidth
+                )
+            return out
+        tuples = self._finish_matrix(
+            rows, keep, matrix, slots, noc_bandwidth, dram_bandwidth
+        )
+        if keep is None:
+            return tuples
+        for index, position in enumerate(keep):
+            values[position] = tuples[index]
+        return values
+
+    def statics_slot(self, statics: LayerStatics) -> int:
+        """Public view of the statics-table slot (for batch-path callers)."""
+        return self._statics_slot(statics)
+
+    def _finish_matrix(
+        self,
+        rows: Sequence[Row],
+        positions: Optional[Sequence[int]],
+        matrix: np.ndarray,
+        slots: np.ndarray,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> List[tuple]:
+        """Array evaluation + tuple stitching + inexact-row fallback.
+
+        Returns tuples parallel to ``matrix``; ``positions`` maps matrix
+        rows back into ``rows`` for the fallback (``None`` = identity).
+        """
+        float_columns, int_columns, inexact = self._evaluate_matrix(
+            matrix, slots, noc_bandwidth, dram_bandwidth
+        )
+        # One C-level pass per column, then zip stitches the value tuples in
+        # report_values order: latency, compute, noc, dram, macs, l2_to_l1,
+        # dram_bytes, l1_access, energy, active_pes, num_pes,
+        # l1_requirement, l2_requirement.
+        f = [float_columns[:, index].tolist() for index in range(8)]
+        g = [int_columns[:, index].tolist() for index in range(5)]
+        tuples = list(
+            zip(
+                f[0], f[1], f[2], f[3], g[0], f[4], f[5], f[6], f[7],
+                g[1], g[2], g[3], g[4],
+            )
+        )
+        flagged = 0
+        if inexact.any():
+            for index in np.flatnonzero(inexact).tolist():
+                row = rows[positions[index] if positions is not None else index]
+                tuples[index] = self._scalar_values(
+                    row[0], row[1], noc_bandwidth, dram_bandwidth
+                )
+                flagged += 1
+        self.rows_vectorized += len(tuples) - flagged
+        return tuples
+
+    # -- internals ---------------------------------------------------------
+
+    def _scalar_values(
+        self,
+        statics: LayerStatics,
+        key: LayerMappingKey,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> tuple:
+        """One row through the scalar engine (fallback path)."""
+        self.rows_fallback += 1
+        report = evaluate_layer_key(
+            statics,
+            key,
+            noc_bandwidth,
+            dram_bandwidth,
+            self.bytes_per_element,
+            self.energy,
+            "",
+            1,
+        )
+        return report_values(report)
+
+    def _evaluate_matrix(
+        self,
+        matrix: np.ndarray,
+        slots: np.ndarray,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The vectorized two-level evaluation.
+
+        Mirrors ``engine._evaluate_two_level`` operation for operation; see
+        the module docstring for the exactness argument behind the
+        ``inexact`` flags.  Returns the float columns (latency, compute,
+        noc, dram, l2_to_l1, dram_bytes, l1_access, energy), the integer
+        columns (macs, active_pes, num_pes, l1_requirement,
+        l2_requirement) and the per-row inexactness flags.
+        """
+        (
+            dims_table, stride_table, dw_table, macs_f_table, macs_i_table,
+            out_f_table, w_table, i_table, o_table,
+        ) = self._stacked_table()
+        dims = dims_table[slots]
+        stride = stride_table[slots]
+        depthwise = dw_table[slots]
+        w_mask = w_table[slots]
+        i_mask = i_table[slots]
+        o_mask = o_table[slots]
+
+        spatial0 = matrix[:, 0]
+        par0 = matrix[:, 1:2]
+        order0 = matrix[:, 2:8]
+        tile0 = matrix[:, 8:14]
+        spatial1 = matrix[:, 14]
+        par1 = matrix[:, 15:16]
+        order1 = matrix[:, 16:22]
+        tile1 = matrix[:, 22:28]
+
+        inexact = np.zeros(len(matrix), dtype=bool)
+
+        # -- per-level reuse analysis (engine: base/active/folds/trips) ----
+        def _analyze(parent, tile, par, spatial):
+            base = -(-parent // tile)
+            chunks = np.take_along_axis(base, par, 1)[:, 0]
+            active = np.minimum(spatial, chunks)
+            folds = -(-chunks // active)
+            trips = base.copy()
+            np.put_along_axis(trips, par, folds[:, None], 1)
+            covered = np.take_along_axis(tile, par, 1)[:, 0] * active
+            parent_extent = np.take_along_axis(parent, par, 1)[:, 0]
+            macro = tile.copy()
+            np.put_along_axis(
+                macro, par, np.minimum(parent_extent, covered)[:, None], 1
+            )
+            return trips, macro, active
+
+        trips0, macro0, active0 = _analyze(dims, tile0, par0, spatial0)
+        trips1, _, active1 = _analyze(tile0, tile1, par1, spatial1)
+
+        trips0_in_order = np.take_along_axis(trips0, order0, 1).astype(np.float64)
+        prefix0 = np.cumprod(trips0_in_order, axis=1)
+        product0 = prefix0[:, 5]
+        inexact |= product0 >= _EXACT_LIMIT
+        trips1_in_order = np.take_along_axis(trips1, order1, 1).astype(np.float64)
+        prefix1 = np.cumprod(trips1_in_order, axis=1)
+        product1 = prefix1[:, 5]
+        inexact |= product1 >= _EXACT_LIMIT
+
+        inner_volume = np.cumprod(tile1.astype(np.float64), axis=1)[:, 5]
+        inexact |= inner_volume >= _EXACT_LIMIT
+        total_steps = product0 * product1
+        inexact |= total_steps >= _EXACT_LIMIT
+        compute_cycles = inner_volume * total_steps
+
+        # -- operand footprints (flag every integer-chain intermediate) ----
+        def _footprints(extents):
+            k = extents[:, 0].astype(np.float64)
+            c = extents[:, 1].astype(np.float64)
+            y = extents[:, 2]
+            x = extents[:, 3]
+            r = extents[:, 4].astype(np.float64)
+            s = extents[:, 5].astype(np.float64)
+            in_y = ((y - 1) * stride + extents[:, 4]).astype(np.float64)
+            in_x = ((x - 1) * stride + extents[:, 5]).astype(np.float64)
+            inexact_local = in_y >= _EXACT_LIMIT
+            inexact_local |= in_x >= _EXACT_LIMIT
+            rs = r * s
+            inexact_local |= rs >= _EXACT_LIMIT
+            crs = c * rs
+            inexact_local |= crs >= _EXACT_LIMIT
+            weight = np.where(depthwise, crs, k * crs)
+            inexact_local |= weight >= _EXACT_LIMIT
+            yx = y.astype(np.float64) * x.astype(np.float64)
+            inexact_local |= yx >= _EXACT_LIMIT
+            output = np.where(depthwise, c, k) * yx
+            inexact_local |= output >= _EXACT_LIMIT
+            c_in_y = c * in_y
+            inexact_local |= c_in_y >= _EXACT_LIMIT
+            inputs = c_in_y * in_x
+            inexact_local |= inputs >= _EXACT_LIMIT
+            return weight, inputs, output, inexact_local
+
+        macro_w, macro_i, macro_o, flagged = _footprints(macro0)
+        inexact |= flagged
+        inner_w, inner_i, inner_o, flagged = _footprints(tile1)
+        inexact |= flagged
+
+        # -- operand fetch scans (engine: _operand_fetches) ----------------
+        def _fetches(rel_in_order, trips_in_order, prefix):
+            iterating = rel_in_order & (trips_in_order > 1.0)
+            position = np.where(iterating, _ORDER_POSITIONS, -1).max(axis=1)
+            gathered = np.take_along_axis(
+                prefix, np.maximum(position, 0)[:, None], 1
+            )[:, 0]
+            return np.where(position >= 0, gathered, 1.0)
+
+        rel_w0 = np.take_along_axis(w_mask, order0, 1)
+        rel_i0 = np.take_along_axis(i_mask, order0, 1)
+        rel_o0 = np.take_along_axis(o_mask, order0, 1)
+
+        bpe = self._bpe_f
+        bpe_exact = self._bpe_exact
+
+        # A product that only feeds the float domain from here on needs no
+        # exactness flag even when it exceeds 2**53: with both operands
+        # exact, IEEE-754 rounds it once — the same single rounding the
+        # scalar engine performs when its exact integer enters the float
+        # accumulation.  Only scaling by a non-power-of-two ``bpe`` would
+        # add a second rounding, hence the ``bpe_exact`` guards.
+
+        # -- off-chip traffic (engine: dram_bytes accumulation) ------------
+        out_elements = out_f_table[slots]
+        term = _fetches(rel_w0, trips0_in_order, prefix0) * macro_w
+        if not bpe_exact:
+            inexact |= term >= _EXACT_LIMIT
+        dram_bytes = term * bpe
+        term = _fetches(rel_i0, trips0_in_order, prefix0) * macro_i
+        if not bpe_exact:
+            inexact |= term >= _EXACT_LIMIT
+        dram_bytes = dram_bytes + term * bpe
+        fetched_out = _fetches(rel_o0, trips0_in_order, prefix0) * macro_o
+        inexact |= fetched_out >= _EXACT_LIMIT  # feeds an exact subtraction
+        spills = np.maximum(0.0, fetched_out - out_elements)
+        dram_bytes = dram_bytes + (out_elements + 2.0 * spills) * bpe
+
+        # -- NoC traffic (engine: l2_to_l1_bytes accumulation) -------------
+        rel_w1 = np.take_along_axis(w_mask, order1, 1)
+        rel_i1 = np.take_along_axis(i_mask, order1, 1)
+        rel_o1 = np.take_along_axis(o_mask, order1, 1)
+        active0_f = active0.astype(np.float64)
+        active1_f = active1.astype(np.float64)
+        par0_flat = par0[:, 0]
+        par1_flat = par1[:, 0]
+
+        def _distinct(mask, is_output):
+            at0 = np.take_along_axis(mask, par0, 1)[:, 0]
+            at1 = np.take_along_axis(mask, par1, 1)[:, 0]
+            if is_output:
+                at0 = at0 | _REDUCTION_MASK[par0_flat]
+                at1 = at1 | _REDUCTION_MASK[par1_flat]
+            distinct = np.where(at0, active0_f, 1.0) * np.where(at1, active1_f, 1.0)
+            return distinct
+
+        l2_to_l1_bytes = np.zeros(len(matrix))
+        for footprint, rel1, mask, is_output in (
+            (inner_w, rel_w1, w_mask, False),
+            (inner_i, rel_i1, i_mask, False),
+            (inner_o, rel_o1, o_mask, True),
+        ):
+            term = product0 * _fetches(rel1, trips1_in_order, prefix1)
+            inexact |= term >= _EXACT_LIMIT
+            term = term * footprint
+            inexact |= term >= _EXACT_LIMIT
+            distinct = _distinct(mask, is_output)
+            inexact |= distinct >= _EXACT_LIMIT
+            term = term * distinct
+            if not bpe_exact:
+                inexact |= term >= _EXACT_LIMIT
+            l2_to_l1_bytes = l2_to_l1_bytes + term * bpe
+
+        noc_cycles = l2_to_l1_bytes / noc_bandwidth
+        dram_cycles = dram_bytes / dram_bandwidth
+
+        # -- pipeline fill (engine: startup) -------------------------------
+        fill = macro_w + macro_i
+        if not bpe_exact:
+            inexact |= fill >= _EXACT_LIMIT
+        startup = fill * bpe / dram_bandwidth
+        fill = inner_w + inner_i
+        if not bpe_exact:
+            inexact |= fill >= _EXACT_LIMIT
+        startup = startup + fill * bpe / noc_bandwidth
+        latency = (
+            np.maximum(np.maximum(compute_cycles, noc_cycles), dram_cycles)
+            + startup
+        )
+
+        # -- energy (engine: evaluate_layer tail) --------------------------
+        macs = macs_f_table[slots]
+        inexact |= macs >= _EXACT_LIMIT
+        mac_energy, l1_energy, l2_energy, dram_energy = self.energy
+        l1_access_bytes = 2.0 * macs * bpe + l2_to_l1_bytes
+        l2_access_bytes = l2_to_l1_bytes + dram_bytes
+        energy_total = macs * mac_energy + (
+            (l1_access_bytes * l1_energy + l2_access_bytes * l2_energy)
+            + dram_bytes * dram_energy
+        )
+
+        # -- minimum buffer capacities (exact integers in the report) ------
+        partial = inner_w + inner_i
+        inexact |= partial >= _EXACT_LIMIT
+        l1_requirement = (partial + inner_o) * bpe
+        inexact |= l1_requirement >= _EXACT_LIMIT
+        partial = macro_w + macro_i
+        inexact |= partial >= _EXACT_LIMIT
+        l2_requirement = (partial + macro_o) * bpe
+        inexact |= l2_requirement >= _EXACT_LIMIT
+
+        float_columns = np.stack(
+            (
+                latency, compute_cycles, noc_cycles, dram_cycles,
+                l2_to_l1_bytes, dram_bytes, l1_access_bytes, energy_total,
+            ),
+            axis=1,
+        )
+        safe = ~inexact
+        int_columns = np.stack(
+            (
+                macs_i_table[slots],
+                active0 * active1,
+                spatial0 * spatial1,
+                np.where(safe, l1_requirement, 0.0).astype(np.int64),
+                np.where(safe, l2_requirement, 0.0).astype(np.int64),
+            ),
+            axis=1,
+        )
+        return float_columns, int_columns, inexact

@@ -223,7 +223,9 @@ class GenomeSpace:
             tiles = {
                 dim: log_uniform_int(rng, 1, self.dim_bounds[dim]) for dim in DIMS
             }
-            parallel_dim = str(rng.choice(DIMS))
+            # integers()-indexing draws the same stream as rng.choice,
+            # several microseconds cheaper per call.
+            parallel_dim = DIMS[rng.integers(len(DIMS))]
             levels.append(
                 LevelGenes(
                     spatial_size=int(spatial),

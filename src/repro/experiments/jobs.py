@@ -26,6 +26,7 @@ from repro.framework.objective import Objective
 from repro.optim.base import Optimizer
 from repro.optim.grid_search import HardwareGridSearch
 from repro.optim.registry import optimizer_class
+from repro.framework.evaluator import ENGINES
 from repro.workloads.registry import get_model
 
 
@@ -50,6 +51,12 @@ class JobSpec:
         case (Mapping-opt baselines).
     buffer_allocation:
         ``"exact"`` (default) or ``"fill"`` (buffer-allocation ablation).
+    engine:
+        Evaluation-engine selector (``"vector"`` / ``"fast"`` /
+        ``"reference"``).  ``None`` (default) inherits the sweep settings'
+        engine; an explicit value pins this job and becomes part of its
+        ``job_id``.  Engines are bit-identical, so the id component only
+        matters for benchmarking sweeps that compare them.
     scheme:
         Optional display label used as the table column; defaults to the
         optimizer's own display name.
@@ -64,11 +71,16 @@ class JobSpec:
     optimizer_options: Tuple[Tuple[str, Any], ...] = ()
     fixed_hw_style: Optional[str] = None
     buffer_allocation: str = "exact"
+    engine: Optional[str] = None
     scheme: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.sampling_budget < 1:
             raise ValueError("sampling_budget must be >= 1")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES} (or None), got {self.engine!r}"
+            )
         options = self.optimizer_options
         if isinstance(options, Mapping):
             options = tuple(sorted(options.items()))
@@ -88,12 +100,14 @@ class JobSpec:
             parts.append(f"hw={self.fixed_hw_style}")
         if self.buffer_allocation != "exact":
             parts.append(f"alloc={self.buffer_allocation}")
+        if self.engine is not None:
+            parts.append(f"engine={self.engine}")
         parts.append(f"b{self.sampling_budget}")
         parts.append(f"s{self.seed}")
         return "/".join(parts)
 
     @property
-    def framework_key(self) -> Tuple[str, str, str, Optional[str], str]:
+    def framework_key(self) -> Tuple[str, str, str, Optional[str], str, Optional[str]]:
         """Jobs with equal keys can share one framework (and worker pool)."""
         return (
             self.model,
@@ -101,6 +115,25 @@ class JobSpec:
             self.objective,
             self.fixed_hw_style,
             self.buffer_allocation,
+            self.engine,
+        )
+
+    @property
+    def evaluator_cache_key(self) -> Tuple[str, str, Optional[str], str, Optional[str]]:
+        """Jobs with equal keys can share one warm layer-report cache.
+
+        Per-layer cost reports are pure functions of (layer statics,
+        clipped mapping, platform bandwidths) — independent of the
+        objective — so this is :attr:`framework_key` minus the objective:
+        the sweep runner hands one warm cache to every objective's
+        framework for the same model x platform x constraint combination.
+        """
+        return (
+            self.model,
+            self.platform,
+            self.fixed_hw_style,
+            self.buffer_allocation,
+            self.engine,
         )
 
     @property
@@ -145,6 +178,7 @@ def build_framework(
         fixed_hardware=fixed_hardware,
         buffer_allocation=spec.buffer_allocation,
         bytes_per_element=settings.bytes_per_element,
+        engine=spec.engine if spec.engine is not None else settings.engine,
         **settings.framework_options(),
     )
 
@@ -164,6 +198,7 @@ def job_to_dict(spec: JobSpec) -> Dict[str, Any]:
         "optimizer_options": dict(spec.optimizer_options),
         "fixed_hw_style": spec.fixed_hw_style,
         "buffer_allocation": spec.buffer_allocation,
+        "engine": spec.engine,
         "scheme": spec.scheme,
     }
 
@@ -180,6 +215,7 @@ def job_from_dict(data: Dict[str, Any]) -> JobSpec:
         optimizer_options=dict(data.get("optimizer_options", {})),
         fixed_hw_style=data.get("fixed_hw_style"),
         buffer_allocation=str(data.get("buffer_allocation", "exact")),
+        engine=data.get("engine"),
         scheme=data.get("scheme"),
     )
 

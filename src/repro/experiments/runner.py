@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.jobs import (
+    ENGINES,
     JobSpec,
     build_framework,
     build_optimizer,
@@ -67,19 +68,29 @@ class ResultStore:
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
 
-    def append(self, spec: JobSpec, result: SearchResult) -> None:
+    def append(
+        self,
+        spec: JobSpec,
+        result: SearchResult,
+        extra: Optional[dict] = None,
+    ) -> None:
         """Persist one completed job; flushed immediately.
 
-        The record is emitted as one ``write`` syscall on an ``O_APPEND``
-        descriptor (not through buffered text I/O, which splits multi-KB
-        records into several syscalls), so shard processes sharing one
-        store file do not interleave each other's lines.
+        ``extra`` merges additional top-level keys into the record (e.g.
+        the runner's per-search cache statistics); readers ignore keys they
+        do not know, so the store stays backward compatible.  The record is
+        emitted as one ``write`` syscall on an ``O_APPEND`` descriptor (not
+        through buffered text I/O, which splits multi-KB records into
+        several syscalls), so shard processes sharing one store file do not
+        interleave each other's lines.
         """
         record = {
             "job_id": spec.job_id,
             "spec": job_to_dict(spec),
             "result": search_result_to_dict(result),
         }
+        if extra:
+            record.update(extra)
         data = (json.dumps(record, sort_keys=True) + "\n").encode()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         descriptor = os.open(
@@ -219,13 +230,20 @@ class SweepRunner:
                 only={spec.job_id for spec in jobs}
             )
         # Frameworks are shared across jobs and closed as soon as the last
-        # job needing them has run, bounding memory on large sweeps.
+        # job needing them has run, bounding memory on large sweeps.  Warm
+        # layer-report caches are shared one level wider — across
+        # objectives with the same model x platform x constraint x engine —
+        # because per-layer costs are objective-independent, so a later job
+        # starts with every layer the earlier jobs already priced.
         last_use: Dict[tuple, int] = {}
+        cache_last_use: Dict[tuple, int] = {}
         for position, spec in enumerate(jobs):
             last_use[spec.framework_key] = position
+            cache_last_use[spec.evaluator_cache_key] = position
 
         outcomes: List[Outcome] = []
         frameworks: Dict[tuple, object] = {}
+        shared_caches: Dict[tuple, object] = {}
         try:
             for position, spec in enumerate(jobs):
                 known = completed.get(spec.job_id)
@@ -237,30 +255,78 @@ class SweepRunner:
                     if framework is None:
                         framework = build_framework(spec, self.settings)
                         frameworks[spec.framework_key] = framework
+                        self._share_layer_cache(spec, framework, shared_caches)
+                    evaluator = framework.evaluator
+                    design_before = evaluator.design_cache_stats
+                    layer_before = evaluator.layer_cache_stats
                     search = framework.search(
                         build_optimizer(spec),
                         sampling_budget=spec.sampling_budget,
                         seed=spec.seed,
                     )
+                    design_stats = evaluator.design_cache_stats.since(design_before)
+                    layer_stats = evaluator.layer_cache_stats.since(layer_before)
                     if self.store is not None:
-                        self.store.append(spec, search)
+                        self.store.append(
+                            spec,
+                            search,
+                            extra={"cache": _cache_record(design_stats, layer_stats)},
+                        )
                     completed[spec.job_id] = search
                     outcomes.append((spec, search))
                     self._say(
-                        f"[{position + 1}/{len(jobs)}] {spec.job_id}: {search.summary()}"
+                        f"[{position + 1}/{len(jobs)}] {spec.job_id}: "
+                        f"{search.summary()} "
+                        f"[design cache {design_stats.hit_rate:.0%} of "
+                        f"{design_stats.requests}, layer cache "
+                        f"{layer_stats.hit_rate:.0%} of {layer_stats.requests}]"
                     )
                 if last_use[spec.framework_key] == position:
                     framework = frameworks.pop(spec.framework_key, None)
                     if framework is not None:
                         framework.close()
+                if cache_last_use[spec.evaluator_cache_key] == position:
+                    shared_caches.pop(spec.evaluator_cache_key, None)
         finally:
             for framework in frameworks.values():
                 framework.close()
         return outcomes
 
+    def _share_layer_cache(
+        self, spec: JobSpec, framework, shared_caches: Dict[tuple, object]
+    ) -> None:
+        """Hand a freshly built framework the warm cache of its cache key."""
+        if not self.settings.use_cache:
+            return
+        engine = spec.engine if spec.engine is not None else self.settings.engine
+        if engine == "reference":
+            return  # the reference path never consults the cache
+        key = spec.evaluator_cache_key
+        cache = shared_caches.get(key)
+        if cache is None:
+            shared_caches[key] = framework.evaluator.cost_model.layer_cache
+        else:
+            framework.evaluator.cost_model.adopt_cache(cache)
+
     def _say(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
+
+
+def _cache_record(design: "CacheStats", layer: "CacheStats") -> dict:
+    """JSON-ready per-search cache statistics for the result store."""
+    return {
+        "design": {
+            "hits": design.hits,
+            "misses": design.misses,
+            "hit_rate": round(design.hit_rate, 4),
+        },
+        "layer": {
+            "hits": layer.hits,
+            "misses": layer.misses,
+            "hit_rate": round(layer.hit_rate, 4),
+        },
+    }
 
 
 def full_outcomes(
@@ -316,6 +382,14 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="process-pool width for batched population evaluation",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="vector",
+        help="evaluation engine: 'vector' (NumPy population batching, "
+        "default), 'fast' (scalar tuple engine) or 'reference' (seed "
+        "implementation); all three are bit-identical",
+    )
 
 
 def validate_sweep_args(
@@ -335,6 +409,7 @@ def settings_from_args(
         sampling_budget=args.budget,
         seed=args.seed,
         workers=args.workers,
+        engine=getattr(args, "engine", "vector"),
     )
 
 

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.arch.area import AreaModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
+from repro.framework.evaluator import ENGINES
 
 #: The seven DNN models of the paper's evaluation, in presentation order.
 DEFAULT_MODELS: Tuple[str, ...] = (
@@ -51,10 +52,12 @@ DEFAULT_SAMPLING_BUDGET = 1_500
 class ExperimentSettings:
     """Knobs shared by the Fig. 5 / Fig. 6 / Fig. 7 harnesses.
 
-    ``use_cache`` and ``workers`` configure the evaluation engine of every
-    search the harness runs: memoization on/off (results are bit-identical
-    either way) and the optional process-pool width for batched population
-    evaluation.
+    ``use_cache``, ``workers`` and ``engine`` configure the evaluation
+    engine of every search the harness runs: memoization on/off, the
+    optional process-pool width for batched population evaluation, and the
+    vector/fast/reference engine selector (results are bit-identical for
+    every combination).  A job spec may pin its own engine, which
+    overrides the settings value for that job.
     """
 
     models: Tuple[str, ...] = DEFAULT_MODELS
@@ -63,12 +66,17 @@ class ExperimentSettings:
     bytes_per_element: int = 1
     use_cache: bool = True
     workers: Optional[int] = None
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         if self.sampling_budget < 1:
             raise ValueError("sampling_budget must be >= 1")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 when given")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         object.__setattr__(self, "models", tuple(self.models))
 
     def framework_options(self) -> Dict[str, object]:

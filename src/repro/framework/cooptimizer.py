@@ -59,7 +59,8 @@ class CoOptimizationFramework:
     use_cache / workers / engine:
         Evaluation-engine knobs forwarded to the evaluator: memoization
         on/off, process-pool width for batched population evaluation, and
-        the fast/reference engine selector.
+        the vector/fast/reference engine selector (``"vector"`` by
+        default; all three produce bit-identical results).
     """
 
     def __init__(
@@ -75,7 +76,7 @@ class CoOptimizationFramework:
         buffer_allocation: str = "exact",
         use_cache: bool = True,
         workers: Optional[int] = None,
-        engine: str = "fast",
+        engine: str = "vector",
     ):
         self.model = model
         self.platform = platform

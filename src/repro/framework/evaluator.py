@@ -22,7 +22,7 @@ from repro.cost.maestro import DEFAULT_LAYER_CACHE_SIZE, CostModel
 from repro.cost.performance import ModelPerformance
 from repro.encoding.genome import Genome, GenomeSpace
 from repro.framework.constraints import ConstraintChecker
-from repro.framework.designpoint import AcceleratorDesign
+from repro.framework.designpoint import AcceleratorDesign, LazyMappingDesign
 from repro.framework.objective import Objective, objective_value
 from repro.mapping.mapping import Mapping
 from repro.workloads.layer import Layer
@@ -37,6 +37,10 @@ INVALID_FITNESS_SCALE = 1e18
 #: Bound of the whole-design memo (one entry per distinct raw mapping).
 DEFAULT_DESIGN_CACHE_SIZE = 2048
 
+#: Accepted evaluation-engine selectors, fastest first.  The single source
+#: of truth: job specs, experiment settings and the CLIs import this.
+ENGINES = ("vector", "fast", "reference")
+
 #: Evaluator installed in each worker process (see ``_init_worker``).
 _WORKER_EVALUATOR: Optional["DesignEvaluator"] = None
 
@@ -50,6 +54,15 @@ def _init_worker(evaluator: "DesignEvaluator") -> None:
 def _evaluate_in_worker(genome: Genome) -> "EvaluationResult":
     """Evaluate one genome in a worker process (pool map target)."""
     return _WORKER_EVALUATOR.evaluate_genome(genome)
+
+
+def _evaluate_batch_in_worker(genomes: List[Genome]) -> List["EvaluationResult"]:
+    """Evaluate a population chunk in a worker process (pool map target).
+
+    Chunks go through the worker evaluator's own in-process population
+    path, so the vector engine runs inside each worker.
+    """
+    return _WORKER_EVALUATOR.evaluate_population(genomes, workers=1)
 
 
 def _with_genome(result: "EvaluationResult", genome: Genome) -> "EvaluationResult":
@@ -124,10 +137,16 @@ class DesignEvaluator:
         Default process-pool width for :meth:`evaluate_population`.
         ``None``/``1`` evaluates sequentially in-process.
     engine:
-        Cost-model engine selector (``"fast"`` or ``"reference"``); the
-        reference engine is the seed implementation kept for parity tests
-        and baseline benchmarks.
+        Evaluation-engine selector.  ``"vector"`` (default) batches whole
+        populations through the NumPy structure-of-arrays engine
+        (:mod:`repro.cost.vector_engine`) and falls back to the scalar fast
+        engine for single evaluations; ``"fast"`` is the scalar tuple-based
+        engine; ``"reference"`` is the seed implementation kept for parity
+        tests and baseline benchmarks.  All three are bit-identical.
     """
+
+    #: Accepted ``engine`` values (the module-level constant).
+    ENGINES = ENGINES
 
     def __init__(
         self,
@@ -141,7 +160,7 @@ class DesignEvaluator:
         buffer_allocation: str = "exact",
         use_cache: bool = True,
         workers: Optional[int] = None,
-        engine: str = "fast",
+        engine: str = "vector",
     ):
         if buffer_allocation not in ("exact", "fill"):
             raise ValueError(
@@ -149,6 +168,11 @@ class DesignEvaluator:
             )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1 when given, got {workers}")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"engine must be one of {self.ENGINES}, got {engine!r}"
+            )
+        self.engine = engine
         self.model = model
         self.platform = platform
         self.objective = objective
@@ -163,14 +187,14 @@ class DesignEvaluator:
             energy_model=self.energy_model,
             bytes_per_element=bytes_per_element,
             cache_size=DEFAULT_LAYER_CACHE_SIZE if use_cache else 0,
-            engine=engine,
+            engine="reference" if engine == "reference" else "fast",
         )
         self.constraint_checker = ConstraintChecker(
             area_budget_um2=platform.area_budget_um2,
             fixed_hardware=fixed_hardware,
         )
         self._design_cache = LRUCache(
-            DEFAULT_DESIGN_CACHE_SIZE if use_cache and engine == "fast" else 0
+            DEFAULT_DESIGN_CACHE_SIZE if use_cache and engine != "reference" else 0
         )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
@@ -215,20 +239,98 @@ class DesignEvaluator:
     ) -> List[EvaluationResult]:
         """Score a whole population in one call, preserving input order.
 
-        ``workers`` (default: the evaluator's ``workers`` setting) selects
-        an optional process pool; results are bit-identical to the
-        sequential path either way, because every evaluation is a pure
-        function of its genome.
+        With ``engine="vector"`` (the default) the population is the
+        vectorization axis: design-cache misses are deduplicated and their
+        per-layer costs evaluated in one NumPy pass.  ``workers`` (default:
+        the evaluator's ``workers`` setting) selects an optional process
+        pool, which ships contiguous population chunks so each worker runs
+        the vector engine on its slice.  Results are bit-identical to
+        evaluating the same genomes one by one, because every evaluation is
+        a pure function of its genome.
         """
         genomes = list(genomes)
         width = self.workers if workers is None else workers
         if width is not None and width > 1 and len(genomes) > 1:
             pool = self._ensure_pool(width)
-            chunksize = max(1, len(genomes) // (width * 2))
-            return list(
-                pool.map(_evaluate_in_worker, genomes, chunksize=chunksize)
-            )
+            chunk = -(-len(genomes) // width)
+            chunks = [
+                genomes[start : start + chunk]
+                for start in range(0, len(genomes), chunk)
+            ]
+            results: List[EvaluationResult] = []
+            for batch in pool.map(_evaluate_batch_in_worker, chunks):
+                results.extend(batch)
+            return results
+        if self.engine == "vector" and len(genomes) > 1:
+            return self._evaluate_population_vector(genomes)
         return [self.evaluate_genome(genome) for genome in genomes]
+
+    def _evaluate_population_vector(
+        self, genomes: List[Genome]
+    ) -> List[EvaluationResult]:
+        """The in-process population path of the vector engine.
+
+        Mirrors ``[self.evaluate_genome(g) for g in genomes]`` including the
+        design-cache counters: duplicates of an uncached genome count as
+        hits, exactly as they would once the sequential loop had cached the
+        first occurrence.
+        """
+        cache = self._design_cache
+        count = len(genomes)
+        results: List[Optional[EvaluationResult]] = [None] * count
+        slots: List[Optional[int]] = [None] * count
+        pending: dict = {}
+        miss_genomes: List[Genome] = []
+        miss_keys: List[tuple] = []
+        for position, genome in enumerate(genomes):
+            key = genome.cache_key()
+            slot = pending.get(key)
+            if slot is not None:
+                if cache.maxsize > 0:
+                    cache.hits += 1
+                slots[position] = slot
+                continue
+            result = cache.get(key)
+            if result is not None:
+                results[position] = _with_genome(result, genome)
+                continue
+            pending[key] = len(miss_genomes)
+            slots[position] = len(miss_genomes)
+            miss_genomes.append(genome)
+            miss_keys.append(key)
+
+        if miss_genomes:
+            # Loop orders are validated here (to_mapping would reject them
+            # on the scalar path); everything else in the cache key is
+            # already in clamped index form, so the cost model consumes the
+            # keys directly and mappings materialize lazily on the results.
+            for key in miss_keys:
+                for (_, _, order), _ in key:
+                    if len(order) != 6 or len(set(order)) != 6:
+                        raise ValueError(
+                            f"order must be a permutation of all dims, got {order}"
+                        )
+            performances = self.cost_model.evaluate_model_batch(
+                self.model,
+                miss_keys,
+                noc_bandwidth=self.platform.noc_bandwidth,
+                dram_bandwidth=self.platform.dram_bandwidth,
+            )
+            miss_results: List[EvaluationResult] = []
+            for key, performance in zip(miss_keys, performances):
+                result = self._score_performance(
+                    performance,
+                    pe_array=tuple(part[0][0] for part in key),
+                    mapping_key=key,
+                )
+                cache.put(key, result)
+                miss_results.append(result)
+            for position, slot in enumerate(slots):
+                if slot is not None:
+                    results[position] = _with_genome(
+                        miss_results[slot], genomes[position]
+                    )
+        return results
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -302,12 +404,33 @@ class DesignEvaluator:
             noc_bandwidth=self.platform.noc_bandwidth,
             dram_bandwidth=self.platform.dram_bandwidth,
         )
-        hardware = self._derive_hardware(
+        return self._score_performance(
             performance,
             pe_array=pe_array
             if pe_array is not None
             else representative_mapping.pe_array,
+            design_mapping=representative_mapping
+            if representative_mapping is not None
+            else mapping(self.model.unique_layers()[0]),
         )
+
+    # -- internals ---------------------------------------------------------
+
+    def _score_performance(
+        self,
+        performance: ModelPerformance,
+        pe_array: tuple,
+        design_mapping: Optional[Mapping] = None,
+        mapping_key: Optional[tuple] = None,
+    ) -> EvaluationResult:
+        """Turn a cost-model report into a scored design point.
+
+        The design's mapping comes either eagerly (``design_mapping``) or
+        as a cache key from which a :class:`LazyMappingDesign` rebuilds it
+        on first access (the batch path, where almost no mapping is ever
+        inspected).
+        """
+        hardware = self._derive_hardware(performance, pe_array=pe_array)
         area = self.area_model.breakdown(hardware)
         check = self.constraint_checker.check(
             hardware,
@@ -317,14 +440,17 @@ class DesignEvaluator:
         )
         value = objective_value(self.objective, performance, area)
         fitness = self._fitness(value, check.valid, check.severity)
-        design = AcceleratorDesign(
-            hardware=hardware,
-            mapping=representative_mapping
-            if representative_mapping is not None
-            else mapping(self.model.unique_layers()[0]),
-            performance=performance,
-            area=area,
-        )
+        if design_mapping is not None:
+            design = AcceleratorDesign(
+                hardware=hardware,
+                mapping=design_mapping,
+                performance=performance,
+                area=area,
+            )
+        else:
+            design = LazyMappingDesign.build(
+                hardware, mapping_key, performance, area
+            )
         return EvaluationResult(
             fitness=fitness,
             valid=check.valid,
@@ -334,8 +460,6 @@ class DesignEvaluator:
             violations=check.violations,
             genome=None,
         )
-
-    # -- internals ---------------------------------------------------------
 
     def _derive_hardware(
         self,

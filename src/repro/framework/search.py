@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.cost.cache import CacheStats
 from repro.encoding.genome import Genome, GenomeSpace
-from repro.encoding.repair import repair_genome
+from repro.encoding.repair import repaired_copy
 from repro.encoding.vector_codec import VectorCodec
 from repro.framework.evaluator import DesignEvaluator, EvaluationResult
 
@@ -71,7 +71,7 @@ class SearchTracker:
     def evaluate_genome(self, genome: Genome) -> float:
         """Evaluate an encoded individual; returns its fitness (higher is better)."""
         self._charge()
-        repaired = repair_genome(genome.copy(), self.space)
+        repaired = repaired_copy(genome, self.space)
         result = self.evaluator.evaluate_genome(repaired)
         self._record(result)
         return result.fitness
@@ -80,7 +80,7 @@ class SearchTracker:
         """Evaluate a flat ``[0, 1]^n`` vector; returns its fitness."""
         self._charge()
         genome = self.codec.decode(vector)
-        repaired = repair_genome(genome, self.space)
+        repaired = repaired_copy(genome, self.space)
         result = self.evaluator.evaluate_genome(repaired)
         self._record(result)
         return result.fitness
@@ -94,7 +94,7 @@ class SearchTracker:
         to evaluating the same genomes one by one.
         """
         batch = list(genomes)[: self.remaining]
-        repaired = [repair_genome(genome.copy(), self.space) for genome in batch]
+        repaired = [repaired_copy(genome, self.space) for genome in batch]
         results = self.evaluator.evaluate_population(repaired)
         self.batch_calls += 1
         self.batched_evaluations += len(results)

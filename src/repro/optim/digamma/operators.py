@@ -40,12 +40,19 @@ def crossover(parent_a: Genome, parent_b: Genome, rng: np.random.Generator) -> G
     structured behaviour adapted from GAMMA.
     """
     child = parent_a.copy()
+    # One batched draw per child: Generator.random(n) yields the same
+    # stream as n scalar draws, so trajectories are unchanged while the
+    # per-call overhead is paid once.
+    draws = rng.random(7 * min(len(child.levels), len(parent_b.levels)))
+    cursor = 0
     for level, other in zip(child.levels, parent_b.levels):
         for dim in DIMS:
-            if rng.random() < 0.5:
+            if draws[cursor] < 0.5:
                 level.tiles[dim] = other.tiles[dim]
-        if rng.random() < 0.5:
+            cursor += 1
+        if draws[cursor] < 0.5:
             level.parallel_dim = other.parallel_dim
+        cursor += 1
     return child
 
 
@@ -79,7 +86,9 @@ def grow(genome: Genome, space: GenomeSpace, rng: np.random.Generator) -> Genome
     arbitrary value.
     """
     level = genome.levels[int(rng.integers(genome.num_levels))]
-    dim = str(rng.choice(DIMS))
+    # Indexing with integers() draws the same stream as rng.choice at a
+    # fraction of the per-call cost (see the operator-parity tests).
+    dim = DIMS[rng.integers(len(DIMS))]
     bound = space.dim_bounds[dim]
     if rng.random() < 0.5:
         level.tiles[dim] = min(bound, max(1, level.tiles[dim]) * 2)
@@ -101,7 +110,7 @@ def mutate_map(genome: Genome, space: GenomeSpace, rng: np.random.Generator) -> 
     level = genome.levels[int(rng.integers(genome.num_levels))]
     choice = rng.random()
     if choice < 0.6:
-        dim = str(rng.choice(DIMS))
+        dim = DIMS[rng.integers(len(DIMS))]
         bound = space.dim_bounds[dim]
         level.tiles[dim] = _sample_tile(bound, rng)
     elif choice < 0.85:
@@ -172,7 +181,7 @@ def seeded_genome(space: GenomeSpace, rng: np.random.Generator) -> Genome:
                 level.spatial_size = 1
     large_dims = [dim for dim in DIMS if space.dim_bounds[dim] >= 8] or list(DIMS)
     for level in genome.levels:
-        level.parallel_dim = str(rng.choice(large_dims))
+        level.parallel_dim = large_dims[rng.integers(len(large_dims))]
     balance_parallel(genome, space)
     return genome
 
@@ -196,13 +205,26 @@ def balance_parallel(genome: Genome, space: GenomeSpace) -> Genome:
 # -- helpers ---------------------------------------------------------------
 
 
+#: Divisor lists are pure functions of the bound and bounds are few (one
+#: per dimension per model), so they are computed once instead of per draw.
+_DIVISOR_CACHE: dict = {}
+
+
+def _divisors(bound: int) -> List[int]:
+    cached = _DIVISOR_CACHE.get(bound)
+    if cached is None:
+        cached = [d for d in range(1, bound + 1) if bound % d == 0]
+        _DIVISOR_CACHE[bound] = cached
+    return cached
+
+
 def _sample_tile(bound: int, rng: np.random.Generator) -> int:
     """Sample a tile size in [1, bound], preferring divisors of ``bound``."""
     if bound == 1:
         return 1
     if rng.random() < 0.5:
-        divisors = [d for d in range(1, bound + 1) if bound % d == 0]
-        return int(rng.choice(divisors))
+        divisors = _divisors(bound)
+        return divisors[rng.integers(len(divisors))]
     return log_uniform_int(rng, 1, bound)
 
 
@@ -214,8 +236,8 @@ def _sample_parallel_dim(
     """Pick a parallel dimension, biased towards ones that can fill the array."""
     candidates = [dim for dim in DIMS if space.dim_bounds[dim] >= max(2, spatial_size // 2)]
     if candidates and rng.random() < 0.8:
-        return str(rng.choice(candidates))
-    return str(rng.choice(DIMS))
+        return candidates[rng.integers(len(candidates))]
+    return DIMS[rng.integers(len(DIMS))]
 
 
 def _split_pes(genome: Genome, total: int, rng: np.random.Generator) -> None:

@@ -246,3 +246,132 @@ class TestExperimentsCLI:
         out = capsys.readouterr().out
         assert "Ablation A1" in out
         assert "Ablation A2" in out
+
+
+class TestEngineSelection:
+    def test_engine_round_trips_through_job_id_and_serialization(self):
+        for engine in ("vector", "fast", "reference"):
+            spec = JobSpec(
+                model="ncf", platform="edge", optimizer="random",
+                sampling_budget=30, engine=engine,
+            )
+            assert f"engine={engine}" in spec.job_id
+            assert job_from_dict(job_to_dict(spec)) == spec
+        default = JobSpec(
+            model="ncf", platform="edge", optimizer="random", sampling_budget=30
+        )
+        assert "engine" not in default.job_id
+        assert job_from_dict(job_to_dict(default)) == default
+        assert default.engine is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                model="ncf", platform="edge", optimizer="random",
+                sampling_budget=30, engine="warp",
+            )
+
+    def test_specs_with_different_engines_never_share_a_framework(self):
+        fast = JobSpec(
+            model="ncf", platform="edge", optimizer="random",
+            sampling_budget=30, engine="fast",
+        )
+        vector = JobSpec(
+            model="ncf", platform="edge", optimizer="random",
+            sampling_budget=30, engine="vector",
+        )
+        assert fast.framework_key != vector.framework_key
+        assert fast.evaluator_cache_key != vector.evaluator_cache_key
+
+    @pytest.mark.parametrize("engine", ["vector", "fast", "reference"])
+    def test_each_engine_runs_a_smoke_search_end_to_end(self, engine):
+        spec = JobSpec(
+            model="ncf", platform="edge", optimizer="digamma",
+            sampling_budget=40, engine=engine,
+        )
+        outcomes = SweepRunner([spec], settings=TINY).run()
+        assert len(outcomes) == 1
+        result = outcomes[0][1]
+        assert result.evaluations == 40
+        assert result.best is not None
+
+    def test_engines_agree_on_the_search_outcome(self):
+        fitnesses = set()
+        for engine in ("vector", "fast", "reference"):
+            spec = JobSpec(
+                model="ncf", platform="edge", optimizer="digamma",
+                sampling_budget=40, engine=engine,
+            )
+            result = SweepRunner([spec], settings=TINY).run()[0][1]
+            fitnesses.add(result.best.fitness)
+        assert len(fitnesses) == 1
+
+    def test_settings_engine_flows_into_unpinned_jobs(self, capsys):
+        # --engine reference must actually run the reference engine; the
+        # smoke budget keeps it cheap.  An identical outcome to the default
+        # engine is the bit-identity contract.
+        spec = JobSpec(
+            model="ncf", platform="edge", optimizer="random", sampling_budget=30
+        )
+        reference = SweepRunner(
+            [spec],
+            settings=ExperimentSettings(sampling_budget=30, engine="reference"),
+        ).run()[0][1]
+        vector = SweepRunner([spec], settings=TINY).run()[0][1]
+        assert reference.best.fitness == vector.best.fitness
+
+
+class TestCacheReuseAcrossJobs:
+    def test_layer_cache_is_shared_across_objectives(self, tmp_path):
+        # Same model/platform/seed with different objectives evaluates the
+        # same genomes, so the second job's layer lookups are all warm.
+        jobs = [
+            JobSpec(model="ncf", platform="edge", optimizer="random",
+                    sampling_budget=50, objective="latency"),
+            JobSpec(model="ncf", platform="edge", optimizer="random",
+                    sampling_budget=50, objective="energy"),
+        ]
+        store = ResultStore(tmp_path / "shared.jsonl")
+        runner = SweepRunner(jobs, settings=TINY, store=store)
+        runner.run()
+        records = store.records()
+        assert [record["cache"]["layer"]["hits"] for record in records][0] == 0
+        second = records[1]["cache"]["layer"]
+        assert second["hits"] > 0
+        assert second["hit_rate"] == 1.0
+
+    def test_cache_statistics_are_recorded_per_search(self, tmp_path):
+        spec = JobSpec(
+            model="ncf", platform="edge", optimizer="digamma", sampling_budget=40
+        )
+        store = ResultStore(tmp_path / "stats.jsonl")
+        SweepRunner([spec], settings=TINY, store=store).run()
+        record = store.records()[0]
+        for cache_name in ("design", "layer"):
+            stats = record["cache"][cache_name]
+            assert set(stats) == {"hits", "misses", "hit_rate"}
+            assert stats["hits"] >= 0 and stats["misses"] > 0
+        # Cache-annotated stores stay resumable.
+        resumed = SweepRunner(
+            [spec], settings=TINY, store=store, resume=True
+        ).run()
+        assert resumed[0][1].evaluations == 40
+
+    def test_progress_lines_surface_cache_hit_rates(self):
+        spec = JobSpec(
+            model="ncf", platform="edge", optimizer="random", sampling_budget=30
+        )
+        lines = []
+        SweepRunner([spec], settings=TINY, progress=lines.append).run()
+        assert "design cache" in lines[0]
+        assert "layer cache" in lines[0]
+
+    def test_reference_jobs_do_not_join_cache_sharing(self):
+        jobs = [
+            JobSpec(model="ncf", platform="edge", optimizer="random",
+                    sampling_budget=30, engine="reference", objective="latency"),
+            JobSpec(model="ncf", platform="edge", optimizer="random",
+                    sampling_budget=30, engine="reference", objective="energy"),
+        ]
+        outcomes = SweepRunner(jobs, settings=TINY).run()
+        assert len(outcomes) == 2  # runs cleanly, nothing shared

@@ -178,3 +178,65 @@ class TestSearchTrajectoryParity:
         assert with_cache.best.latency == without_cache.best.latency
         assert with_cache.best.energy == without_cache.best.energy
         assert with_cache.history == without_cache.history
+
+
+class TestVectorEngineParity:
+    """The vector population engine vs the scalar paths, end to end."""
+
+    @PLATFORMS
+    def test_vector_population_matches_fast_sequential(self, resnet18, platform):
+        vector = DesignEvaluator(
+            model=resnet18, platform=platform, engine="vector"
+        )
+        fast = DesignEvaluator(model=resnet18, platform=platform, engine="fast")
+        _, genomes = _seeded_genomes(vector, 30, seed=21)
+        genomes = genomes + genomes[:10]  # duplicates hit the design memo
+        vector_results = vector.evaluate_population(genomes)
+        fast_results = [fast.evaluate_genome(genome) for genome in genomes]
+        for a, b in zip(vector_results, fast_results):
+            assert a.fitness == b.fitness
+            assert a.latency == b.latency
+            assert a.energy == b.energy
+            assert a.valid == b.valid
+            assert a.violations == b.violations
+            assert a.design.hardware == b.design.hardware
+            assert a.design.mapping == b.design.mapping
+        # Including the cache counters, duplicates counting as hits.
+        assert vector.design_cache_stats.hits == fast.design_cache_stats.hits
+        assert vector.design_cache_stats.misses == fast.design_cache_stats.misses
+        assert vector.layer_cache_stats.size == fast.layer_cache_stats.size
+
+    def test_malformed_orders_raise_like_the_scalar_path(self, resnet18):
+        vector = DesignEvaluator(model=resnet18, platform=EDGE, engine="vector")
+        fast = DesignEvaluator(model=resnet18, platform=EDGE, engine="fast")
+        _, genomes = _seeded_genomes(vector, 3, seed=2)
+        genomes[1].levels[0].order[0] = genomes[1].levels[0].order[1]
+        with pytest.raises(ValueError):
+            [fast.evaluate_genome(genome) for genome in genomes]
+        with pytest.raises(ValueError):
+            vector.evaluate_population(genomes)
+
+    def test_rejects_unknown_engine(self, resnet18):
+        with pytest.raises(ValueError):
+            DesignEvaluator(model=resnet18, platform=EDGE, engine="warp")
+
+    @pytest.mark.parametrize("optimizer_name", ["digamma", "de", "pso"])
+    def test_search_trajectories_identical_across_engines(
+        self, resnet18, optimizer_name
+    ):
+        from repro.framework.cooptimizer import CoOptimizationFramework
+        from repro.optim.registry import get_optimizer
+
+        outcomes = {}
+        for engine in ("vector", "fast", "reference"):
+            framework = CoOptimizationFramework(resnet18, EDGE, engine=engine)
+            outcomes[engine] = framework.search(
+                get_optimizer(optimizer_name), sampling_budget=120, seed=5
+            )
+        vector, fast, reference = (
+            outcomes["vector"], outcomes["fast"], outcomes["reference"]
+        )
+        assert vector.best.fitness == fast.best.fitness == reference.best.fitness
+        assert vector.best.latency == fast.best.latency == reference.best.latency
+        assert vector.best.energy == fast.best.energy == reference.best.energy
+        assert vector.history == fast.history == reference.history

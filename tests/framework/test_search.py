@@ -92,11 +92,16 @@ class TestSearchResult:
         assert "evals/s" in result.summary()
 
     def test_evals_per_second_zero_wall_time(self):
-        result = SearchResult(
-            optimizer_name="x", best=None, evaluations=5, sampling_budget=5,
-            wall_time_seconds=0.0,
-        )
-        assert result.evals_per_second == 0.0
+        # A search finishing in under one timer tick (tiny --smoke budgets)
+        # must report 0 evals/s instead of raising ZeroDivisionError, and
+        # the summary line must still render.
+        for wall_time in (0.0, -0.0, 5e-324 - 5e-324):
+            result = SearchResult(
+                optimizer_name="x", best=None, evaluations=5, sampling_budget=5,
+                wall_time_seconds=wall_time,
+            )
+            assert result.evals_per_second == 0.0
+            assert "0 evals/s" in result.summary()
 
     def test_valid_best_summary(self, tracker, rng):
         for _ in range(10):

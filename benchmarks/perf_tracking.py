@@ -19,7 +19,6 @@ from __future__ import annotations
 import argparse
 import json
 import platform as platform_module
-import statistics
 import time
 from pathlib import Path
 
@@ -121,6 +120,113 @@ def bench_search_throughput(budget: int, reps: int, seed: int = 0) -> dict:
     }
 
 
+def _measure_throughput(budget: int, reps: int, **framework_kwargs) -> float:
+    """Best-of-``reps`` evals/s of a DiGamma search (min-time estimator)."""
+    model = get_model("resnet18")
+    measured = 0.0
+    for _ in range(reps):
+        framework = CoOptimizationFramework(
+            model, get_platform("edge"), **framework_kwargs
+        )
+        start = time.perf_counter()
+        result = framework.search(
+            get_optimizer("digamma"), sampling_budget=budget, seed=0
+        )
+        elapsed = time.perf_counter() - start
+        measured = max(measured, result.evaluations / elapsed)
+    return measured
+
+
+def check_regression(
+    baseline_path: str,
+    tolerance: float,
+    reps: int,
+    output: str | None = None,
+    budget: int | None = None,
+    relative: bool = False,
+) -> int:
+    """Benchmark-regression gate against the recorded baseline.
+
+    Absolute mode (default): re-measures the ``vector_cached`` end-to-end
+    search throughput (the default engine configuration, best of ``reps``
+    runs) and fails when it regresses more than ``tolerance`` below the
+    evals/s recorded in ``BENCH_cost_model.json``.  The committed baseline
+    is machine-specific, so this mode only makes sense on the machine
+    class that recorded it.
+
+    Relative mode (``--relative``): additionally measures the scalar
+    ``fast_cached`` configuration on the *same* machine in the same run
+    and gates the vector/fast speedup ratio against the baseline's
+    recorded ``speedup_vector_vs_fast_cached``.  The ratio is
+    machine-independent, which is what hosted CI runners need — a slower
+    runner scales both measurements, but the vector engine silently
+    degrading to scalar evaluation still collapses the ratio to ~1x.
+
+    The measurement payload is written to ``output`` (when given) so CI
+    can upload it as an artifact next to the committed baseline.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    recorded_throughput = baseline["search_throughput"]["evals_per_second"]
+    recorded = recorded_throughput["vector_cached"]
+    if budget is None:
+        budget = int(baseline["search_throughput"]["budget"])
+
+    measured = _measure_throughput(budget, reps)
+    payload = {
+        "benchmark": "vector_cached regression gate",
+        "machine": {
+            "python": platform_module.python_version(),
+            "platform": platform_module.platform(),
+        },
+        "baseline_path": str(baseline_path),
+        "mode": "relative" if relative else "absolute",
+        "budget": budget,
+        "reps": reps,
+        "recorded_evals_per_second": recorded,
+        "measured_evals_per_second": round(measured, 1),
+        "tolerance": tolerance,
+    }
+    if relative:
+        recorded_ratio = baseline["search_throughput"][
+            "speedup_vector_vs_fast_cached"
+        ]
+        fast_measured = _measure_throughput(budget, reps, engine="fast")
+        measured_ratio = measured / fast_measured
+        floor = recorded_ratio * (1.0 - tolerance)
+        passed = measured_ratio >= floor
+        payload.update(
+            {
+                "measured_fast_cached_evals_per_second": round(fast_measured, 1),
+                "recorded_speedup_vector_vs_fast_cached": recorded_ratio,
+                "measured_speedup_vector_vs_fast_cached": round(measured_ratio, 2),
+                "floor_speedup": round(floor, 2),
+                "passed": passed,
+            }
+        )
+        subject = (
+            f"vector/fast speedup {measured_ratio:.2f}x vs floor {floor:.2f}x "
+            f"({recorded_ratio:.2f}x recorded, tolerance {tolerance:.0%})"
+        )
+    else:
+        floor = recorded * (1.0 - tolerance)
+        passed = measured >= floor
+        payload.update(
+            {
+                "floor_evals_per_second": round(floor, 1),
+                "passed": passed,
+            }
+        )
+        subject = (
+            f"vector_cached {measured:.1f} evals/s vs floor {floor:.1f} "
+            f"({recorded:.1f} recorded, tolerance {tolerance:.0%})"
+        )
+    if output:
+        Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(("OK: " if passed else "FAIL: ") + subject)
+    return 0 if passed else 1
+
+
 def check_smoke(budget: int = 400) -> int:
     """CI smoke: vector vs fast parity on a small population + micro-bench.
 
@@ -173,10 +279,50 @@ def main(argv=None) -> int:
         "and print a micro-benchmark line instead of writing the JSON",
     )
     parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="benchmark-regression gate: re-measure vector_cached search "
+        "throughput and fail when it drops more than --tolerance below "
+        "the recorded baseline (see --baseline)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_cost_model.json"),
+        help="recorded baseline JSON the regression gate compares against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression of vector_cached evals/s "
+        "(default: 0.30, i.e. fail on >30%% regression)",
+    )
+    parser.add_argument(
+        "--relative",
+        action="store_true",
+        help="gate the vector/fast speedup ratio instead of absolute "
+        "evals/s (machine-independent; use on hosted CI runners)",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_cost_model.json"),
     )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    if args.check_regression:
+        output = args.output
+        if output == parser.get_default("output"):
+            # Never overwrite the committed baseline with a gate measurement.
+            output = None
+        return check_regression(
+            args.baseline,
+            args.tolerance,
+            args.reps,
+            output=output,
+            budget=args.budget,
+            relative=args.relative,
+        )
     if args.check:
         return check_smoke(min(args.budget, 400))
 

@@ -14,6 +14,11 @@ Subcommands
 ``fig5`` / ``fig6`` / ``fig7`` / ``ablations``
     Regenerate the paper's figures (thin wrappers over
     ``repro.experiments``).
+``pareto``
+    Multi-objective Pareto-front suite: one NSGA-II search per model
+    yields the whole latency/energy/area trade-off curve (also reachable
+    as ``experiments --suite pareto``); ``--verify-store`` checks stored
+    fronts in CI.
 ``experiments``
     The unified sweep runner: compile figure suites (or custom grids) into
     jobs, stream results to a JSONL store, ``--resume`` interrupted sweeps
@@ -26,18 +31,20 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis import pareto_front_report
 from repro.arch.platform import get_platform
 from repro.experiments import ablations as ablations_module
 from repro.experiments import fig5 as fig5_module
 from repro.experiments import fig6 as fig6_module
 from repro.experiments import fig7 as fig7_module
+from repro.experiments import pareto as pareto_module
 from repro.experiments import runner as runner_module
 from repro.framework.cooptimizer import CoOptimizationFramework
 from repro.framework.evaluator import ENGINES
-from repro.framework.objective import Objective
+from repro.framework.objective import Objective, ObjectiveSet
 from repro.mapping.dataflows import DATAFLOW_STYLES, get_dataflow
 from repro.optim.registry import available_optimizers, get_optimizer
-from repro.serialization import save_json, search_result_to_dict
+from repro.serialization import pareto_result_to_dict, save_json, search_result_to_dict
 from repro.workloads.registry import available_models, get_model
 from repro.workloads.suite import ModelSuite
 
@@ -58,10 +65,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
     else:
         model = ModelSuite.from_names("suite", args.model).as_model()
     platform = get_platform(args.platform)
+    if args.objectives:
+        if args.objective is not None:
+            raise SystemExit(
+                "search: --objective and --objectives are mutually exclusive; "
+                "the first entry of --objectives is the primary objective"
+            )
+        return _run_pareto_search(args, model, platform)
     framework = CoOptimizationFramework(
         model,
         platform,
-        objective=Objective.from_name(args.objective),
+        objective=Objective.from_name(args.objective or "latency"),
         use_cache=not args.no_cache,
         workers=args.workers,
         engine=args.engine,
@@ -79,6 +93,34 @@ def _cmd_search(args: argparse.Namespace) -> int:
         if args.output:
             path = save_json(search_result_to_dict(result), args.output)
             print(f"\nSaved search result to {path}")
+    return 0 if result.found_valid else 1
+
+
+def _run_pareto_search(args: argparse.Namespace, model, platform) -> int:
+    """The multi-objective branch of ``repro search`` (--objectives)."""
+    framework = CoOptimizationFramework(
+        model,
+        platform,
+        objectives=ObjectiveSet.from_names(args.objectives),
+        use_cache=not args.no_cache,
+        workers=args.workers,
+        engine=args.engine,
+    )
+    optimizer = get_optimizer(args.optimizer)
+    try:
+        result = framework.pareto_search(
+            optimizer, sampling_budget=args.budget, seed=args.seed
+        )
+    finally:
+        framework.close()
+    print(result.summary())
+    _print_cache_stats(framework)
+    if result.found_valid:
+        print()
+        print(pareto_front_report(result))
+        if args.output:
+            path = save_json(pareto_result_to_dict(result), args.output)
+            print(f"\nSaved Pareto front to {path}")
     return 0 if result.found_valid else 1
 
 
@@ -124,8 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--platform", choices=("edge", "cloud"), default="edge")
     search.add_argument("--optimizer", default="digamma",
                         help=f"one of {available_optimizers()}")
-    search.add_argument("--objective", default="latency",
-                        choices=[objective.value for objective in Objective])
+    search.add_argument("--objective", default=None,
+                        choices=[objective.value for objective in Objective],
+                        help="scalar objective to minimize (default: latency; "
+                             "mutually exclusive with --objectives)")
+    search.add_argument("--objectives", default=None,
+                        help="comma-separated objective axes (e.g. "
+                             "'latency,energy,area'); switches to "
+                             "multi-objective Pareto-front search — pair "
+                             "with --optimizer nsga2 for a spread front")
     search.add_argument("--budget", type=int, default=2000, help="sampling budget")
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--output", default=None,
@@ -156,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("fig6", add_help=False)
     subparsers.add_parser("fig7", add_help=False)
     subparsers.add_parser("ablations", add_help=False)
+    subparsers.add_parser("pareto", add_help=False)
     subparsers.add_parser("experiments", add_help=False)
     return parser
 
@@ -164,12 +214,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     argv = list(argv) if argv is not None else sys.argv[1:]
     # The figure subcommands forward their remaining arguments unchanged.
-    if argv and argv[0] in ("fig5", "fig6", "fig7", "ablations", "experiments"):
+    if argv and argv[0] in (
+        "fig5", "fig6", "fig7", "ablations", "pareto", "experiments"
+    ):
         forwarding = {
             "fig5": fig5_module.main,
             "fig6": fig6_module.main,
             "fig7": fig7_module.main,
             "ablations": ablations_module.main,
+            "pareto": pareto_module.main,
             "experiments": runner_module.main,
         }
         return forwarding[argv[0]](argv[1:])

@@ -8,9 +8,9 @@ comparisons, latency/area Pareto fronts and side-by-side design reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
-from repro.framework.evaluator import EvaluationResult
+from repro.framework.pareto import ParetoResult
 from repro.framework.search import SearchResult
 
 
@@ -75,9 +75,28 @@ class ParetoPoint:
         return at_least_as_good and strictly_better
 
 
-def pareto_front(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
-    """Non-dominated subset of ``points``, sorted by latency."""
+def pareto_front(
+    points: Iterable[ParetoPoint], dedupe: bool = False
+) -> List[ParetoPoint]:
+    """Non-dominated subset of ``points``, sorted by latency.
+
+    Points tied on one axis but better on the other both survive; exact
+    duplicates (same latency *and* area) all survive by default because
+    equal points never dominate each other.  With ``dedupe=True`` exact
+    duplicates collapse to their first occurrence (first label wins),
+    which is what front *merging* wants: the same design reached by two
+    searches is one point on the combined curve.
+    """
     candidates = list(points)
+    if dedupe:
+        seen = set()
+        unique: List[ParetoPoint] = []
+        for point in candidates:
+            key = (point.latency, point.area)
+            if key not in seen:
+                seen.add(key)
+                unique.append(point)
+        candidates = unique
     front = [
         point
         for point in candidates
@@ -101,6 +120,64 @@ def results_to_pareto_points(
                 )
             )
     return points
+
+
+def pareto_result_to_points(
+    result: ParetoResult, label_prefix: str = ""
+) -> List[ParetoPoint]:
+    """Latency/area view of a multi-objective front.
+
+    Every front member has a decoded design, so the classic latency-area
+    curve is available no matter which objectives were searched.  Labels
+    are ``{prefix}#{index}`` in front order.
+    """
+    prefix = label_prefix or result.optimizer_name
+    return [
+        ParetoPoint(
+            label=f"{prefix}#{index}",
+            latency=entry.design.latency,
+            area=entry.design.area.total,
+        )
+        for index, entry in enumerate(result.front)
+    ]
+
+
+def merge_pareto_points(
+    *point_groups: Iterable[ParetoPoint],
+) -> List[ParetoPoint]:
+    """Combined non-dominated curve of several point sets.
+
+    This is how a multi-objective front and the per-scheme best designs of
+    single-objective searches (:func:`results_to_pareto_points`) merge into
+    one trade-off plot: concatenate, dedupe exact duplicates (first label
+    wins) and keep the non-dominated subset.
+    """
+    merged: List[ParetoPoint] = []
+    for group in point_groups:
+        merged.extend(group)
+    return pareto_front(merged, dedupe=True)
+
+
+def pareto_front_report(result: ParetoResult, title: Optional[str] = None) -> str:
+    """Text table of a multi-objective front, one row per design."""
+    names = result.objective_names
+    header = f"{'#':>3} " + " ".join(f"{name:>14}" for name in names) + (
+        f" {'PEs':>6} {'area um^2':>12}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, entry in enumerate(result.front):
+        values = " ".join(f"{value:>14.4e}" for value in entry.objective_vector)
+        lines.append(
+            f"{index:>3d} {values} {entry.design.hardware.num_pes:>6d} "
+            f"{entry.design.area.total:>12.3e}"
+        )
+    if not result.front:
+        lines.append("(empty front: no valid design found)")
+    return "\n".join(lines)
 
 
 def compare_designs(results: Mapping[str, SearchResult]) -> str:

@@ -8,7 +8,7 @@ buffer feeds the array over a NoC and is itself filled from DRAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 

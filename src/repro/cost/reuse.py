@@ -13,7 +13,6 @@ and spatial fan-out:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 

@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.mapping.directives import LevelMapping
 from repro.mapping.mapping import Mapping
-from repro.workloads.dims import DIM_INDEX, DIMS, validate_dim
+from repro.workloads.dims import DIM_INDEX, DIMS
 from repro.workloads.model import Model
 
 

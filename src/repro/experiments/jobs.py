@@ -22,7 +22,7 @@ from repro.experiments.settings import (
     make_fixed_hardware,
 )
 from repro.framework.cooptimizer import CoOptimizationFramework
-from repro.framework.objective import Objective
+from repro.framework.objective import Objective, ObjectiveSet
 from repro.optim.base import Optimizer
 from repro.optim.grid_search import HardwareGridSearch
 from repro.optim.registry import optimizer_class
@@ -42,6 +42,13 @@ class JobSpec:
         ``optimizer_options``, e.g. ``{"dataflow": "dla"}``).
     sampling_budget / seed / objective:
         The search knobs; ``objective`` is an :class:`Objective` value name.
+    objectives:
+        Optional tuple of objective names (or a comma-separated string)
+        enabling multi-objective Pareto-front search: the job runs through
+        :meth:`CoOptimizationFramework.pareto_search` and stores a front
+        instead of a single best.  The scalar ``objective`` field is
+        aligned to the first entry (it drives the tracker's scalar
+        fitness), and the set joins the ``job_id``.
     optimizer_options:
         Constructor keyword arguments for the optimizer (e.g. DiGamma
         ablation switches).  Mappings are normalized to a sorted tuple of
@@ -68,6 +75,7 @@ class JobSpec:
     sampling_budget: int
     seed: int = 0
     objective: str = "latency"
+    objectives: Tuple[str, ...] = ()
     optimizer_options: Tuple[Tuple[str, Any], ...] = ()
     fixed_hw_style: Optional[str] = None
     buffer_allocation: str = "exact"
@@ -81,6 +89,15 @@ class JobSpec:
             raise ValueError(
                 f"engine must be one of {ENGINES} (or None), got {self.engine!r}"
             )
+        objectives = self.objectives
+        if objectives:
+            # Validate and canonicalize the names; the scalar objective is
+            # the set's primary, so one field cannot contradict the other.
+            objective_set = ObjectiveSet.from_names(objectives)
+            object.__setattr__(self, "objectives", objective_set.names)
+            object.__setattr__(self, "objective", objective_set.primary.value)
+        else:
+            object.__setattr__(self, "objectives", ())
         options = self.optimizer_options
         if isinstance(options, Mapping):
             options = tuple(sorted(options.items()))
@@ -88,12 +105,19 @@ class JobSpec:
             options = tuple(sorted((str(key), value) for key, value in options))
         object.__setattr__(self, "optimizer_options", options)
 
+    @property
+    def is_multi_objective(self) -> bool:
+        """True when this job searches a Pareto front instead of one best."""
+        return bool(self.objectives)
+
     # -- identity ----------------------------------------------------------
 
     @property
     def job_id(self) -> str:
         """Stable, human-readable identity of this job within a sweep."""
         parts = [self.model, self.platform, self.objective, self.optimizer]
+        if self.objectives:
+            parts.append("mo=" + "+".join(self.objectives))
         if self.optimizer_options:
             parts.append(",".join(f"{k}={v}" for k, v in self.optimizer_options))
         if self.fixed_hw_style is not None:
@@ -107,12 +131,13 @@ class JobSpec:
         return "/".join(parts)
 
     @property
-    def framework_key(self) -> Tuple[str, str, str, Optional[str], str, Optional[str]]:
+    def framework_key(self) -> Tuple:
         """Jobs with equal keys can share one framework (and worker pool)."""
         return (
             self.model,
             self.platform,
             self.objective,
+            self.objectives,
             self.fixed_hw_style,
             self.buffer_allocation,
             self.engine,
@@ -175,6 +200,9 @@ def build_framework(
         get_model(spec.model),
         platform,
         objective=Objective.from_name(spec.objective),
+        objectives=(
+            ObjectiveSet.from_names(spec.objectives) if spec.objectives else None
+        ),
         fixed_hardware=fixed_hardware,
         buffer_allocation=spec.buffer_allocation,
         bytes_per_element=settings.bytes_per_element,
@@ -195,6 +223,7 @@ def job_to_dict(spec: JobSpec) -> Dict[str, Any]:
         "sampling_budget": spec.sampling_budget,
         "seed": spec.seed,
         "objective": spec.objective,
+        "objectives": list(spec.objectives),
         "optimizer_options": dict(spec.optimizer_options),
         "fixed_hw_style": spec.fixed_hw_style,
         "buffer_allocation": spec.buffer_allocation,
@@ -212,6 +241,7 @@ def job_from_dict(data: Dict[str, Any]) -> JobSpec:
         sampling_budget=int(data["sampling_budget"]),
         seed=int(data.get("seed", 0)),
         objective=str(data.get("objective", "latency")),
+        objectives=tuple(data.get("objectives", ())),
         optimizer_options=dict(data.get("optimizer_options", {})),
         fixed_hw_style=data.get("fixed_hw_style"),
         buffer_allocation=str(data.get("buffer_allocation", "exact")),

@@ -42,11 +42,15 @@ from repro.experiments.settings import (
     FIG5_OPTIMIZERS,
     ExperimentSettings,
 )
+from repro.framework.pareto import ParetoResult
 from repro.framework.search import SearchResult
-from repro.serialization import search_result_from_dict, search_result_to_dict
+from repro.serialization import result_from_dict, result_to_dict
+
+#: Either kind of search outcome: a single best or a Pareto front.
+AnyResult = Union[SearchResult, ParetoResult]
 
 #: One completed job: its spec plus the search outcome.
-Outcome = Tuple[JobSpec, SearchResult]
+Outcome = Tuple[JobSpec, AnyResult]
 
 #: Smoke-sweep shape: one tiny model, three cheap-but-representative
 #: optimizers (CMA included so the tables' normalization reference exists),
@@ -71,7 +75,7 @@ class ResultStore:
     def append(
         self,
         spec: JobSpec,
-        result: SearchResult,
+        result: AnyResult,
         extra: Optional[dict] = None,
     ) -> None:
         """Persist one completed job; flushed immediately.
@@ -87,7 +91,7 @@ class ResultStore:
         record = {
             "job_id": spec.job_id,
             "spec": job_to_dict(spec),
-            "result": search_result_to_dict(result),
+            "result": result_to_dict(result),
         }
         if extra:
             record.update(extra)
@@ -122,16 +126,18 @@ class ResultStore:
         """Ids of every job with a stored result."""
         return {record["job_id"] for record in self.records()}
 
-    def load_results(self, only: Optional[set] = None) -> Dict[str, SearchResult]:
+    def load_results(self, only: Optional[set] = None) -> Dict[str, AnyResult]:
         """Deserialize stored results, keyed by job id.
 
-        ``only`` restricts deserialization to the given ids — rebuilding a
-        ``SearchResult`` (design, per-layer reports, genome) is the
-        expensive part, so a shard resuming against a large shared store
-        should not pay it for every other shard's records.
+        Records round-trip as whatever they were stored as (Pareto fronts
+        come back as :class:`ParetoResult`).  ``only`` restricts
+        deserialization to the given ids — rebuilding a result (designs,
+        per-layer reports, genomes) is the expensive part, so a shard
+        resuming against a large shared store should not pay it for every
+        other shard's records.
         """
         return {
-            record["job_id"]: search_result_from_dict(record["result"])
+            record["job_id"]: result_from_dict(record["result"])
             for record in self.records()
             if only is None or record["job_id"] in only
         }
@@ -224,7 +230,7 @@ class SweepRunner:
         returned for each of them.
         """
         jobs = self.shard_jobs
-        completed: Dict[str, SearchResult] = {}
+        completed: Dict[str, AnyResult] = {}
         if self.resume and self.store is not None:
             completed = self.store.load_results(
                 only={spec.job_id for spec in jobs}
@@ -259,7 +265,12 @@ class SweepRunner:
                     evaluator = framework.evaluator
                     design_before = evaluator.design_cache_stats
                     layer_before = evaluator.layer_cache_stats
-                    search = framework.search(
+                    run_search = (
+                        framework.pareto_search
+                        if spec.is_multi_objective
+                        else framework.search
+                    )
+                    search = run_search(
                         build_optimizer(spec),
                         sampling_budget=spec.sampling_budget,
                         seed=spec.seed,
@@ -333,7 +344,7 @@ def full_outcomes(
     jobs: Sequence[JobSpec],
     outcomes: Sequence[Outcome],
     store: Optional[ResultStore] = None,
-    stored_results: Optional[Dict[str, SearchResult]] = None,
+    stored_results: Optional[Dict[str, AnyResult]] = None,
 ) -> Optional[List[Outcome]]:
     """Outcomes for the *whole* sweep, merging this run with the store.
 
@@ -343,7 +354,7 @@ def full_outcomes(
     rendering several suites from one store, to avoid re-reading and
     re-deserializing the whole file per suite.
     """
-    have: Dict[str, SearchResult] = {}
+    have: Dict[str, AnyResult] = {}
     if stored_results is not None:
         have.update(stored_results)
     elif store is not None:
@@ -422,11 +433,14 @@ def _compile_suites(args: argparse.Namespace) -> List[Tuple[str, List[JobSpec], 
     from repro.experiments import fig5 as fig5_module
     from repro.experiments import fig6 as fig6_module
     from repro.experiments import fig7 as fig7_module
+    from repro.experiments import pareto as pareto_module
 
     settings = settings_from_args(args, models=args.models)
     platforms = ("edge", "cloud") if args.platform == "both" else (args.platform,)
     suites = (
-        ("fig5", "fig6", "fig7", "ablations") if args.suite == "all" else (args.suite,)
+        ("fig5", "fig6", "fig7", "ablations", "pareto")
+        if args.suite == "all"
+        else (args.suite,)
     )
     optimizers = tuple(args.optimizers)
 
@@ -465,6 +479,21 @@ def _compile_suites(args: argparse.Namespace) -> List[Tuple[str, List[JobSpec], 
                     lambda outcomes, platform=platform: (
                         fig7_module.fig7_result_from_outcomes(
                             args.model, platform, outcomes
+                        ).report()
+                    ),
+                )
+            )
+        if "pareto" in suites:
+            pareto_jobs = pareto_module.compile_pareto_jobs(
+                platform, settings, models=args.models
+            )
+            entries.append(
+                (
+                    f"pareto/{platform}",
+                    pareto_jobs,
+                    lambda outcomes, platform=platform: (
+                        pareto_module.pareto_result_from_outcomes(
+                            platform, outcomes
                         ).report()
                     ),
                 )
@@ -514,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--suite",
-        choices=("fig5", "fig6", "fig7", "ablations", "all"),
+        choices=("fig5", "fig6", "fig7", "ablations", "pareto", "all"),
         default="fig5",
         help="which experiment suite to compile (default: fig5)",
     )

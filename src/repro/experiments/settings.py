@@ -9,8 +9,8 @@ benchmark suite finishes on one machine in minutes; every harness accepts a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.arch.area import AreaModel
 from repro.arch.hardware import HardwareConfig

@@ -8,7 +8,7 @@ run any plugged-in optimization algorithm under a sampling budget.
 from __future__ import annotations
 
 import time
-from typing import Optional, Protocol
+from typing import Iterable, Optional, Protocol, Union
 
 import numpy as np
 
@@ -17,7 +17,12 @@ from repro.arch.energy import EnergyModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
 from repro.framework.evaluator import DesignEvaluator
-from repro.framework.objective import Objective
+from repro.framework.objective import Objective, ObjectiveSet
+from repro.framework.pareto import (
+    DEFAULT_ARCHIVE_CAPACITY,
+    ParetoArchive,
+    ParetoResult,
+)
 from repro.framework.search import BudgetExhausted, SearchResult, SearchTracker
 from repro.workloads.model import Model
 
@@ -61,13 +66,21 @@ class CoOptimizationFramework:
         on/off, process-pool width for batched population evaluation, and
         the vector/fast/reference engine selector (``"vector"`` by
         default; all three produce bit-identical results).
+    objectives:
+        Optional multi-objective axis set for Pareto-front search: an
+        :class:`ObjectiveSet`, an iterable of objective names, or a
+        comma-separated string (``"latency,energy,area"``).  When given
+        (and ``objective`` is left at its default), the set's first
+        objective becomes the scalar objective driving fitness, every
+        evaluation carries the per-objective vector, and
+        :meth:`pareto_search` becomes available.
     """
 
     def __init__(
         self,
         model: Model,
         platform: Platform,
-        objective: Objective = Objective.LATENCY,
+        objective: Optional[Objective] = None,
         num_levels: int = 2,
         fixed_hardware: Optional[HardwareConfig] = None,
         area_model: Optional[AreaModel] = None,
@@ -77,10 +90,18 @@ class CoOptimizationFramework:
         use_cache: bool = True,
         workers: Optional[int] = None,
         engine: str = "vector",
+        objectives: Union[ObjectiveSet, Iterable[str], str, None] = None,
     ):
+        if objectives is not None and not isinstance(objectives, ObjectiveSet):
+            objectives = ObjectiveSet.from_names(objectives)
+        if objective is None:
+            objective = (
+                objectives.primary if objectives is not None else Objective.LATENCY
+            )
         self.model = model
         self.platform = platform
         self.objective = objective
+        self.objectives = objectives
         self.num_levels = num_levels
         self.evaluator = DesignEvaluator(
             model=model,
@@ -94,6 +115,7 @@ class CoOptimizationFramework:
             use_cache=use_cache,
             workers=workers,
             engine=engine,
+            objectives=objectives,
         )
         self.space = self.evaluator.genome_space(num_levels=num_levels)
 
@@ -129,4 +151,49 @@ class CoOptimizationFramework:
             sampling_budget=sampling_budget,
             wall_time_seconds=elapsed,
             history=tuple(tracker.history),
+        )
+
+    def pareto_search(
+        self,
+        optimizer: SupportsRun,
+        sampling_budget: int = 2000,
+        seed: int = 0,
+        archive_capacity: int = DEFAULT_ARCHIVE_CAPACITY,
+    ) -> ParetoResult:
+        """Run one algorithm and return the Pareto front of its evaluations.
+
+        Requires the framework to be built with ``objectives``.  The
+        tracker feeds every valid evaluation into a bounded
+        :class:`ParetoArchive`, so the returned front reflects everything
+        the search priced — any optimizer yields *a* front, though a
+        multi-objective algorithm (``"nsga2"``) spreads the budget across
+        it instead of converging to the primary objective's optimum.
+        """
+        if self.objectives is None:
+            raise ValueError(
+                "pareto_search requires the framework to be constructed "
+                "with an ObjectiveSet (objectives=...)"
+            )
+        tracker = SearchTracker(
+            evaluator=self.evaluator,
+            space=self.space,
+            sampling_budget=sampling_budget,
+            archive=ParetoArchive(archive_capacity),
+        )
+        rng = np.random.default_rng(seed)
+        start = time.perf_counter()
+        try:
+            optimizer.run(tracker, rng)
+        except BudgetExhausted:
+            pass
+        elapsed = time.perf_counter() - start
+        return ParetoResult(
+            optimizer_name=optimizer.name,
+            objectives=self.objectives.objectives,
+            front=tuple(tracker.archive.front()),
+            evaluations=tracker.evaluations,
+            sampling_budget=sampling_budget,
+            wall_time_seconds=elapsed,
+            batch_calls=tracker.batch_calls,
+            batched_evaluations=tracker.batched_evaluations,
         )

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.arch.area import AreaBreakdown, AreaModel
+from repro.arch.area import AreaModel
 from repro.arch.energy import EnergyModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
@@ -23,7 +23,7 @@ from repro.cost.performance import ModelPerformance
 from repro.encoding.genome import Genome, GenomeSpace
 from repro.framework.constraints import ConstraintChecker
 from repro.framework.designpoint import AcceleratorDesign, LazyMappingDesign
-from repro.framework.objective import Objective, objective_value
+from repro.framework.objective import Objective, ObjectiveSet, objective_value
 from repro.mapping.mapping import Mapping
 from repro.workloads.layer import Layer
 from repro.workloads.model import Model
@@ -89,6 +89,11 @@ class EvaluationResult:
     design: AcceleratorDesign
     violations: tuple
     genome: Optional[Genome] = None
+    #: Per-objective values (lower is better each) when the evaluator was
+    #: configured with an :class:`~repro.framework.objective.ObjectiveSet`.
+    #: Computed from the same cost-model pass as the scalar objective, so
+    #: requesting a vector never costs a second evaluation.
+    objective_vector: Optional[Tuple[float, ...]] = None
 
     @property
     def latency(self) -> float:
@@ -143,6 +148,11 @@ class DesignEvaluator:
         engine for single evaluations; ``"fast"`` is the scalar tuple-based
         engine; ``"reference"`` is the seed implementation kept for parity
         tests and baseline benchmarks.  All three are bit-identical.
+    objectives:
+        Optional :class:`~repro.framework.objective.ObjectiveSet`.  When
+        given, every :class:`EvaluationResult` additionally carries the
+        per-objective value vector, computed from the same cost-model pass
+        as the scalar objective (the scalar path is unchanged either way).
     """
 
     #: Accepted ``engine`` values (the module-level constant).
@@ -161,6 +171,7 @@ class DesignEvaluator:
         use_cache: bool = True,
         workers: Optional[int] = None,
         engine: str = "vector",
+        objectives: Optional[ObjectiveSet] = None,
     ):
         if buffer_allocation not in ("exact", "fill"):
             raise ValueError(
@@ -176,6 +187,7 @@ class DesignEvaluator:
         self.model = model
         self.platform = platform
         self.objective = objective
+        self.objectives = objectives
         self.fixed_hardware = fixed_hardware
         self.buffer_allocation = buffer_allocation
         self.area_model = area_model if area_model is not None else AreaModel()
@@ -440,6 +452,11 @@ class DesignEvaluator:
         )
         value = objective_value(self.objective, performance, area)
         fitness = self._fitness(value, check.valid, check.severity)
+        vector = (
+            self.objectives.values(performance, area)
+            if self.objectives is not None
+            else None
+        )
         if design_mapping is not None:
             design = AcceleratorDesign(
                 hardware=hardware,
@@ -459,6 +476,7 @@ class DesignEvaluator:
             design=design,
             violations=check.violations,
             genome=None,
+            objective_vector=vector,
         )
 
     def _derive_hardware(

@@ -23,6 +23,7 @@ from repro.encoding.genome import Genome, GenomeSpace
 from repro.encoding.repair import repaired_copy
 from repro.encoding.vector_codec import VectorCodec
 from repro.framework.evaluator import DesignEvaluator, EvaluationResult
+from repro.framework.pareto import ParetoArchive
 
 
 class BudgetExhausted(RuntimeError):
@@ -37,6 +38,7 @@ class SearchTracker:
         evaluator: DesignEvaluator,
         space: GenomeSpace,
         sampling_budget: int,
+        archive: Optional[ParetoArchive] = None,
     ):
         if sampling_budget < 1:
             raise ValueError("sampling_budget must be >= 1")
@@ -44,6 +46,10 @@ class SearchTracker:
         self.space = space
         self.codec = VectorCodec(space)
         self.sampling_budget = sampling_budget
+        #: Optional Pareto archive fed with every *valid* result carrying an
+        #: objective vector, regardless of which optimizer runs: the front
+        #: of a search is a property of its evaluations, not its algorithm.
+        self.archive = archive
         self.evaluations = 0
         #: Number of calls to the batched evaluation views.
         self.batch_calls = 0
@@ -93,17 +99,28 @@ class SearchTracker:
         callers should stop when that happens.  Results are bit-identical
         to evaluating the same genomes one by one.
         """
+        return [result.fitness for result in self.evaluate_batch_results(genomes)]
+
+    def evaluate_batch_results(
+        self, genomes: Sequence[Genome]
+    ) -> List[EvaluationResult]:
+        """Batched view returning full results instead of scalar fitnesses.
+
+        Multi-objective algorithms need the per-objective vectors (and the
+        decoded designs) of a whole generation; this is the same batched
+        fast path as :meth:`evaluate_batch` — one evaluator call, identical
+        budget/bookkeeping semantics — just without collapsing each result
+        to its scalar fitness.
+        """
         batch = list(genomes)[: self.remaining]
         repaired = [repaired_copy(genome, self.space) for genome in batch]
         results = self.evaluator.evaluate_population(repaired)
         self.batch_calls += 1
         self.batched_evaluations += len(results)
-        fitnesses: List[float] = []
         for result in results:
             self.evaluations += 1
             self._record(result)
-            fitnesses.append(result.fitness)
-        return fitnesses
+        return results
 
     def evaluate_vector_batch(self, vectors: Sequence[np.ndarray]) -> List[float]:
         """Evaluate a batch of flat vectors; returns their fitnesses.
@@ -137,6 +154,12 @@ class SearchTracker:
         if self.best is None or result.fitness > self.best.fitness:
             self.best = result
             self.history.append((self.evaluations, result.fitness))
+        if (
+            self.archive is not None
+            and result.valid
+            and result.objective_vector is not None
+        ):
+            self.archive.add(result)
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ from repro.optim.cma import CMAES
 from repro.optim.de import DifferentialEvolution
 from repro.optim.digamma import DiGamma
 from repro.optim.gamma import GammaMapper
+from repro.optim.nsga2 import NSGA2
 from repro.optim.one_plus_one import OnePlusOneES
 from repro.optim.portfolio import PassivePortfolio
 from repro.optim.pso import ParticleSwarm
@@ -27,6 +28,7 @@ _FACTORIES: Dict[str, Callable[[], Optimizer]] = {
     "cma": CMAES,
     "digamma": DiGamma,
     "gamma": GammaMapper,
+    "nsga2": NSGA2,
 }
 
 _ALIASES: Dict[str, str] = {
@@ -39,6 +41,8 @@ _ALIASES: Dict[str, str] = {
     "cma-es": "cma",
     "cmaes": "cma",
     "differential evolution": "de",
+    "nsga-ii": "nsga2",
+    "nsga": "nsga2",
 }
 
 

@@ -13,7 +13,7 @@ on a pilot task, reuse everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

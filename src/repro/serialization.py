@@ -20,6 +20,7 @@ from repro.encoding.genome import Genome, LevelGenes
 from repro.framework.designpoint import AcceleratorDesign
 from repro.framework.evaluator import EvaluationResult
 from repro.framework.objective import Objective
+from repro.framework.pareto import ParetoResult
 from repro.framework.search import SearchResult
 from repro.mapping.directives import LevelMapping
 from repro.mapping.mapping import Mapping
@@ -274,6 +275,95 @@ def search_result_from_dict(data: Dict[str, Any]) -> SearchResult:
             (int(index), float(fitness)) for index, fitness in data.get("history", ())
         ),
     )
+
+
+# -- Pareto fronts -------------------------------------------------------------
+
+
+def pareto_result_to_dict(result: ParetoResult) -> Dict[str, Any]:
+    """Serialize a multi-objective search outcome (lossless front).
+
+    Every front member ships its full design (the same payload as a
+    single-objective best) plus its per-objective value vector, so a stored
+    front can be re-rendered, merged with other fronts and fed to
+    downstream toolchains without re-evaluating anything.
+    """
+    front = []
+    for entry in result.front:
+        member: Dict[str, Any] = {
+            "design": design_to_dict(entry.design),
+            "fitness": entry.fitness,
+            "objective": entry.objective.value,
+            "objective_value": entry.objective_value,
+            "objective_values": list(entry.objective_vector),
+        }
+        if entry.genome is not None:
+            member["genome"] = genome_to_dict(entry.genome)
+        front.append(member)
+    return {
+        "optimizer": result.optimizer_name,
+        "objectives": list(result.objective_names),
+        "evaluations": result.evaluations,
+        "sampling_budget": result.sampling_budget,
+        "wall_time_seconds": result.wall_time_seconds,
+        "batch_calls": result.batch_calls,
+        "batched_evaluations": result.batched_evaluations,
+        "front": front,
+    }
+
+
+def pareto_result_from_dict(data: Dict[str, Any]) -> ParetoResult:
+    """Rebuild a multi-objective outcome from :func:`pareto_result_to_dict`."""
+    objectives = tuple(Objective.from_name(name) for name in data["objectives"])
+    front = []
+    for member in data["front"]:
+        vector = tuple(float(value) for value in member["objective_values"])
+        objective = Objective.from_name(member.get("objective", objectives[0].value))
+        objective_value = float(member.get("objective_value", vector[0]))
+        genome = (
+            genome_from_dict(member["genome"]) if "genome" in member else None
+        )
+        front.append(
+            EvaluationResult(
+                fitness=float(member.get("fitness", -objective_value)),
+                valid=True,
+                objective=objective,
+                objective_value=objective_value,
+                design=design_from_dict(member["design"]),
+                violations=(),
+                genome=genome,
+                objective_vector=vector,
+            )
+        )
+    return ParetoResult(
+        optimizer_name=str(data["optimizer"]),
+        objectives=objectives,
+        front=tuple(front),
+        evaluations=int(data["evaluations"]),
+        sampling_budget=int(data["sampling_budget"]),
+        wall_time_seconds=float(data["wall_time_seconds"]),
+        batch_calls=int(data.get("batch_calls", 0)),
+        batched_evaluations=int(data.get("batched_evaluations", 0)),
+    )
+
+
+def result_to_dict(result: Union[SearchResult, ParetoResult]) -> Dict[str, Any]:
+    """Serialize either kind of search outcome (dispatch by type)."""
+    if isinstance(result, ParetoResult):
+        return pareto_result_to_dict(result)
+    return search_result_to_dict(result)
+
+
+def result_from_dict(data: Dict[str, Any]) -> Union[SearchResult, ParetoResult]:
+    """Rebuild either kind of search outcome (dispatch on the payload).
+
+    Pareto payloads are recognized by their ``"front"`` key; everything
+    else deserializes as a single-objective :class:`SearchResult`, so
+    stores written before multi-objective search existed keep loading.
+    """
+    if "front" in data:
+        return pareto_result_from_dict(data)
+    return search_result_from_dict(data)
 
 
 # -- file helpers --------------------------------------------------------------

@@ -9,7 +9,7 @@ shapes once and multiply the cost).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.workloads.dims import (

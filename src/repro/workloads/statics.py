@@ -21,7 +21,6 @@ from typing import Dict, FrozenSet, Tuple
 
 from repro.workloads.dims import (
     DIM_INDEX,
-    DIMS,
     INPUT_DIMS,
     OUTPUT_DIMS,
     REDUCTION_DIMS,

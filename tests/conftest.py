@@ -10,7 +10,6 @@ from repro.arch.platform import CLOUD, EDGE
 from repro.encoding.genome import GenomeSpace
 from repro.mapping.directives import LevelMapping
 from repro.mapping.mapping import Mapping
-from repro.workloads.dims import DIMS
 from repro.workloads.layer import Layer
 from repro.workloads.model import Model, build_model
 

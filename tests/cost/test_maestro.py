@@ -6,7 +6,6 @@ from repro.cost.maestro import CostModel
 from repro.mapping.dataflows import dla_like, shi_like
 from repro.mapping.directives import LevelMapping
 from repro.mapping.mapping import Mapping, uniform_mapping
-from repro.workloads.dims import DIMS
 from repro.workloads.layer import Layer
 from repro.workloads.model import build_model
 

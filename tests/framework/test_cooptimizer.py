@@ -1,6 +1,5 @@
 """Tests for the co-optimization framework front-end."""
 
-import pytest
 
 from repro.arch.platform import EDGE
 from repro.framework.cooptimizer import CoOptimizationFramework

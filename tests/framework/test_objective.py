@@ -4,7 +4,12 @@ import pytest
 
 from repro.arch.area import AreaBreakdown
 from repro.cost.performance import ModelPerformance
-from repro.framework.objective import Objective, objective_value
+from repro.framework.objective import (
+    Objective,
+    ObjectiveSet,
+    objective_value,
+    objective_vector,
+)
 from tests.cost.test_performance import make_layer_performance
 
 
@@ -31,6 +36,9 @@ class TestObjectiveValues:
     def test_edp(self, performance, area):
         assert objective_value(Objective.EDP, performance, area) == 1000.0
 
+    def test_area(self, performance, area):
+        assert objective_value(Objective.AREA, performance, area) == 1000.0
+
     def test_latency_area_product(self, performance, area):
         assert objective_value(
             Objective.LATENCY_AREA_PRODUCT, performance, area
@@ -41,8 +49,60 @@ class TestLookup:
     def test_from_name(self):
         assert Objective.from_name("latency") is Objective.LATENCY
         assert Objective.from_name(" EDP ") is Objective.EDP
+        assert Objective.from_name("area") is Objective.AREA
         assert Objective.from_name("latency_area_product") is Objective.LATENCY_AREA_PRODUCT
 
-    def test_unknown_name(self):
-        with pytest.raises(KeyError):
+    def test_unknown_name_raises_value_error(self):
+        # The whole module raises ValueError for unknown inputs; from_name
+        # historically raised KeyError, which callers had to special-case.
+        with pytest.raises(ValueError, match="throughput"):
             Objective.from_name("throughput")
+
+
+class TestObjectiveVector:
+    def test_vector_matches_scalar_values(self, performance, area):
+        objectives = (Objective.LATENCY, Objective.ENERGY, Objective.AREA)
+        vector = objective_vector(objectives, performance, area)
+        assert vector == tuple(
+            objective_value(objective, performance, area)
+            for objective in objectives
+        )
+
+    def test_empty_vector(self, performance, area):
+        assert objective_vector((), performance, area) == ()
+
+
+class TestObjectiveSet:
+    def test_from_names_comma_string(self):
+        objectives = ObjectiveSet.from_names("latency, energy ,area")
+        assert objectives.objectives == (
+            Objective.LATENCY,
+            Objective.ENERGY,
+            Objective.AREA,
+        )
+        assert objectives.names == ("latency", "energy", "area")
+        assert objectives.primary is Objective.LATENCY
+        assert len(objectives) == 3
+        assert list(objectives) == list(objectives.objectives)
+
+    def test_from_names_iterable(self):
+        objectives = ObjectiveSet.from_names(["edp", "area"])
+        assert objectives.primary is Objective.EDP
+
+    def test_values(self, performance, area):
+        objectives = ObjectiveSet.from_names("latency,area")
+        assert objectives.values(performance, area) == (100.0, 1000.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ObjectiveSet(())
+        with pytest.raises(ValueError, match="at least one"):
+            ObjectiveSet.from_names("")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ObjectiveSet.from_names("latency,latency")
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            ObjectiveSet.from_names("latency,throughput")

@@ -1,6 +1,5 @@
 """Tests for tile footprints and minimum buffer requirements."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -14,7 +14,6 @@ import numpy as np
 from repro.encoding.genome import Genome, GenomeSpace
 from repro.encoding.vector_codec import VectorCodec
 from repro.framework.search import BudgetExhausted
-from repro.workloads.dims import DIMS
 
 
 def make_space(max_pes: int = 256) -> GenomeSpace:

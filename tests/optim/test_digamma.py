@@ -1,6 +1,5 @@
 """Tests for the DiGamma algorithm and the GAMMA mapper."""
 
-import numpy as np
 import pytest
 
 from repro.arch.platform import EDGE

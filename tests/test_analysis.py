@@ -8,7 +8,10 @@ from repro.analysis import (
     ParetoPoint,
     compare_designs,
     convergence_curve,
+    merge_pareto_points,
     pareto_front,
+    pareto_front_report,
+    pareto_result_to_points,
     results_to_pareto_points,
     samples_to_reach,
     speedup_over,
@@ -89,11 +92,84 @@ class TestPareto:
         assert labels == {"fast", "small", "balanced"}
         assert [point.label for point in front] == ["fast", "balanced", "small"]
 
+    def test_single_point_input(self):
+        only = ParetoPoint("only", 2.0, 3.0)
+        assert pareto_front([only]) == [only]
+        assert pareto_front([only], dedupe=True) == [only]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_duplicate_points_both_survive_by_default(self):
+        # Equal points never dominate each other, so exact duplicates all
+        # stay on the curve unless the caller asks for deduplication.
+        points = [ParetoPoint("a", 1.0, 2.0), ParetoPoint("b", 1.0, 2.0)]
+        front = pareto_front(points)
+        assert [point.label for point in front] == ["a", "b"]
+
+    def test_duplicate_points_collapse_with_dedupe(self):
+        points = [
+            ParetoPoint("a", 1.0, 2.0),
+            ParetoPoint("b", 1.0, 2.0),
+            ParetoPoint("c", 2.0, 1.0),
+        ]
+        front = pareto_front(points, dedupe=True)
+        assert [point.label for point in front] == ["a", "c"]
+
+    def test_tie_on_one_axis(self):
+        # Same latency, different area: the smaller-area point dominates
+        # (a tie on one axis does not protect a point that is worse on
+        # the other), and symmetrically for a tie on area.
+        latency_tie = [ParetoPoint("big", 1.0, 5.0), ParetoPoint("small", 1.0, 2.0)]
+        assert [p.label for p in pareto_front(latency_tie)] == ["small"]
+        area_tie = [ParetoPoint("slow", 2.0, 5.0), ParetoPoint("fast", 1.0, 5.0)]
+        assert [p.label for p in pareto_front(area_tie)] == ["fast"]
+
     def test_results_to_pareto_points(self, searches):
         points = results_to_pareto_points(searches)
         assert {point.label for point in points} <= set(searches)
         for point in points:
             assert point.latency > 0 and point.area > 0
+
+
+class TestParetoResultRendering:
+    @pytest.fixture(scope="class")
+    def front(self):
+        framework = CoOptimizationFramework(
+            get_model("ncf"), EDGE, objectives="latency,energy,area"
+        )
+        try:
+            return framework.pareto_search(DiGamma(), sampling_budget=80, seed=0)
+        finally:
+            framework.close()
+
+    def test_pareto_result_to_points(self, front):
+        points = pareto_result_to_points(front)
+        assert len(points) == len(front.front)
+        for point, entry in zip(points, front.front):
+            assert point.latency == entry.design.latency
+            assert point.area == entry.design.area.total
+            assert point.label.startswith("DiGamma#")
+
+    def test_merge_with_single_objective_results(self, front, searches):
+        merged = merge_pareto_points(
+            pareto_result_to_points(front), results_to_pareto_points(searches)
+        )
+        assert merged
+        # The merged curve is itself non-dominated and deduplicated.
+        assert merged == pareto_front(merged, dedupe=True)
+        reference = pareto_front(
+            pareto_result_to_points(front) + results_to_pareto_points(searches),
+            dedupe=True,
+        )
+        assert merged == reference
+
+    def test_report_lists_every_front_member(self, front):
+        text = pareto_front_report(front, title="ncf front")
+        assert text.startswith("ncf front")
+        for name in ("latency", "energy", "area"):
+            assert name in text
+        assert len(text.splitlines()) == 3 + len(front.front)
 
 
 class TestCompareDesigns:

@@ -51,6 +51,38 @@ class TestSearch:
         assert exit_code == 0
         assert "cache: disabled" in capsys.readouterr().out
 
+    def test_search_objectives_prints_front_and_saves_json(self, capsys, tmp_path):
+        output_path = tmp_path / "front.json"
+        exit_code = main([
+            "search", "--model", "ncf", "--budget", "80",
+            "--optimizer", "nsga2",
+            "--objectives", "latency,energy,area",
+            "--output", str(output_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "NSGA-II[latency,energy,area]" in output
+        assert "front of" in output
+        data = json.loads(output_path.read_text())
+        assert data["objectives"] == ["latency", "energy", "area"]
+        assert data["front"]
+        assert data["batch_calls"] > 0
+
+    def test_objective_and_objectives_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "search", "--model", "ncf", "--budget", "20",
+                "--objective", "energy", "--objectives", "latency,area",
+            ])
+
+    def test_search_objectives_with_scalar_optimizer(self, capsys):
+        exit_code = main([
+            "search", "--model", "ncf", "--budget", "60",
+            "--objectives", "latency,area",
+        ])
+        assert exit_code == 0
+        assert "front of" in capsys.readouterr().out
+
     def test_search_workers_flag_parses(self):
         parser = build_parser()
         args = parser.parse_args(["search", "--workers", "2", "--no-cache"])

@@ -11,7 +11,6 @@ from repro import (
     DiGamma,
     GammaMapper,
     Genome,
-    HardwareConfig,
     Objective,
     get_dataflow,
     get_model,

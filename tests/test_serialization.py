@@ -18,10 +18,18 @@ from repro.serialization import (
     mapping_from_dict,
     mapping_to_dict,
     save_json,
+    pareto_result_from_dict,
+    pareto_result_to_dict,
+    result_from_dict,
+    result_to_dict,
     search_result_from_dict,
     search_result_to_dict,
 )
 from repro.encoding.genome import Genome
+from repro.framework.pareto import ParetoResult
+from repro.framework.search import SearchResult
+from repro.optim.registry import get_optimizer
+from repro.workloads.registry import get_model
 
 
 class TestHardwareRoundTrip:
@@ -143,3 +151,61 @@ class TestSearchResultSerialization:
         assert rebuilt.best is None
         assert not rebuilt.found_valid
         assert rebuilt.best_latency == float("inf")
+
+
+class TestParetoResultSerialization:
+    @pytest.fixture(scope="class")
+    def front(self):
+        framework = CoOptimizationFramework(
+            get_model("ncf"), EDGE, objectives="latency,energy,area"
+        )
+        try:
+            return framework.pareto_search(
+                get_optimizer("nsga2"), sampling_budget=100, seed=0
+            )
+        finally:
+            framework.close()
+
+    def test_round_trip_is_lossless(self, front):
+        rebuilt = pareto_result_from_dict(pareto_result_to_dict(front))
+        assert rebuilt.optimizer_name == front.optimizer_name
+        assert rebuilt.objectives == front.objectives
+        assert rebuilt.evaluations == front.evaluations
+        assert rebuilt.sampling_budget == front.sampling_budget
+        assert rebuilt.wall_time_seconds == front.wall_time_seconds
+        assert rebuilt.batch_calls == front.batch_calls
+        assert rebuilt.batched_evaluations == front.batched_evaluations
+        assert rebuilt.front_values == front.front_values
+        for original, copy in zip(front.front, rebuilt.front):
+            assert copy.fitness == original.fitness
+            assert copy.objective is original.objective
+            assert copy.objective_value == original.objective_value
+            assert copy.design.hardware == original.design.hardware
+            assert copy.design.mapping == original.design.mapping
+            assert copy.design.area == original.design.area
+            assert copy.design.performance.latency == original.design.performance.latency
+            if original.genome is not None:
+                assert copy.genome.to_mapping() == original.genome.to_mapping()
+        assert rebuilt.is_non_dominated() == front.is_non_dominated()
+
+    def test_json_serializable(self, front, tmp_path):
+        path = save_json(pareto_result_to_dict(front), tmp_path / "front.json")
+        rebuilt = pareto_result_from_dict(load_json(path))
+        assert rebuilt.front_values == front.front_values
+
+    def test_result_dispatchers(self, front):
+        payload = result_to_dict(front)
+        assert "front" in payload
+        assert isinstance(result_from_dict(payload), ParetoResult)
+
+    def test_scalar_results_still_dispatch_to_search_result(self):
+        framework = CoOptimizationFramework(get_model("ncf"), EDGE)
+        try:
+            scalar = framework.search(DiGamma(), sampling_budget=60, seed=0)
+        finally:
+            framework.close()
+        payload = result_to_dict(scalar)
+        assert "front" not in payload
+        rebuilt = result_from_dict(payload)
+        assert isinstance(rebuilt, SearchResult)
+        assert rebuilt.best.fitness == scalar.best.fitness

@@ -37,7 +37,7 @@ class TestModel:
 
     def test_total_weight_elements(self, layers):
         model = build_model("m", layers)
-        expected = sum(l.tensor_sizes()["W"] * l.count for l in layers)
+        expected = sum(layer.tensor_sizes()["W"] * layer.count for layer in layers)
         assert model.total_weight_elements == expected
 
     def test_unique_layers_merges_counts(self, layers):

@@ -26,8 +26,9 @@ from repro.workloads.registry import get_model
 _ROUNDS = 3
 
 ENGINE_CONFIGS = {
-    "vector-cached": {},  # the default engine
-    "vector-uncached": {"use_cache": False},
+    "delta-cached": {},  # the default data path: matrix loops + delta reuse
+    "vector-cached": {"use_delta": False},
+    "vector-uncached": {"use_cache": False, "use_delta": False},
     "fast-cached": {"engine": "fast"},
     "fast-uncached": {"engine": "fast", "use_cache": False},
     "reference": {"engine": "reference", "use_cache": False},

@@ -79,6 +79,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         workers=args.workers,
         engine=args.engine,
+        use_delta=not args.no_delta,
     )
     optimizer = get_optimizer(args.optimizer)
     try:
@@ -105,6 +106,7 @@ def _run_pareto_search(args: argparse.Namespace, model, platform) -> int:
         use_cache=not args.no_cache,
         workers=args.workers,
         engine=args.engine,
+        use_delta=not args.no_delta,
     )
     optimizer = get_optimizer(args.optimizer)
     try:
@@ -135,6 +137,21 @@ def _print_cache_stats(framework: CoOptimizationFramework) -> None:
         return
     print(f"design cache: {evaluator.design_cache_stats.summary()}")
     print(f"layer cache:  {evaluator.layer_cache_stats.summary()}")
+    stats = evaluator.cost_model.vector_stats
+    if stats["delta_generations"] > 0:
+        # Delta reuse resolves before the cache probes but still counts as
+        # cache hits (sequential evaluation would have hit the memos); this
+        # line reports the subset the fingerprint tables absorbed.
+        members = stats["delta_member_requests"]
+        rows = stats["delta_row_requests"]
+        print(
+            "delta reuse:  "
+            f"{stats['delta_members_reused']}/{members} members "
+            f"({stats['delta_members_reused'] / max(1, members):.1%}), "
+            f"{stats['delta_rows_reused']}/{rows} layer rows "
+            f"({stats['delta_rows_reused'] / max(1, rows):.1%}) "
+            f"over {stats['delta_generations']} generations"
+        )
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -190,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "'reference' the seed implementation)")
     search.add_argument("--no-cache", action="store_true",
                         help="disable evaluation memoization (results are "
+                             "bit-identical either way)")
+    search.add_argument("--no-delta", action="store_true",
+                        help="disable cross-generation delta evaluation on "
+                             "the gene-matrix path (results are "
                              "bit-identical either way)")
 
     evaluate = subparsers.add_parser(

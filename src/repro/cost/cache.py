@@ -87,6 +87,17 @@ class LRUCache:
         self.data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Identity tokens for objects embedded in byte-fingerprint keys
+        #: (the gene-matrix path numbers layer statics through this table).
+        #: Living on the cache — the shared artifact of ``adopt_cache`` —
+        #: guarantees every evaluator probing this cache numbers the same
+        #: statics object identically, and the table's references keep the
+        #: objects alive so a token can never be reissued to a different
+        #: object while fingerprints embedding it exist.  Deliberately
+        #: *not* dropped by :meth:`clear`: it is an identity table, not
+        #: cached values, and is bounded by the number of distinct layer
+        #: shapes ever seen.
+        self.tokens: Dict[Any, int] = {}
 
     @property
     def enabled(self) -> bool:

@@ -22,7 +22,7 @@ Two implementations of the per-layer analysis coexist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping as TMapping, Sequence, Union
+from typing import Callable, Dict, List, Mapping as TMapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -180,6 +180,21 @@ class CostModel:
         object.__setattr__(
             self, "_energy_coefficients", energy_coefficients(self.energy_model)
         )
+        # Cross-generation delta-evaluation state: the previous generation's
+        # (member, layer) working set keyed by row fingerprint, plus the
+        # reuse counters surfaced through vector_stats.
+        object.__setattr__(self, "_delta_rows", None)
+        object.__setattr__(
+            self,
+            "delta_counters",
+            {
+                "delta_members_reused": 0,
+                "delta_member_requests": 0,
+                "delta_rows_reused": 0,
+                "delta_row_requests": 0,
+                "delta_generations": 0,
+            },
+        )
 
     # -- cache introspection -----------------------------------------------
 
@@ -189,8 +204,11 @@ class CostModel:
         return self._cache.stats()
 
     def cache_clear(self) -> None:
-        """Drop all memoized layer reports and reset the counters."""
+        """Drop all memoized layer reports, delta tables and counters."""
         self._cache.clear()
+        object.__setattr__(self, "_delta_rows", None)
+        for key in self.delta_counters:
+            self.delta_counters[key] = 0
 
     @property
     def layer_cache(self) -> LRUCache:
@@ -203,10 +221,14 @@ class CostModel:
         The sweep runner uses this to hand one warm cache to every job that
         shares a model x platform x constraint combination: per-layer
         reports are pure functions of (statics, clipped mapping key,
-        bandwidths) — all part of the cache key — so reuse across
-        objectives and optimizers is sound.
+        bandwidths) — all part of the cache key (the gene-matrix path
+        numbers the statics through the cache's own token table, so every
+        adopter agrees on the fingerprints) — and reuse across objectives
+        and optimizers is sound.  The delta table is dropped: its
+        fingerprints embed the *previous* cache's tokens.
         """
         object.__setattr__(self, "_cache", cache)
+        object.__setattr__(self, "_delta_rows", None)
 
     # -- vector engine -----------------------------------------------------
 
@@ -220,14 +242,24 @@ class CostModel:
 
     @property
     def vector_stats(self) -> Dict[str, int]:
-        """Vectorized vs scalar-fallback row counts of the vector engine."""
+        """Vectorized / scalar-fallback / delta-reuse counters.
+
+        ``rows_vectorized`` and ``rows_fallback`` count engine rows by how
+        they were priced; the ``delta_*`` counters track cross-generation
+        delta evaluation — members and (member, layer) rows reused from the
+        previous generation's fingerprint tables without touching the
+        engine (see :meth:`evaluate_model_matrix`).
+        """
+        stats = dict(self.delta_counters)
         engine = self.__dict__.get("_vector_engine")
         if engine is None:
-            return {"rows_vectorized": 0, "rows_fallback": 0}
-        return {
-            "rows_vectorized": engine.rows_vectorized,
-            "rows_fallback": engine.rows_fallback,
-        }
+            stats.update(rows_vectorized=0, rows_fallback=0)
+        else:
+            stats.update(
+                rows_vectorized=engine.rows_vectorized,
+                rows_fallback=engine.rows_fallback,
+            )
+        return stats
 
     # -- single layer ------------------------------------------------------
 
@@ -573,36 +605,15 @@ class CostModel:
             cache.hits += hits
             cache.misses += misses
 
-        # Aggregates accumulate in the exact order of the eager properties
-        # (sum over layers of latency * count etc.), so the lazy reports are
-        # indistinguishable from eagerly built ones.
         performances: List[ModelPerformance] = []
         for per_design in design_entries:
             resolved = tuple(
                 values[entry] if type(entry) is int else entry
                 for entry in per_design
             )
-            latency = 0.0
-            energy = 0.0
-            l1_requirement = 0
-            l2_requirement = 0
-            for entry, count in zip(resolved, layer_counts):
-                latency += entry[0] * count
-                energy += entry[8] * count
-                if entry[11] > l1_requirement:
-                    l1_requirement = entry[11]
-                if entry[12] > l2_requirement:
-                    l2_requirement = entry[12]
             performances.append(
-                LazyModelPerformance.build(
-                    model.name,
-                    layer_names,
-                    layer_counts,
-                    resolved,
-                    latency,
-                    energy,
-                    l1_requirement,
-                    l2_requirement,
+                _assemble_performance(
+                    model.name, layer_names, layer_counts, resolved
                 )
             )
         return performances
@@ -652,6 +663,203 @@ class CostModel:
             noc_bandwidth,
             dram_bandwidth,
         )
+
+    def __getstate__(self) -> dict:
+        # Worker processes re-derive engine state lazily; the cross-
+        # generation delta table is never worth shipping (results are pure
+        # functions of their rows, so workers just re-price once).
+        state = dict(self.__dict__)
+        state["_delta_rows"] = None
+        state.pop("_vector_engine", None)
+        return state
+
+    # -- gene-matrix population path ---------------------------------------
+
+    def evaluate_model_matrix(
+        self,
+        model: Model,
+        design_matrix: np.ndarray,
+        noc_bandwidth: float,
+        dram_bandwidth: float,
+        use_delta: bool = False,
+    ) -> List[ModelPerformance]:
+        """Evaluate one model under many *repaired gene rows* in one pass.
+
+        ``design_matrix`` is a ``(designs, 28)`` int64 two-level
+        :class:`~repro.encoding.genome_matrix.GenomeMatrix` slice whose rows
+        are already repaired (spatial >= 1, tiles >= 1, orders are
+        permutations).  The per-(design, layer) work rows are assembled with
+        array gathers — vectorized tile clipping against the model's
+        dimension matrix, no per-member tuple construction — and
+        deduplicated by raw row bytes before anything touches a Python
+        dict.  Results are bit-identical to :meth:`evaluate_model_batch` on
+        the rows' cache keys.
+
+        With ``use_delta`` the previous call's (member, layer) working set
+        is kept as a generation-scoped fingerprint table: rows unchanged
+        since the last generation resolve from it directly, before (and
+        regardless of) the LRU — a guaranteed, unevictable reuse window one
+        generation wide.  A delta hit counts as a layer-cache hit (the
+        value was priced one generation ago); the dedicated
+        ``delta_rows_reused`` counter in :attr:`vector_stats` tracks how
+        much work the table absorbed per generation.
+        """
+        if self.engine == "reference":
+            raise ValueError(
+                "the gene-matrix path requires the fast engine; "
+                "use evaluate_model_batch with engine='reference'"
+            )
+        if noc_bandwidth <= 0 or dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        pairs = model_statics(model)
+        dims_matrix = _model_dims_matrix(model)
+        engine = self.vector_engine()
+        layer_slots = np.array(
+            [engine.statics_slot(statics) for _, statics in pairs], dtype=np.int64
+        )
+        layer_names = tuple(layer.name for layer, _ in pairs)
+        layer_counts = tuple(layer.count for layer, _ in pairs)
+        num_layers = len(pairs)
+        num_designs = len(design_matrix)
+        # Statics identity in fingerprints uses the *cache's* token table
+        # (LRUCache.tokens), not the engine's slot numbering: evaluators
+        # sharing one warm cache through adopt_cache then agree on every
+        # token by construction, preserving adopt_cache's contract that the
+        # statics are part of the cache key, and the table's references pin
+        # each statics object for the cache's lifetime so a token is never
+        # reissued.
+        tokens = self._cache.tokens
+        layer_tokens = np.array(
+            [
+                tokens.setdefault(statics, len(tokens))
+                for _, statics in pairs
+            ],
+            dtype=np.int64,
+        )
+
+        clipped0 = np.minimum(
+            design_matrix[:, None, 8:14], dims_matrix[None, :, :]
+        )
+        clipped1 = np.minimum(design_matrix[:, None, 22:28], clipped0)
+        # Columns 29/30 carry the bandwidth float bit patterns so a row's
+        # bytes fingerprint the *full* composite cache key — same contract
+        # as the tuple keys, which include the statics and both bandwidths
+        # — and calls with different bandwidths can never alias in the LRU
+        # or delta table.
+        work = np.empty((num_designs * num_layers, 31), dtype=np.int64)
+        work[:, 0] = np.tile(layer_tokens, num_designs)
+        work[:, 1:9] = np.repeat(design_matrix[:, 0:8], num_layers, axis=0)
+        work[:, 9:15] = clipped0.reshape(-1, 6)
+        work[:, 15:23] = np.repeat(design_matrix[:, 14:22], num_layers, axis=0)
+        work[:, 23:29] = clipped1.reshape(-1, 6)
+        work[:, 29] = np.float64(noc_bandwidth).view(np.int64)
+        work[:, 30] = np.float64(dram_bandwidth).view(np.int64)
+
+        # Row reuse is resolved on raw row *bytes*: the statics token in
+        # column 0 keeps same-gene rows of different layer shapes apart, so
+        # a row's bytes are a faithful fingerprint of its composite cache
+        # key, and the cost per (member, layer) row is one bytes slice plus
+        # one dict probe — composite tuple keys are never built on this
+        # path (the engine's scalar fallback builds them on demand).
+        # Sharing a cache with the tuple-keyed scalar paths keys past them
+        # harmlessly (rows are pure functions of their key either way).
+        # Hit/miss totals match the sequential path (first occurrence of an
+        # unknown row is the miss, later occurrences are hits).
+        raw = work.tobytes()
+        step = 31 * 8
+        cache = self._cache
+        cache_on = cache.maxsize > 0
+        data = cache.data
+        hits = misses = 0
+        counters = self.delta_counters
+        prev_rows = self._delta_rows if use_delta else None
+        next_rows: Optional[dict] = {} if use_delta else None
+        rows_reused = 0
+        entries: List = [None] * (num_designs * num_layers)
+        pending: Dict[bytes, int] = {}
+        pending_positions: List[int] = []
+        for index in range(num_designs * num_layers):
+            fingerprint = raw[index * step : index * step + step]
+            if prev_rows is not None:
+                value = prev_rows.get(fingerprint)
+                if value is not None:
+                    rows_reused += 1
+                    if cache_on:
+                        hits += 1
+                    entries[index] = value
+                    next_rows[fingerprint] = value
+                    continue
+            slot = pending.get(fingerprint)
+            if slot is not None:
+                # Sequential evaluation would have resolved the first
+                # occurrence by now, so this lookup counts as a hit.
+                if cache_on:
+                    hits += 1
+                entries[index] = slot
+                continue
+            if cache_on:
+                value = data.get(fingerprint)
+                if value is not None:
+                    hits += 1
+                    entries[index] = value
+                    if next_rows is not None:
+                        next_rows[fingerprint] = value
+                    continue
+            pending[fingerprint] = len(pending_positions)
+            entries[index] = len(pending_positions)
+            pending_positions.append(index)
+
+        values: List[Optional[tuple]] = []
+        if pending_positions:
+            positions = np.array(pending_positions, dtype=np.int64)
+            values = engine.evaluate_packed(
+                _WorkRowView(
+                    work,
+                    pending_positions,
+                    {
+                        token: statics
+                        for token, (_, statics) in zip(
+                            layer_tokens.tolist(), pairs
+                        )
+                    },
+                ),
+                work[positions, 1:29],
+                np.tile(layer_slots, num_designs)[positions],
+                noc_bandwidth,
+                dram_bandwidth,
+            )
+            if cache_on:
+                misses += len(pending_positions)
+                maxsize = cache.maxsize
+                for fingerprint, slot in pending.items():
+                    data[fingerprint] = values[slot]
+                    if len(data) > maxsize:
+                        data.popitem(last=False)
+            if next_rows is not None:
+                for fingerprint, slot in pending.items():
+                    next_rows[fingerprint] = values[slot]
+        if cache_on:
+            cache.hits += hits
+            cache.misses += misses
+        if next_rows is not None:
+            object.__setattr__(self, "_delta_rows", next_rows)
+            counters["delta_rows_reused"] += rows_reused
+            counters["delta_row_requests"] += num_designs * num_layers
+            counters["delta_generations"] += 1
+
+        performances: List[ModelPerformance] = []
+        for design_index in range(num_designs):
+            base = design_index * num_layers
+            resolved = tuple(
+                values[entry] if type(entry) is int else entry
+                for entry in entries[base : base + num_layers]
+            )
+            performances.append(
+                _assemble_performance(
+                    model.name, layer_names, layer_counts, resolved
+                )
+            )
+        return performances
 
     # -- internals ---------------------------------------------------------
 
@@ -725,6 +933,71 @@ class CostModel:
                 (inner_footprint["W"] + inner_footprint["I"]) * bpe / noc_bandwidth
             )
         return fill_l2 + fill_l1
+
+
+def _assemble_performance(
+    model_name: str,
+    layer_names: tuple,
+    layer_counts: tuple,
+    resolved: tuple,
+) -> "LazyModelPerformance":
+    """Fold per-layer value tuples into a lazy model report.
+
+    Aggregates accumulate in the exact order of the eager properties (sum
+    over layers of latency * count etc.), so the lazy reports are
+    indistinguishable from eagerly built ones.
+    """
+    latency = 0.0
+    energy = 0.0
+    l1_requirement = 0
+    l2_requirement = 0
+    for entry, count in zip(resolved, layer_counts):
+        latency += entry[0] * count
+        energy += entry[8] * count
+        if entry[11] > l1_requirement:
+            l1_requirement = entry[11]
+        if entry[12] > l2_requirement:
+            l2_requirement = entry[12]
+    return LazyModelPerformance.build(
+        model_name,
+        layer_names,
+        layer_counts,
+        resolved,
+        latency,
+        energy,
+        l1_requirement,
+        l2_requirement,
+    )
+
+
+class _WorkRowView:
+    """Lazy ``(statics, key)`` view of packed work rows.
+
+    :meth:`VectorEngine.evaluate_packed` consults its ``rows`` argument
+    only for scalar-fallback rows (non-vectorizable statics, exactness
+    flags), so composite tuple keys are built on demand instead of eagerly
+    for the whole batch.
+    """
+
+    __slots__ = ("_work", "_positions", "_statics_of_token")
+
+    def __init__(
+        self, work, positions, statics_of_token
+    ):
+        self._work = work
+        self._positions = positions
+        self._statics_of_token = statics_of_token
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __getitem__(self, index: int):
+        genes = self._work[self._positions[index]].tolist()
+        key = (
+            ((genes[1], genes[2], tuple(genes[3:9])), tuple(genes[9:15])),
+            ((genes[15], genes[16], tuple(genes[17:23])), tuple(genes[23:29])),
+        )
+        return self._statics_of_token[genes[0]], key
 
 
 def _resolve_mapping(

@@ -22,6 +22,7 @@ from typing import List
 import numpy as np
 
 from repro.encoding.genome import Genome, GenomeSpace, LevelGenes
+from repro.encoding.genome_matrix import LEVEL_WIDTH, GenomeMatrix
 from repro.workloads.dims import DIMS
 
 #: Coordinates per level: spatial, parallel-dim selector, 6 order keys, 6 tiles.
@@ -67,6 +68,46 @@ class VectorCodec:
                 )
             )
         return Genome(levels=levels)
+
+    def decode_matrix(self, vectors) -> GenomeMatrix:
+        """Decode a batch of vectors straight into gene-matrix rows.
+
+        Row ``i`` carries exactly the genes of ``self.decode(vectors[i])``
+        (same scalar log-scaling per gene, so the decoded values are
+        bit-identical), without constructing any :class:`Genome` — this is
+        how the flat-vector optimizers (DE, PSO, CMA) enter the population
+        data path.
+        """
+        num_levels = self.space.num_levels
+        rows = np.empty((len(vectors), LEVEL_WIDTH * num_levels), dtype=np.int64)
+        dims_count = len(DIMS)
+        bounds = [self.space.dim_bounds[dim] for dim in DIMS]
+        for row, vector in zip(rows, vectors):
+            values = np.clip(np.asarray(vector, dtype=float).ravel(), 0.0, 1.0)
+            if values.size != self.dimension:
+                raise ValueError(
+                    f"expected a vector of length {self.dimension}, "
+                    f"got {values.size}"
+                )
+            remaining_pes = self.space.max_pes
+            for level_index in range(num_levels):
+                chunk = values[
+                    level_index * _PER_LEVEL : (level_index + 1) * _PER_LEVEL
+                ]
+                base = level_index * LEVEL_WIDTH
+                spatial = self._decode_spatial(chunk[0], level_index, remaining_pes)
+                remaining_pes = max(1, remaining_pes // spatial)
+                row[base] = spatial
+                row[base + 1] = min(dims_count - 1, int(chunk[1] * dims_count))
+                row[base + 2 : base + 8] = np.argsort(
+                    chunk[2 : 2 + dims_count], kind="stable"
+                )
+                tile_keys = chunk[2 + dims_count :]
+                for position in range(dims_count):
+                    row[base + 8 + position] = _scale_log(
+                        tile_keys[position], 1, bounds[position]
+                    )
+        return GenomeMatrix(rows, num_levels)
 
     # -- encoding ----------------------------------------------------------
 

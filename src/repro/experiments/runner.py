@@ -265,6 +265,7 @@ class SweepRunner:
                     evaluator = framework.evaluator
                     design_before = evaluator.design_cache_stats
                     layer_before = evaluator.layer_cache_stats
+                    delta_before = dict(evaluator.cost_model.vector_stats)
                     run_search = (
                         framework.pareto_search
                         if spec.is_multi_objective
@@ -277,11 +278,20 @@ class SweepRunner:
                     )
                     design_stats = evaluator.design_cache_stats.since(design_before)
                     layer_stats = evaluator.layer_cache_stats.since(layer_before)
+                    delta_stats = {
+                        key: value - delta_before.get(key, 0)
+                        for key, value in
+                        evaluator.cost_model.vector_stats.items()
+                    }
                     if self.store is not None:
                         self.store.append(
                             spec,
                             search,
-                            extra={"cache": _cache_record(design_stats, layer_stats)},
+                            extra={
+                                "cache": _cache_record(
+                                    design_stats, layer_stats, delta_stats
+                                )
+                            },
                         )
                     completed[spec.job_id] = search
                     outcomes.append((spec, search))
@@ -324,9 +334,17 @@ class SweepRunner:
             self.progress(message)
 
 
-def _cache_record(design: "CacheStats", layer: "CacheStats") -> dict:
-    """JSON-ready per-search cache statistics for the result store."""
-    return {
+def _cache_record(
+    design: "CacheStats", layer: "CacheStats", delta: dict
+) -> dict:
+    """JSON-ready per-search cache statistics for the result store.
+
+    The ``delta`` section only appears for searches that actually ran
+    through the delta-filtered gene-matrix path; jobs on the scalar
+    engines (or with ``--no-delta``) keep their records free of all-zero
+    noise.
+    """
+    record = {
         "design": {
             "hits": design.hits,
             "misses": design.misses,
@@ -338,6 +356,27 @@ def _cache_record(design: "CacheStats", layer: "CacheStats") -> dict:
             "hit_rate": round(layer.hit_rate, 4),
         },
     }
+    member_requests = delta.get("delta_member_requests", 0)
+    row_requests = delta.get("delta_row_requests", 0)
+    if member_requests or row_requests:
+        record["delta"] = {
+            "members_reused": delta.get("delta_members_reused", 0),
+            "member_requests": member_requests,
+            "member_reuse_rate": round(
+                delta.get("delta_members_reused", 0) / member_requests, 4
+            )
+            if member_requests
+            else 0.0,
+            "rows_reused": delta.get("delta_rows_reused", 0),
+            "row_requests": row_requests,
+            "row_reuse_rate": round(
+                delta.get("delta_rows_reused", 0) / row_requests, 4
+            )
+            if row_requests
+            else 0.0,
+            "generations": delta.get("delta_generations", 0),
+        }
+    return record
 
 
 def full_outcomes(
@@ -401,6 +440,12 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         "default), 'fast' (scalar tuple engine) or 'reference' (seed "
         "implementation); all three are bit-identical",
     )
+    parser.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="disable cross-generation delta evaluation on the gene-matrix "
+        "path (results are bit-identical either way)",
+    )
 
 
 def validate_sweep_args(
@@ -421,6 +466,7 @@ def settings_from_args(
         seed=args.seed,
         workers=args.workers,
         engine=getattr(args, "engine", "vector"),
+        use_delta=not getattr(args, "no_delta", False),
     )
 
 

@@ -67,6 +67,9 @@ class ExperimentSettings:
     use_cache: bool = True
     workers: Optional[int] = None
     engine: str = "vector"
+    #: Cross-generation delta evaluation on the gene-matrix path; results
+    #: are bit-identical either way, so the flag is not part of job ids.
+    use_delta: bool = True
 
     def __post_init__(self) -> None:
         if self.sampling_budget < 1:
@@ -81,7 +84,11 @@ class ExperimentSettings:
 
     def framework_options(self) -> Dict[str, object]:
         """Evaluation-engine kwargs for :class:`CoOptimizationFramework`."""
-        return {"use_cache": self.use_cache, "workers": self.workers}
+        return {
+            "use_cache": self.use_cache,
+            "workers": self.workers,
+            "use_delta": self.use_delta,
+        }
 
 
 def make_fixed_hardware(

@@ -61,11 +61,12 @@ class CoOptimizationFramework:
     buffer_allocation:
         Buffer allocation strategy forwarded to the evaluator
         (``"exact"`` or ``"fill"``).
-    use_cache / workers / engine:
+    use_cache / workers / engine / use_delta:
         Evaluation-engine knobs forwarded to the evaluator: memoization
-        on/off, process-pool width for batched population evaluation, and
-        the vector/fast/reference engine selector (``"vector"`` by
-        default; all three produce bit-identical results).
+        on/off, process-pool width for batched population evaluation, the
+        vector/fast/reference engine selector (``"vector"`` by default) and
+        cross-generation delta evaluation on/off.  Every combination
+        produces bit-identical results.
     objectives:
         Optional multi-objective axis set for Pareto-front search: an
         :class:`ObjectiveSet`, an iterable of objective names, or a
@@ -91,6 +92,7 @@ class CoOptimizationFramework:
         workers: Optional[int] = None,
         engine: str = "vector",
         objectives: Union[ObjectiveSet, Iterable[str], str, None] = None,
+        use_delta: bool = True,
     ):
         if objectives is not None and not isinstance(objectives, ObjectiveSet):
             objectives = ObjectiveSet.from_names(objectives)
@@ -116,6 +118,7 @@ class CoOptimizationFramework:
             workers=workers,
             engine=engine,
             objectives=objectives,
+            use_delta=use_delta,
         )
         self.space = self.evaluator.genome_space(num_levels=num_levels)
 

@@ -53,6 +53,48 @@ class AcceleratorDesign:
         return "\n".join(lines)
 
 
+class LazyRowMappingDesign(AcceleratorDesign):
+    """A design point whose mapping rebuilds from a gene-row fingerprint.
+
+    The gene-matrix evaluation path identifies designs by the raw bytes of
+    their repaired :class:`~repro.encoding.genome_matrix.GenomeMatrix` row
+    (which carries every gene).  Like :class:`LazyMappingDesign`, the
+    mapping only materializes for the handful of designs that are ever
+    inspected.
+    """
+
+    @staticmethod
+    def build(
+        hardware: HardwareConfig,
+        fingerprint: bytes,
+        performance: ModelPerformance,
+        area: AreaBreakdown,
+    ) -> "LazyRowMappingDesign":
+        design = object.__new__(LazyRowMappingDesign)
+        design.__dict__.update(
+            hardware=hardware,
+            performance=performance,
+            area=area,
+            _fingerprint=fingerprint,
+        )
+        return design
+
+    @property
+    def mapping(self) -> Mapping:
+        cached = self.__dict__.get("_mapping")
+        if cached is None:
+            from repro.encoding.genome_matrix import (
+                LEVEL_WIDTH,
+                mapping_from_fingerprint,
+            )
+
+            fingerprint = self._fingerprint
+            num_levels = len(fingerprint) // (8 * LEVEL_WIDTH)
+            cached = mapping_from_fingerprint(fingerprint, num_levels)
+            self.__dict__["_mapping"] = cached
+        return cached
+
+
 class LazyMappingDesign(AcceleratorDesign):
     """A design point whose :class:`Mapping` materializes on first access.
 

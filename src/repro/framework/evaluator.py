@@ -13,7 +13,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.arch.area import AreaModel
+import numpy as np
+
+from repro.arch.area import AreaBreakdown, AreaModel
 from repro.arch.energy import EnergyModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
@@ -21,8 +23,13 @@ from repro.cost.cache import CacheStats, LRUCache
 from repro.cost.maestro import DEFAULT_LAYER_CACHE_SIZE, CostModel
 from repro.cost.performance import ModelPerformance
 from repro.encoding.genome import Genome, GenomeSpace
+from repro.encoding.genome_matrix import GenomeMatrix, row_to_genome
 from repro.framework.constraints import ConstraintChecker
-from repro.framework.designpoint import AcceleratorDesign, LazyMappingDesign
+from repro.framework.designpoint import (
+    AcceleratorDesign,
+    LazyMappingDesign,
+    LazyRowMappingDesign,
+)
 from repro.framework.objective import Objective, ObjectiveSet, objective_value
 from repro.mapping.mapping import Mapping
 from repro.workloads.layer import Layer
@@ -40,6 +47,13 @@ DEFAULT_DESIGN_CACHE_SIZE = 2048
 #: Accepted evaluation-engine selectors, fastest first.  The single source
 #: of truth: job specs, experiment settings and the CLIs import this.
 ENGINES = ("vector", "fast", "reference")
+
+#: Clock default the inlined matrix scoring pins hardware to — taken from
+#: the dataclass itself so a changed HardwareConfig default cannot silently
+#: diverge the matrix path from :meth:`DesignEvaluator._score_performance`.
+_DEFAULT_FREQUENCY_MHZ = HardwareConfig.__dataclass_fields__[
+    "frequency_mhz"
+].default
 
 #: Evaluator installed in each worker process (see ``_init_worker``).
 _WORKER_EVALUATOR: Optional["DesignEvaluator"] = None
@@ -63,6 +77,11 @@ def _evaluate_batch_in_worker(genomes: List[Genome]) -> List["EvaluationResult"]
     path, so the vector engine runs inside each worker.
     """
     return _WORKER_EVALUATOR.evaluate_population(genomes, workers=1)
+
+
+def _evaluate_matrix_in_worker(matrix: GenomeMatrix) -> List["EvaluationResult"]:
+    """Evaluate a gene-matrix chunk in a worker process (pool map target)."""
+    return _WORKER_EVALUATOR.evaluate_matrix(matrix, workers=1)
 
 
 def _with_genome(result: "EvaluationResult", genome: Genome) -> "EvaluationResult":
@@ -111,6 +130,39 @@ class EvaluationResult:
         return self.design.latency_area_product
 
 
+class RowGenomeResult(EvaluationResult):
+    """A result whose genome materializes from its gene-row fingerprint.
+
+    The gene-matrix path scores whole populations without ever building
+    :class:`~repro.encoding.genome.Genome` objects; the few results whose
+    ``genome`` is actually read (serialization, analysis) rebuild it from
+    the stored row bytes on first access.  The property is a data
+    descriptor, so it takes precedence over the inherited dataclass field
+    in the instance dict.
+    """
+
+    @property
+    def genome(self) -> Genome:
+        cached = self.__dict__.get("_genome_object")
+        if cached is None:
+            from repro.encoding.genome_matrix import LEVEL_WIDTH
+
+            row = np.frombuffer(self.__dict__["_genome_row"], dtype=np.int64)
+            cached = row_to_genome(row, len(row) // LEVEL_WIDTH)
+            self.__dict__["_genome_object"] = cached
+        return cached
+
+
+def _with_row_genome(
+    result: EvaluationResult, fingerprint: bytes
+) -> EvaluationResult:
+    """A copy of ``result`` whose genome rebuilds lazily from its gene row."""
+    wrapped = object.__new__(RowGenomeResult)
+    wrapped.__dict__.update(result.__dict__)
+    wrapped.__dict__["_genome_row"] = fingerprint
+    return wrapped
+
+
 class DesignEvaluator:
     """Decodes and scores design points for one model on one platform.
 
@@ -153,6 +205,14 @@ class DesignEvaluator:
         given, every :class:`EvaluationResult` additionally carries the
         per-objective value vector, computed from the same cost-model pass
         as the scalar objective (the scalar path is unchanged either way).
+    use_delta:
+        Cross-generation delta evaluation on the gene-matrix path
+        (:meth:`evaluate_matrix`): members and (member, layer) rows whose
+        fingerprints are unchanged since the previous generation reuse
+        their priced results without touching the engine.  Results are
+        bit-identical either way (reused values are pure functions of the
+        fingerprint); the flag exists for benchmarking and the parity
+        tests.  Reuse counters surface in ``cost_model.vector_stats``.
     """
 
     #: Accepted ``engine`` values (the module-level constant).
@@ -172,6 +232,7 @@ class DesignEvaluator:
         workers: Optional[int] = None,
         engine: str = "vector",
         objectives: Optional[ObjectiveSet] = None,
+        use_delta: bool = True,
     ):
         if buffer_allocation not in ("exact", "fill"):
             raise ValueError(
@@ -208,6 +269,9 @@ class DesignEvaluator:
         self._design_cache = LRUCache(
             DEFAULT_DESIGN_CACHE_SIZE if use_cache and engine != "reference" else 0
         )
+        self.use_delta = use_delta
+        #: Previous generation's member fingerprint table (gene-matrix path).
+        self._delta_members: Optional[dict] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
 
@@ -344,6 +408,255 @@ class DesignEvaluator:
                     )
         return results
 
+    # -- gene-matrix population path ---------------------------------------
+
+    def evaluate_matrix(
+        self,
+        matrix: GenomeMatrix,
+        workers: Optional[int] = None,
+    ) -> List[EvaluationResult]:
+        """Score a whole *repaired* gene-matrix population in one call.
+
+        This is the population data path the matrix-native search loops
+        feed: rows must already be repaired (the tracker's
+        :meth:`~repro.framework.search.SearchTracker.evaluate_matrix` does
+        this with one vectorized pass).  Results are bit-identical to
+        ``[self.evaluate_genome(g) for g in matrix.to_genomes()]`` — the
+        row bytes *are* the flattened design cache key — but no per-member
+        ``Genome`` or ``Mapping`` object is ever constructed: design-level
+        reuse works on raw row fingerprints, misses feed the cost model's
+        packed matrix entry directly, and genomes on the returned results
+        materialize lazily.
+
+        With ``use_delta`` (the default) members whose fingerprints are
+        unchanged since the previous ``evaluate_matrix`` call reuse their
+        priced results without probing the design cache or touching the
+        engine — elitist survivors and converged populations cost ~zero.
+        A delta hit still counts as a design-cache hit (sequential
+        evaluation would have hit the memo), so cache hit rates mean the
+        same thing with delta evaluation on or off; the ``delta_*``
+        counters in ``cost_model.vector_stats`` report the subset of hits
+        the fingerprint tables absorbed.
+        """
+        count = len(matrix)
+        if count == 0:
+            return []
+        width = self.workers if workers is None else workers
+        if width is not None and width > 1 and count > 1:
+            pool = self._ensure_pool(width)
+            chunk = -(-count // width)
+            chunks = [
+                GenomeMatrix(matrix.data[start : start + chunk], matrix.num_levels)
+                for start in range(0, count, chunk)
+            ]
+            results: List[EvaluationResult] = []
+            for batch in pool.map(_evaluate_matrix_in_worker, chunks):
+                results.extend(batch)
+            return results
+        if self.engine != "vector" or matrix.num_levels != 2:
+            # The scalar engines (and non-two-level hierarchies) take the
+            # genome path; values are bit-identical, so matrix-native
+            # search loops stay exact under every engine selector.
+            genomes = matrix.to_genomes()
+            return self.evaluate_population(genomes, workers=1)
+        return self._evaluate_matrix_vector(matrix)
+
+    def _evaluate_matrix_vector(
+        self, matrix: GenomeMatrix
+    ) -> List[EvaluationResult]:
+        """In-process vector-engine path of :meth:`evaluate_matrix`."""
+        data = matrix.data
+        count = len(data)
+        orders = data.reshape(count, matrix.num_levels, 14)[:, :, 2:8]
+        invalid = (np.sort(orders, axis=2) != np.arange(6, dtype=np.int64)).any(
+            axis=(1, 2)
+        )
+        if invalid.any():
+            level = orders[np.flatnonzero(invalid)[0]]
+            raise ValueError(
+                f"order must be a permutation of all dims, got {level.tolist()}"
+            )
+        raw = data.tobytes()
+        step = data.shape[1] * 8
+        fingerprints = [raw[i * step : i * step + step] for i in range(count)]
+        cache = self._design_cache
+        use_delta = self.use_delta
+        previous = self._delta_members if use_delta else None
+        table: Optional[dict] = {} if use_delta else None
+        members_reused = 0
+        results: List[Optional[EvaluationResult]] = [None] * count
+        slots: List[Optional[int]] = [None] * count
+        pending: dict = {}
+        miss_rows: List[int] = []
+        for position, fingerprint in enumerate(fingerprints):
+            if previous is not None:
+                known = previous.get(fingerprint)
+                if known is not None:
+                    members_reused += 1
+                    # The member was priced one generation ago, so plain
+                    # sequential evaluation would have hit the design cache
+                    # here — count it as such; the delta counters report
+                    # the subset of hits the table absorbed.
+                    if cache.maxsize > 0:
+                        cache.hits += 1
+                    results[position] = known
+                    table[fingerprint] = known
+                    continue
+            slot = pending.get(fingerprint)
+            if slot is not None:
+                if cache.maxsize > 0:
+                    cache.hits += 1
+                slots[position] = slot
+                continue
+            known = cache.get(fingerprint)
+            if known is not None:
+                results[position] = known
+                if table is not None:
+                    table[fingerprint] = known
+                continue
+            pending[fingerprint] = len(miss_rows)
+            slots[position] = len(miss_rows)
+            miss_rows.append(position)
+
+        miss_results: List[EvaluationResult] = []
+        if miss_rows:
+            miss_matrix = data[np.array(miss_rows, dtype=np.int64)]
+            performances = self.cost_model.evaluate_model_matrix(
+                self.model,
+                miss_matrix,
+                noc_bandwidth=self.platform.noc_bandwidth,
+                dram_bandwidth=self.platform.dram_bandwidth,
+                use_delta=use_delta,
+            )
+            if self.fixed_hardware is None and self.buffer_allocation == "exact":
+                miss_results = self._score_matrix_misses(
+                    miss_matrix, miss_rows, fingerprints, performances
+                )
+            else:
+                for position, performance in zip(miss_rows, performances):
+                    miss_results.append(
+                        self._score_performance(
+                            performance,
+                            pe_array=(
+                                int(data[position, 0]),
+                                int(data[position, 14]),
+                            ),
+                            mapping_fingerprint=fingerprints[position],
+                        )
+                    )
+            for result, position in zip(miss_results, miss_rows):
+                cache.put(fingerprints[position], result)
+                if table is not None:
+                    table[fingerprints[position]] = result
+            for position, slot in enumerate(slots):
+                if slot is not None and results[position] is None:
+                    results[position] = miss_results[slot]
+        if use_delta:
+            self._delta_members = table
+            # delta_generations is owned by the cost model (one increment
+            # per delta-filtered evaluate_model_matrix call), so direct
+            # CostModel API users get a coherent stats dict too.
+            counters = self.cost_model.delta_counters
+            counters["delta_members_reused"] += members_reused
+            counters["delta_member_requests"] += count
+        return [
+            _with_row_genome(results[position], fingerprints[position])
+            for position in range(count)
+        ]
+
+    def _score_matrix_misses(
+        self,
+        miss_matrix: np.ndarray,
+        miss_rows: List[int],
+        fingerprints: List[bytes],
+        performances: List[ModelPerformance],
+    ) -> List[EvaluationResult]:
+        """Score freshly priced gene rows with the scoring math inlined.
+
+        Bit-identical to calling :meth:`_score_performance` per design
+        (every arithmetic operation is performed in the same order on the
+        same scalars); the per-design dataclass machinery is replaced by
+        bulk ``__dict__`` construction, which matters when a generation
+        scores hundreds of designs.  Only the derived-hardware / exact-
+        buffer configuration takes this path.
+        """
+        area_model = self.area_model
+        pe_area_um2 = area_model.pe_area_um2
+        l1_per_byte = area_model.l1_area_per_byte_um2
+        l2_per_byte = area_model.l2_area_per_byte_um2
+        budget = self.platform.area_budget_um2
+        noc_bandwidth = self.platform.noc_bandwidth
+        dram_bandwidth = self.platform.dram_bandwidth
+        bytes_per_element = self.bytes_per_element
+        objective = self.objective
+        objectives = self.objectives
+        spatial0 = miss_matrix[:, 0].tolist()
+        spatial1 = miss_matrix[:, 14].tolist()
+        results: List[EvaluationResult] = []
+        for index, performance in enumerate(performances):
+            l1_size = performance.l1_requirement_bytes
+            if l1_size < 1:
+                l1_size = 1
+            l2_size = performance.l2_requirement_bytes
+            if l2_size < 1:
+                l2_size = 1
+            pe0 = spatial0[index]
+            pe1 = spatial1[index]
+            num_pes = pe0 * pe1
+            hardware = object.__new__(HardwareConfig)
+            hardware.__dict__.update(
+                pe_array=(pe0, pe1),
+                l1_size=l1_size,
+                l2_size=l2_size,
+                noc_bandwidth=noc_bandwidth,
+                dram_bandwidth=dram_bandwidth,
+                bytes_per_element=bytes_per_element,
+                frequency_mhz=_DEFAULT_FREQUENCY_MHZ,
+            )
+            pe_area = num_pes * pe_area_um2
+            l1_area = num_pes * l1_size * l1_per_byte
+            l2_area = l2_size * l2_per_byte
+            area = object.__new__(AreaBreakdown)
+            area.__dict__.update(
+                pe_area=pe_area, l1_area=l1_area, l2_area=l2_area
+            )
+            total = pe_area + (l1_area + l2_area)
+            if objective is Objective.LATENCY:
+                value = performance.latency
+            elif objective is Objective.LATENCY_AREA_PRODUCT:
+                value = performance.latency * total
+            else:
+                value = objective_value(objective, performance, area)
+            if total / budget > 1.0:
+                check = self.constraint_checker.check(hardware, area)
+                fitness = self._fitness(value, False, check.severity)
+                valid = False
+                violations = check.violations
+            else:
+                fitness = -value
+                valid = True
+                violations = ()
+            design = LazyRowMappingDesign.build(
+                hardware, fingerprints[miss_rows[index]], performance, area
+            )
+            result = object.__new__(EvaluationResult)
+            result.__dict__.update(
+                fitness=fitness,
+                valid=valid,
+                objective=objective,
+                objective_value=value,
+                design=design,
+                violations=violations,
+                genome=None,
+                objective_vector=(
+                    objectives.values(performance, area)
+                    if objectives is not None
+                    else None
+                ),
+            )
+            results.append(result)
+        return results
+
     @property
     def cache_stats(self) -> CacheStats:
         """Combined hit/miss counters of the design and layer caches."""
@@ -360,8 +673,9 @@ class DesignEvaluator:
         return self.cost_model.cache_stats
 
     def cache_clear(self) -> None:
-        """Drop all memoized evaluations and reset the counters."""
+        """Drop all memoized evaluations, delta tables and counters."""
         self._design_cache.clear()
+        self._delta_members = None
         self.cost_model.cache_clear()
 
     def shutdown(self) -> None:
@@ -384,11 +698,12 @@ class DesignEvaluator:
         return self._pool
 
     def __getstate__(self) -> dict:
-        # Worker pools never cross process boundaries; caches restart empty
-        # in the worker (see LRUCache.__getstate__).
+        # Worker pools never cross process boundaries; caches and delta
+        # tables restart empty in the worker (see LRUCache.__getstate__).
         state = dict(self.__dict__)
         state["_pool"] = None
         state["_pool_workers"] = 0
+        state["_delta_members"] = None
         return state
 
     def evaluate_mapping(
@@ -434,12 +749,14 @@ class DesignEvaluator:
         pe_array: tuple,
         design_mapping: Optional[Mapping] = None,
         mapping_key: Optional[tuple] = None,
+        mapping_fingerprint: Optional[bytes] = None,
     ) -> EvaluationResult:
         """Turn a cost-model report into a scored design point.
 
-        The design's mapping comes either eagerly (``design_mapping``) or
-        as a cache key from which a :class:`LazyMappingDesign` rebuilds it
-        on first access (the batch path, where almost no mapping is ever
+        The design's mapping comes eagerly (``design_mapping``), as a cache
+        key (``mapping_key``), or as a gene-row fingerprint
+        (``mapping_fingerprint``); the last two rebuild the mapping lazily
+        on first access (the batch paths, where almost no mapping is ever
         inspected).
         """
         hardware = self._derive_hardware(performance, pe_array=pe_array)
@@ -463,6 +780,10 @@ class DesignEvaluator:
                 mapping=design_mapping,
                 performance=performance,
                 area=area,
+            )
+        elif mapping_fingerprint is not None:
+            design = LazyRowMappingDesign.build(
+                hardware, mapping_fingerprint, performance, area
             )
         else:
             design = LazyMappingDesign.build(

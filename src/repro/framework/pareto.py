@@ -41,6 +41,19 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return strictly_better
 
 
+def _domination_matrix(values: Sequence[Sequence[float]]) -> np.ndarray:
+    """Pairwise dominance: ``matrix[i, j]`` is True when ``i`` dominates ``j``.
+
+    One broadcasted comparison instead of O(N^2) Python ``dominates``
+    calls; the diagonal is False (a vector never dominates itself) and
+    equal vectors never dominate each other, matching :func:`dominates`.
+    """
+    matrix = np.asarray(values, dtype=float)
+    no_worse = (matrix[:, None, :] <= matrix[None, :, :]).all(axis=2)
+    strictly_better = (matrix[:, None, :] < matrix[None, :, :]).any(axis=2)
+    return no_worse & strictly_better
+
+
 def non_dominated_indices(values: Sequence[Sequence[float]]) -> List[int]:
     """Indices of the non-dominated vectors among ``values``.
 
@@ -48,15 +61,10 @@ def non_dominated_indices(values: Sequence[Sequence[float]]) -> List[int]:
     dominate each other); callers that want one representative per distinct
     vector should dedupe first.
     """
-    return [
-        index
-        for index, candidate in enumerate(values)
-        if not any(
-            dominates(other, candidate)
-            for position, other in enumerate(values)
-            if position != index
-        )
-    ]
+    if len(values) == 0:
+        return []
+    dominated = _domination_matrix(values).any(axis=0)
+    return np.flatnonzero(~dominated).tolist()
 
 
 def fast_non_dominated_sort(
@@ -66,7 +74,43 @@ def fast_non_dominated_sort(
 
     Front 0 is the non-dominated set; front ``i`` is non-dominated once
     fronts ``< i`` are removed.  Every index appears in exactly one front.
+
+    Vectorized over the pairwise dominance matrix; fronts come back with
+    *exactly* the index order of :func:`fast_non_dominated_sort_reference`
+    (pinned by the parity tests), because within-front order decides which
+    of several duplicate vectors receives the infinite boundary crowding
+    distance — and therefore selection, and therefore whole search
+    trajectories.  The reference emits a member as soon as its last
+    remaining dominator is processed, so the order key within a front is
+    (position of that dominator in the previous front, member index).
     """
+    count = len(values)
+    if count == 0:
+        return []
+    dominance = _domination_matrix(values)
+    remaining = dominance.sum(axis=0)
+    fronts: List[List[int]] = []
+    current = np.flatnonzero(remaining == 0)
+    while current.size:
+        fronts.append(current.tolist())
+        remaining[current] = -1
+        processed = dominance[current]
+        decremented = remaining - processed.sum(axis=0)
+        released = np.flatnonzero((remaining > 0) & (decremented == 0))
+        remaining = np.where(remaining > 0, decremented, remaining)
+        if released.size > 1:
+            last_dominator = (len(current) - 1) - processed[::-1, released].argmax(
+                axis=0
+            )
+            released = released[np.lexsort((released, last_dominator))]
+        current = released
+    return fronts
+
+
+def fast_non_dominated_sort_reference(
+    values: Sequence[Sequence[float]],
+) -> List[List[int]]:
+    """The original pure-Python sort, kept as ground truth for parity tests."""
     count = len(values)
     dominated_by: List[List[int]] = [[] for _ in range(count)]
     domination_counts = [0] * count

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.cost.cache import CacheStats
 from repro.encoding.genome import Genome, GenomeSpace
+from repro.encoding.genome_matrix import GenomeMatrix, repaired_matrix
 from repro.encoding.repair import repaired_copy
 from repro.encoding.vector_codec import VectorCodec
 from repro.framework.evaluator import DesignEvaluator, EvaluationResult
@@ -122,14 +123,62 @@ class SearchTracker:
             self._record(result)
         return results
 
+    @property
+    def prefers_matrix(self) -> bool:
+        """True when the gene-matrix views hit the native matrix fast path.
+
+        The scalar engines (and non-two-level hierarchies) evaluate
+        matrices by converting back to genomes, so a search loop gains
+        nothing from packing its population — optimizers consult this to
+        keep the original per-genome loop in those configurations
+        (trajectories are bit-identical either way).
+        """
+        return (
+            self.evaluator.engine == "vector" and self.space.num_levels == 2
+        )
+
+    def evaluate_matrix(self, matrix: GenomeMatrix) -> List[float]:
+        """Evaluate a gene-matrix population in one call; returns fitnesses.
+
+        The matrix-native counterpart of :meth:`evaluate_batch` — same
+        budget/truncation semantics, bit-identical fitnesses — fed by the
+        population data path: one vectorized repair pass, the evaluator's
+        fingerprint-keyed design reuse and delta filter, then the packed
+        vector engine.  No per-member ``Genome`` is constructed.
+        """
+        return [result.fitness for result in self.evaluate_matrix_results(matrix)]
+
+    def evaluate_matrix_results(
+        self, matrix: GenomeMatrix
+    ) -> List[EvaluationResult]:
+        """Gene-matrix view returning full results (multi-objective loops)."""
+        batch = matrix.truncated(min(len(matrix), self.remaining))
+        if len(batch) == 0:
+            self.batch_calls += 1
+            return []
+        repaired = repaired_matrix(batch, self.space)
+        results = self.evaluator.evaluate_matrix(repaired)
+        self.batch_calls += 1
+        self.batched_evaluations += len(results)
+        for result in results:
+            self.evaluations += 1
+            self._record(result)
+        return results
+
     def evaluate_vector_batch(self, vectors: Sequence[np.ndarray]) -> List[float]:
         """Evaluate a batch of flat vectors; returns their fitnesses.
 
-        Budget semantics match :meth:`evaluate_batch`.
+        Budget semantics match :meth:`evaluate_batch` (truncated to the
+        remaining budget).  Vectors decode straight into gene-matrix rows —
+        one decoded gene row per vector, no intermediate ``Genome`` — and
+        ride the same population data path as :meth:`evaluate_matrix`.
         """
         batch = list(vectors)[: self.remaining]
-        genomes = [self.codec.decode(vector) for vector in batch]
-        return self.evaluate_batch(genomes)
+        if not batch:
+            self.batch_calls += 1
+            return []
+        matrix = self.codec.decode_matrix(batch)
+        return self.evaluate_matrix(matrix)
 
     @property
     def vector_dimension(self) -> int:

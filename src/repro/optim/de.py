@@ -14,7 +14,12 @@ class DifferentialEvolution(Optimizer):
     The algorithm is generational: every generation's trial vectors are
     built from the current population and scored as one batch, then the
     one-to-one selection is applied.  This is the textbook synchronous DE
-    and lets the framework evaluate whole generations in a single call.
+    and lets the framework evaluate whole generations in a single call —
+    trial batches decode straight into gene-matrix rows inside
+    :meth:`~repro.framework.search.SearchTracker.evaluate_vector_batch`, so
+    DE rides the population data path without building ``Genome`` objects.
+    The index/crossover draws stay per-member: their interleaved RNG
+    stream is part of the pinned search trajectories.
     """
 
     name = "DE"

@@ -16,6 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.encoding.genome import Genome
+from repro.encoding.genome_matrix import GenomeMatrix, genome_to_genes
 from repro.framework.search import SearchTracker
 from repro.optim.base import Optimizer, evaluate_genomes
 from repro.optim.digamma import operators
@@ -84,6 +85,15 @@ class DiGamma(Optimizer):
         Fraction of the initial population drawn from the domain-informed
         sampler (:func:`repro.optim.digamma.operators.seeded_genome`)
         instead of the uniform random sampler.
+    use_matrix:
+        When True (default) and the tracker exposes the gene-matrix view
+        (:meth:`~repro.framework.search.SearchTracker.evaluate_matrix`),
+        the generation loop keeps the population as a
+        :class:`~repro.encoding.genome_matrix.GenomeMatrix` and applies the
+        row-twin operators — same RNG stream, same fitnesses, no per-member
+        ``Genome`` allocation.  Custom trackers without the matrix view
+        (and ``use_matrix=False``, kept for the parity tests) take the
+        original per-genome loop.
     """
 
     name = "DiGamma"
@@ -94,6 +104,7 @@ class DiGamma(Optimizer):
         use_hw_operators: bool = True,
         use_structured_operators: bool = True,
         seeded_fraction: float = 0.5,
+        use_matrix: bool = True,
     ):
         if not 0.0 <= seeded_fraction <= 1.0:
             raise ValueError("seeded_fraction must be in [0, 1]")
@@ -103,20 +114,72 @@ class DiGamma(Optimizer):
         self.use_hw_operators = use_hw_operators
         self.use_structured_operators = use_structured_operators
         self.seeded_fraction = seeded_fraction
+        self.use_matrix = use_matrix
 
     # -- GA loop -------------------------------------------------------------
 
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        if (
+            self.use_matrix
+            and getattr(tracker, "evaluate_matrix", None) is not None
+            and getattr(tracker, "prefers_matrix", True)
+        ):
+            return self._run_matrix(tracker, rng)
+        return self._run_genomes(tracker, rng)
+
+    def _initial_population(self, space, population_size, rng) -> List[Genome]:
+        """Seeded + random starting genomes (shared by both loop forms)."""
+        return operators.initial_population(
+            space, population_size, self.seeded_fraction, rng
+        )
+
+    def _run_matrix(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        """The gene-matrix generation loop (bit-identical trajectories)."""
         params = self.hyper_parameters
         space = tracker.space
         population_size = params.resolved_population(tracker.sampling_budget)
         num_elites = max(1, int(population_size * params.elite_ratio))
         num_immigrants = int(population_size * params.immigration_ratio)
 
-        num_seeded = int(population_size * self.seeded_fraction)
-        population = [
-            operators.seeded_genome(space, rng) for _ in range(num_seeded)
-        ] + space.random_population(population_size - num_seeded, rng)
+        population = GenomeMatrix.from_genomes(
+            self._initial_population(space, population_size, rng)
+        )
+        num_levels = population.num_levels
+        fitnesses = tracker.evaluate_matrix(population)
+        if len(fitnesses) < len(population):
+            return
+
+        while not tracker.exhausted:
+            order = np.argsort(fitnesses)[::-1]
+            parents = population.data.tolist()
+            pool = [parents[i] for i in order[: max(2, population_size // 2)]]
+
+            children = [parents[i].copy() for i in order[:num_elites]]
+            for _ in range(num_immigrants):
+                children.append(genome_to_genes(space.random_genome(rng)))
+            while len(children) < population_size:
+                children.append(
+                    self._make_child_row(pool, space, num_levels, rng)
+                )
+
+            population = GenomeMatrix(
+                np.array(children, dtype=np.int64), num_levels
+            )
+            fitnesses = tracker.evaluate_matrix(population)
+            if len(fitnesses) < len(population):
+                return
+
+    def _run_genomes(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        """The original per-genome loop (compatibility shim for trackers
+        without the matrix view; pinned against the matrix loop by the
+        trajectory-parity tests)."""
+        params = self.hyper_parameters
+        space = tracker.space
+        population_size = params.resolved_population(tracker.sampling_budget)
+        num_elites = max(1, int(population_size * params.elite_ratio))
+        num_immigrants = int(population_size * params.immigration_ratio)
+
+        population = self._initial_population(space, population_size, rng)
         fitnesses: List[float] = evaluate_genomes(tracker, population)
         if len(fitnesses) < len(population):
             return
@@ -158,4 +221,32 @@ class DiGamma(Optimizer):
                 child = operators.mutate_map(child, space, rng)
         if self.use_hw_operators and rng.random() < params.mutate_hw_rate:
             child = operators.mutate_hw(child, space, rng)
+        return child
+
+    def _make_child_row(
+        self,
+        pool: List[List[int]],
+        space,
+        num_levels: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Row twin of :meth:`_make_child` (identical RNG stream)."""
+        params = self.hyper_parameters
+        parent_a = pool[int(rng.integers(len(pool)))]
+        parent_b = pool[int(rng.integers(len(pool)))]
+
+        if rng.random() < params.crossover_rate:
+            child = operators.crossover_rows(parent_a, parent_b, num_levels, rng)
+        else:
+            child = parent_a.copy()
+
+        if self.use_structured_operators:
+            if rng.random() < params.reorder_rate:
+                operators.reorder_row(child, num_levels, rng)
+            if rng.random() < params.grow_rate:
+                operators.grow_row(child, space, num_levels, rng)
+            if rng.random() < params.mutate_map_rate:
+                operators.mutate_map_row(child, space, num_levels, rng)
+        if self.use_hw_operators and rng.random() < params.mutate_hw_rate:
+            operators.mutate_hw_row(child, space, num_levels, rng)
         return child

@@ -18,6 +18,13 @@ structured way instead of re-randomising genes blindly:
 
 All operators work in place on genome copies and are followed by
 :func:`repro.encoding.repair.repair_genome` in the algorithm loop.
+
+Each operator also has a gene-matrix-native ``*_row`` twin operating on one
+:class:`~repro.encoding.genome_matrix.GenomeMatrix` row in place.  The row
+twins draw from the RNG in *exactly* the same order with *exactly* the same
+calls, so a search loop switching between the genome and row forms follows
+a bit-identical trajectory (pinned by ``tests/optim/test_matrix_parity.py``)
+— the row forms just skip the per-member ``Genome``/dict/list churn.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from typing import List
 import numpy as np
 
 from repro.encoding.genome import Genome, GenomeSpace, log_uniform_int
+from repro.encoding.genome_matrix import LEVEL_WIDTH
 from repro.workloads.dims import DIMS
 
 
@@ -186,6 +194,24 @@ def seeded_genome(space: GenomeSpace, rng: np.random.Generator) -> Genome:
     return genome
 
 
+def initial_population(
+    space: GenomeSpace,
+    population_size: int,
+    seeded_fraction: float,
+    rng: np.random.Generator,
+) -> List[Genome]:
+    """Seeded + random starting genomes shared by the GA-family loops.
+
+    The first ``int(population_size * seeded_fraction)`` members come from
+    the domain-informed sampler, the rest from the uniform one — the split
+    (and its draw order) is part of the pinned search trajectories.
+    """
+    num_seeded = int(population_size * seeded_fraction)
+    return [
+        seeded_genome(space, rng) for _ in range(num_seeded)
+    ] + space.random_population(population_size - num_seeded, rng)
+
+
 def balance_parallel(genome: Genome, space: GenomeSpace) -> Genome:
     """Set each level's parallel-dimension tile to one element per sub-cluster.
 
@@ -200,6 +226,129 @@ def balance_parallel(genome: Genome, space: GenomeSpace) -> Genome:
     for level in genome.levels:
         level.tiles[level.parallel_dim] = 1
     return genome
+
+
+# -- gene-matrix row twins --------------------------------------------------
+#
+# Rows are plain Python lists of ints (one GenomeMatrix row, tolist'ed):
+# list indexing is several times cheaper than NumPy scalar indexing at this
+# width, and a generation's children fold back into the matrix with one
+# np.array call.
+
+
+def crossover_rows(
+    parent_a: List[int],
+    parent_b: List[int],
+    num_levels: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Row twin of :func:`crossover`: returns a new child row."""
+    child = parent_a.copy()
+    draws = rng.random(7 * num_levels).tolist()
+    cursor = 0
+    for level in range(num_levels):
+        base = level * LEVEL_WIDTH
+        for column in range(base + 8, base + 14):
+            if draws[cursor] < 0.5:
+                child[column] = parent_b[column]
+            cursor += 1
+        if draws[cursor] < 0.5:
+            child[base + 1] = parent_b[base + 1]
+        cursor += 1
+    return child
+
+
+def reorder_row(
+    row: List[int], num_levels: int, rng: np.random.Generator
+) -> List[int]:
+    """Row twin of :func:`reorder` (in place)."""
+    base = int(rng.integers(num_levels)) * LEVEL_WIDTH
+    if rng.random() < 0.5:
+        i, j = rng.choice(6, size=2, replace=False)
+        i = base + 2 + int(i)
+        j = base + 2 + int(j)
+        row[i], row[j] = row[j], row[i]
+    else:
+        order = row[base + 2 : base + 8]
+        source = int(rng.integers(6))
+        dim = order.pop(source)
+        target = int(rng.integers(len(order) + 1))
+        order.insert(target, dim)
+        row[base + 2 : base + 8] = order
+    return row
+
+
+def grow_row(
+    row: List[int],
+    space: GenomeSpace,
+    num_levels: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Row twin of :func:`grow` (in place)."""
+    base = int(rng.integers(num_levels)) * LEVEL_WIDTH
+    dim_index = int(rng.integers(len(DIMS)))
+    bound = space.dim_bounds[DIMS[dim_index]]
+    column = base + 8 + dim_index
+    if rng.random() < 0.5:
+        row[column] = min(bound, max(1, row[column]) * 2)
+    else:
+        row[column] = max(1, row[column] // 2)
+    return row
+
+
+def mutate_map_row(
+    row: List[int],
+    space: GenomeSpace,
+    num_levels: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Row twin of :func:`mutate_map` (in place)."""
+    base = int(rng.integers(num_levels)) * LEVEL_WIDTH
+    choice = rng.random()
+    if choice < 0.6:
+        dim_index = int(rng.integers(len(DIMS)))
+        bound = space.dim_bounds[DIMS[dim_index]]
+        row[base + 8 + dim_index] = _sample_tile(bound, rng)
+    elif choice < 0.85:
+        row[base + 1] = _sample_parallel_index(row[base], space, rng)
+    else:
+        balance_parallel_row(row, num_levels)
+    return row
+
+
+def mutate_hw_row(
+    row: List[int],
+    space: GenomeSpace,
+    num_levels: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Row twin of :func:`mutate_hw` (in place)."""
+    if space.hw_is_fixed:
+        return row
+    if rng.random() < 0.5 or num_levels == 1:
+        if rng.random() < 0.5:
+            total = log_uniform_int(rng, 1, space.max_pes)
+        else:
+            total = int(rng.integers(max(1, space.max_pes // 4), space.max_pes + 1))
+        _split_pes_row(row, num_levels, total, rng)
+    else:
+        indices = rng.choice(num_levels, size=2, replace=False)
+        giver = int(indices[0]) * LEVEL_WIDTH
+        taker = int(indices[1]) * LEVEL_WIDTH
+        if row[giver] >= 2:
+            row[giver] = max(1, row[giver] // 2)
+            row[taker] = max(1, row[taker] * 2)
+    if rng.random() < 0.75:
+        balance_parallel_row(row, num_levels)
+    return row
+
+
+def balance_parallel_row(row: List[int], num_levels: int) -> List[int]:
+    """Row twin of :func:`balance_parallel` (in place, draws nothing)."""
+    for level in range(num_levels):
+        base = level * LEVEL_WIDTH
+        row[base + 8 + row[base + 1]] = 1
+    return row
 
 
 # -- helpers ---------------------------------------------------------------
@@ -238,6 +387,37 @@ def _sample_parallel_dim(
     if candidates and rng.random() < 0.8:
         return candidates[rng.integers(len(candidates))]
     return DIMS[rng.integers(len(DIMS))]
+
+
+def _sample_parallel_index(
+    spatial_size: int,
+    space: GenomeSpace,
+    rng: np.random.Generator,
+) -> int:
+    """Index twin of :func:`_sample_parallel_dim` (identical draws)."""
+    candidates = [
+        index
+        for index, dim in enumerate(DIMS)
+        if space.dim_bounds[dim] >= max(2, spatial_size // 2)
+    ]
+    if candidates and rng.random() < 0.8:
+        return candidates[rng.integers(len(candidates))]
+    return int(rng.integers(len(DIMS)))
+
+
+def _split_pes_row(
+    row: List[int], num_levels: int, total: int, rng: np.random.Generator
+) -> None:
+    """Row twin of :func:`_split_pes` (identical draws)."""
+    remaining = max(1, total)
+    for index in range(num_levels):
+        levels_left = num_levels - index
+        if levels_left == 1:
+            row[index * LEVEL_WIDTH] = remaining
+            break
+        share = log_uniform_int(rng, 1, max(1, remaining))
+        row[index * LEVEL_WIDTH] = share
+        remaining = max(1, remaining // share)
 
 
 def _split_pes(genome: Genome, total: int, rng: np.random.Generator) -> None:

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.encoding.genome import Genome
+from repro.encoding.genome_matrix import GenomeMatrix
 from repro.framework.evaluator import EvaluationResult
 from repro.framework.pareto import crowding_distances, fast_non_dominated_sort
 from repro.framework.search import SearchTracker
@@ -98,6 +99,7 @@ class NSGA2(Optimizer):
         self,
         hyper_parameters: Optional[NSGA2HyperParameters] = None,
         seeded_fraction: float = 0.5,
+        use_matrix: bool = True,
     ):
         if not 0.0 <= seeded_fraction <= 1.0:
             raise ValueError("seeded_fraction must be in [0, 1]")
@@ -105,10 +107,77 @@ class NSGA2(Optimizer):
             hyper_parameters if hyper_parameters is not None else NSGA2HyperParameters()
         )
         self.seeded_fraction = seeded_fraction
+        self.use_matrix = use_matrix
 
     # -- the NSGA-II loop ---------------------------------------------------
 
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        if (
+            self.use_matrix
+            and getattr(tracker, "evaluate_matrix_results", None) is not None
+            and getattr(tracker, "prefers_matrix", True)
+        ):
+            return self._run_matrix(tracker, rng)
+        return self._run_genomes(tracker, rng)
+
+    def _initial_population(self, space, population_size, rng) -> List[Genome]:
+        return operators.initial_population(
+            space, population_size, self.seeded_fraction, rng
+        )
+
+    def _num_objectives(self, tracker) -> int:
+        objectives = getattr(
+            getattr(tracker, "evaluator", None), "objectives", None
+        )
+        return len(objectives) if objectives is not None else 1
+
+    def _run_matrix(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        """Gene-matrix generation loop (bit-identical trajectories)."""
+        params = self.hyper_parameters
+        space = tracker.space
+        population_size = params.resolved_population(tracker.sampling_budget)
+        num_objectives = self._num_objectives(tracker)
+
+        population = GenomeMatrix.from_genomes(
+            self._initial_population(space, population_size, rng)
+        )
+        num_levels = population.num_levels
+        rows = population.data.tolist()
+        results = tracker.evaluate_matrix_results(population)
+        if len(results) < len(rows):
+            return
+        values = [self._ranking_vector(result, num_objectives) for result in results]
+
+        while not tracker.exhausted:
+            ranks, crowding = self._rank(values)
+            children = [
+                self._make_child_row(
+                    rows, values, ranks, crowding, space, num_levels, rng
+                )
+                for _ in range(population_size)
+            ]
+            child_results = tracker.evaluate_matrix_results(
+                GenomeMatrix(np.array(children, dtype=np.int64), num_levels)
+            )
+            if len(child_results) < len(children):
+                return  # budget ran out mid-generation; tracker has the rest
+
+            combined_rows = rows + children
+            combined_results = results + child_results
+            combined_values = values + [
+                self._ranking_vector(result, num_objectives)
+                for result in child_results
+            ]
+            survivors = self._environmental_selection(
+                combined_values, population_size
+            )
+            rows = [combined_rows[i] for i in survivors]
+            results = [combined_results[i] for i in survivors]
+            values = [combined_values[i] for i in survivors]
+
+    def _run_genomes(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        """The original per-genome loop (compatibility shim; pinned against
+        the matrix loop by the trajectory-parity tests)."""
         evaluate = getattr(tracker, "evaluate_batch_results", None)
         if evaluate is None:
             raise TypeError(
@@ -119,15 +188,9 @@ class NSGA2(Optimizer):
         params = self.hyper_parameters
         space = tracker.space
         population_size = params.resolved_population(tracker.sampling_budget)
-        objectives = getattr(
-            getattr(tracker, "evaluator", None), "objectives", None
-        )
-        num_objectives = len(objectives) if objectives is not None else 1
+        num_objectives = self._num_objectives(tracker)
 
-        num_seeded = int(population_size * self.seeded_fraction)
-        population = [
-            operators.seeded_genome(space, rng) for _ in range(num_seeded)
-        ] + space.random_population(population_size - num_seeded, rng)
+        population = self._initial_population(space, population_size, rng)
         results = evaluate(population)
         if len(results) < len(population):
             return
@@ -234,6 +297,40 @@ class NSGA2(Optimizer):
             child = operators.mutate_map(child, space, rng)
         if rng.random() < params.mutate_hw_rate:
             child = operators.mutate_hw(child, space, rng)
+        return child
+
+    def _make_child_row(
+        self,
+        rows: List[List[int]],
+        values: List[Tuple[float, ...]],
+        ranks: np.ndarray,
+        crowding: np.ndarray,
+        space,
+        num_levels: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Row twin of :meth:`_make_child` (identical RNG stream)."""
+        params = self.hyper_parameters
+        if rng.random() < params.extreme_bias:
+            axis = int(rng.integers(len(values[0])))
+            extreme = min(range(len(values)), key=lambda i: values[i][axis])
+            parent_a = rows[extreme]
+        else:
+            parent_a = rows[self._tournament(ranks, crowding, rng)]
+        parent_b = rows[self._tournament(ranks, crowding, rng)]
+
+        if rng.random() < params.crossover_rate:
+            child = operators.crossover_rows(parent_a, parent_b, num_levels, rng)
+        else:
+            child = parent_a.copy()
+        if rng.random() < params.reorder_rate:
+            operators.reorder_row(child, num_levels, rng)
+        if rng.random() < params.grow_rate:
+            operators.grow_row(child, space, num_levels, rng)
+        if rng.random() < params.mutate_map_rate:
+            operators.mutate_map_row(child, space, num_levels, rng)
+        if rng.random() < params.mutate_hw_rate:
+            operators.mutate_hw_row(child, space, num_levels, rng)
         return child
 
     # -- ranking vectors -----------------------------------------------------

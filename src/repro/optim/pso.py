@@ -55,18 +55,22 @@ class ParticleSwarm(Optimizer):
             return
 
         while not tracker.exhausted:
-            for index in range(self.swarm_size):
-                r_cognitive = rng.random(dimension)
-                r_social = rng.random(dimension)
-                velocities[index] = (
-                    self.inertia * velocities[index]
-                    + self.cognitive * r_cognitive * (personal_best[index] - positions[index])
-                    + self.social * r_social * (global_best - positions[index])
-                )
-                velocities[index] = np.clip(
-                    velocities[index], -self.velocity_clamp, self.velocity_clamp
-                )
-                positions[index] = np.clip(positions[index] + velocities[index], 0.0, 1.0)
+            # One batched draw per sweep: rng.random((n, 2, d)) fills in C
+            # order, which is exactly the per-particle cognitive-then-social
+            # sequence the scalar loop drew — same stream, and the whole
+            # swarm update becomes three array expressions whose elementwise
+            # operation order matches the per-particle arithmetic, so
+            # positions (and therefore trajectories) are bit-identical.
+            draws = rng.random((self.swarm_size, 2, dimension))
+            velocities = (
+                self.inertia * velocities
+                + self.cognitive * draws[:, 0] * (personal_best - positions)
+                + self.social * draws[:, 1] * (global_best - positions)
+            )
+            velocities = np.clip(
+                velocities, -self.velocity_clamp, self.velocity_clamp
+            )
+            positions = np.clip(positions + velocities, 0.0, 1.0)
 
             fitnesses = evaluate_vectors(tracker, list(positions))
             for index, fitness in enumerate(fitnesses):

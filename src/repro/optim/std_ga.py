@@ -13,13 +13,21 @@ from typing import List
 import numpy as np
 
 from repro.encoding.genome import Genome, log_uniform_int
+from repro.encoding.genome_matrix import LEVEL_WIDTH, GenomeMatrix
 from repro.framework.search import SearchTracker
 from repro.optim.base import Optimizer, evaluate_genomes
 from repro.workloads.dims import DIMS
 
 
 class StandardGA(Optimizer):
-    """Elitist GA with uniform crossover and per-gene random mutation."""
+    """Elitist GA with uniform crossover and per-gene random mutation.
+
+    The generation loop runs gene-matrix-native when the tracker exposes
+    :meth:`~repro.framework.search.SearchTracker.evaluate_matrix` (same RNG
+    stream and fitnesses as the per-genome form, pinned by the trajectory-
+    parity tests); trackers without the matrix view — and
+    ``use_matrix=False`` — take the original per-genome loop.
+    """
 
     name = "stdGA"
 
@@ -29,6 +37,7 @@ class StandardGA(Optimizer):
         elite_ratio: float = 0.1,
         crossover_rate: float = 0.8,
         mutation_rate: float = 0.1,
+        use_matrix: bool = True,
     ):
         if population_size < 4:
             raise ValueError("population_size must be >= 4")
@@ -38,8 +47,52 @@ class StandardGA(Optimizer):
         self.elite_ratio = elite_ratio
         self.crossover_rate = crossover_rate
         self.mutation_rate = mutation_rate
+        self.use_matrix = use_matrix
 
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        if (
+            self.use_matrix
+            and getattr(tracker, "evaluate_matrix", None) is not None
+            and getattr(tracker, "prefers_matrix", True)
+        ):
+            return self._run_matrix(tracker, rng)
+        return self._run_genomes(tracker, rng)
+
+    def _run_matrix(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        space = tracker.space
+        population = GenomeMatrix.from_genomes(
+            space.random_population(self.population_size, rng)
+        )
+        num_levels = population.num_levels
+        fitnesses = tracker.evaluate_matrix(population)
+        if len(fitnesses) < len(population):
+            return
+
+        num_elites = max(1, int(self.population_size * self.elite_ratio))
+        while not tracker.exhausted:
+            order = np.argsort(fitnesses)[::-1]
+            parents = population.data.tolist()
+
+            children = [parents[i].copy() for i in order[:num_elites]]
+            while len(children) < self.population_size:
+                parent_a = parents[int(rng.choice(order[: self.population_size // 2]))]
+                parent_b = parents[int(rng.choice(order[: self.population_size // 2]))]
+                child = (
+                    self._uniform_crossover_row(parent_a, parent_b, num_levels, rng)
+                    if rng.random() < self.crossover_rate
+                    else parent_a.copy()
+                )
+                self._mutate_row(child, space, num_levels, rng)
+                children.append(child)
+
+            population = GenomeMatrix(
+                np.array(children, dtype=np.int64), num_levels
+            )
+            fitnesses = tracker.evaluate_matrix(population)
+            if len(fitnesses) < len(population):
+                return
+
+    def _run_genomes(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         space = tracker.space
         population = space.random_population(self.population_size, rng)
         fitnesses = evaluate_genomes(tracker, population)
@@ -102,3 +155,51 @@ class StandardGA(Optimizer):
             for dim in DIMS:
                 if rng.random() < self.mutation_rate:
                     level.tiles[dim] = log_uniform_int(rng, 1, space.dim_bounds[dim])
+
+    # -- gene-matrix row twins (identical RNG streams) -----------------------
+
+    @staticmethod
+    def _uniform_crossover_row(
+        a: List[int], b: List[int], num_levels: int, rng: np.random.Generator
+    ) -> List[int]:
+        child = a.copy()
+        for level in range(num_levels):
+            base = level * LEVEL_WIDTH
+            if rng.random() < 0.5:
+                child[base] = b[base]
+            if rng.random() < 0.5:
+                child[base + 1] = b[base + 1]
+            if rng.random() < 0.5:
+                child[base + 2 : base + 8] = b[base + 2 : base + 8]
+            for column in range(base + 8, base + 14):
+                if rng.random() < 0.5:
+                    child[column] = b[column]
+        return child
+
+    def _mutate_row(
+        self,
+        row: List[int],
+        space,
+        num_levels: int,
+        rng: np.random.Generator,
+    ) -> None:
+        rate = self.mutation_rate
+        for level_index in range(num_levels):
+            base = level_index * LEVEL_WIDTH
+            if rng.random() < rate:
+                row[base] = log_uniform_int(
+                    rng, 1, space.spatial_bound(level_index)
+                )
+            if rng.random() < rate:
+                # Indexing with integers() draws the same stream as
+                # rng.choice(DIMS) at a fraction of the per-call cost.
+                row[base + 1] = int(rng.integers(len(DIMS)))
+            if rng.random() < rate:
+                order = row[base + 2 : base + 8]
+                rng.shuffle(order)
+                row[base + 2 : base + 8] = order
+            for position, dim in enumerate(DIMS):
+                if rng.random() < rate:
+                    row[base + 8 + position] = log_uniform_int(
+                        rng, 1, space.dim_bounds[dim]
+                    )

@@ -35,9 +35,18 @@ class TestConstants:
         settings = ExperimentSettings()
         assert settings.use_cache is True
         assert settings.workers is None
-        assert settings.framework_options() == {"use_cache": True, "workers": None}
-        tuned = ExperimentSettings(use_cache=False, workers=2)
-        assert tuned.framework_options() == {"use_cache": False, "workers": 2}
+        assert settings.use_delta is True
+        assert settings.framework_options() == {
+            "use_cache": True,
+            "workers": None,
+            "use_delta": True,
+        }
+        tuned = ExperimentSettings(use_cache=False, workers=2, use_delta=False)
+        assert tuned.framework_options() == {
+            "use_cache": False,
+            "workers": 2,
+            "use_delta": False,
+        }
 
 
 class TestMakeFixedHardware:

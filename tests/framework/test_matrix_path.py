@@ -1,0 +1,314 @@
+"""The gene-matrix evaluation path and cross-generation delta evaluation.
+
+Contracts pinned here:
+
+* ``DesignEvaluator.evaluate_matrix`` is bit-identical to evaluating the
+  same (repaired) genomes one by one, under every engine selector and with
+  delta evaluation on or off;
+* members and (member, layer) rows unchanged since the previous generation
+  are detected and reused, with the counters surfacing in
+  ``CostModel.vector_stats``;
+* the tracker's matrix views share the genome views' budget semantics; and
+* results carry lazily materialized genomes/mappings that match the
+  eagerly built ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.platform import CLOUD, EDGE
+from repro.encoding.genome_matrix import GenomeMatrix, repaired_matrix
+from repro.encoding.repair import repaired_copy
+from repro.framework.evaluator import DesignEvaluator, RowGenomeResult
+from repro.framework.search import SearchTracker
+from repro.workloads.registry import get_model
+
+PLATFORMS = pytest.mark.parametrize("platform", [EDGE, CLOUD], ids=["edge", "cloud"])
+
+
+@pytest.fixture(scope="module")
+def resnet18():
+    return get_model("resnet18")
+
+
+@pytest.fixture(scope="module")
+def ncf():
+    return get_model("ncf")
+
+
+def _repaired_population(evaluator, count, seed, num_levels=2):
+    space = evaluator.genome_space(num_levels=num_levels)
+    rng = np.random.default_rng(seed)
+    genomes = space.random_population(count, rng)
+    matrix = repaired_matrix(GenomeMatrix.from_genomes(genomes), space)
+    return space, genomes, matrix
+
+
+def _assert_results_identical(a, b):
+    assert a.fitness == b.fitness
+    assert a.valid == b.valid
+    assert a.objective_value == b.objective_value
+    assert a.latency == b.latency
+    assert a.energy == b.energy
+    assert a.violations == b.violations
+    assert a.objective_vector == b.objective_vector
+
+
+class TestMatrixMatchesGenomePath:
+    @PLATFORMS
+    def test_bit_identical_to_genome_loop(self, resnet18, platform):
+        matrix_evaluator = DesignEvaluator(model=resnet18, platform=platform)
+        genome_evaluator = DesignEvaluator(model=resnet18, platform=platform)
+        space, genomes, matrix = _repaired_population(matrix_evaluator, 25, seed=11)
+        matrix_results = matrix_evaluator.evaluate_matrix(matrix)
+        for result, genome in zip(matrix_results, genomes):
+            want = genome_evaluator.evaluate_genome(repaired_copy(genome, space))
+            _assert_results_identical(result, want)
+
+    @PLATFORMS
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_scalar_engines_take_the_genome_fallback(
+        self, resnet18, platform, engine
+    ):
+        scalar = DesignEvaluator(model=resnet18, platform=platform, engine=engine)
+        vector = DesignEvaluator(model=resnet18, platform=platform)
+        _, _, matrix = _repaired_population(vector, 10, seed=13)
+        for a, b in zip(
+            scalar.evaluate_matrix(matrix), vector.evaluate_matrix(matrix)
+        ):
+            _assert_results_identical(a, b)
+
+    def test_three_level_hierarchies_fall_back_to_genomes(self, ncf):
+        evaluator = DesignEvaluator(model=ncf, platform=EDGE)
+        reference = DesignEvaluator(model=ncf, platform=EDGE)
+        space, genomes, matrix = _repaired_population(
+            evaluator, 8, seed=17, num_levels=3
+        )
+        for result, genome in zip(
+            evaluator.evaluate_matrix(matrix), genomes
+        ):
+            want = reference.evaluate_genome(repaired_copy(genome, space))
+            _assert_results_identical(result, want)
+
+    def test_fill_buffer_allocation_matches(self, ncf):
+        filled = DesignEvaluator(model=ncf, platform=EDGE, buffer_allocation="fill")
+        want = DesignEvaluator(model=ncf, platform=EDGE, buffer_allocation="fill")
+        space, genomes, matrix = _repaired_population(filled, 10, seed=19)
+        for result, genome in zip(filled.evaluate_matrix(matrix), genomes):
+            _assert_results_identical(
+                result, want.evaluate_genome(repaired_copy(genome, space))
+            )
+
+    def test_objective_vectors_ride_along(self, ncf):
+        from repro.framework.objective import ObjectiveSet
+
+        objectives = ObjectiveSet.from_names("latency,energy,area")
+        vector = DesignEvaluator(model=ncf, platform=EDGE, objectives=objectives)
+        scalar = DesignEvaluator(model=ncf, platform=EDGE, objectives=objectives)
+        space, genomes, matrix = _repaired_population(vector, 12, seed=23)
+        for result, genome in zip(vector.evaluate_matrix(matrix), genomes):
+            want = scalar.evaluate_genome(repaired_copy(genome, space))
+            assert result.objective_vector == want.objective_vector
+
+    def test_invalid_orders_are_rejected(self, ncf):
+        evaluator = DesignEvaluator(model=ncf, platform=EDGE)
+        _, _, matrix = _repaired_population(evaluator, 9, seed=29)
+        matrix.data[4, 2:8] = [0, 0, 2, 3, 4, 5]
+        with pytest.raises(ValueError, match="permutation"):
+            evaluator.evaluate_matrix(matrix)
+
+
+class TestLazyResults:
+    def test_genome_materializes_from_the_row(self, ncf):
+        evaluator = DesignEvaluator(model=ncf, platform=EDGE)
+        space, genomes, matrix = _repaired_population(evaluator, 6, seed=31)
+        results = evaluator.evaluate_matrix(matrix)
+        for result, genome in zip(results, genomes):
+            assert isinstance(result, RowGenomeResult)
+            want = repaired_copy(genome, space)
+            assert result.genome.cache_key() == want.cache_key()
+            assert result.design.mapping.cache_key() == want.cache_key()
+
+
+class TestDeltaEvaluation:
+    def test_results_identical_with_delta_on_and_off(self, resnet18):
+        on = DesignEvaluator(model=resnet18, platform=EDGE)
+        off = DesignEvaluator(model=resnet18, platform=EDGE, use_delta=False)
+        space, genomes, matrix = _repaired_population(on, 20, seed=37)
+        generations = [matrix]
+        # Second generation: survivors + lightly mutated children.
+        children = []
+        for genome in genomes:
+            child = genome.copy()
+            child.levels[1].tiles["R"] = max(1, child.levels[1].tiles["R"] - 1)
+            children.append(child)
+        second = repaired_matrix(
+            GenomeMatrix.from_genomes(genomes[:7] + children[7:]), space
+        )
+        generations.append(second)
+        for generation in generations:
+            for a, b in zip(
+                on.evaluate_matrix(generation), off.evaluate_matrix(generation)
+            ):
+                _assert_results_identical(a, b)
+
+    def test_member_and_row_reuse_counters(self, resnet18):
+        evaluator = DesignEvaluator(model=resnet18, platform=EDGE)
+        space, genomes, matrix = _repaired_population(evaluator, 15, seed=41)
+        evaluator.evaluate_matrix(matrix)
+        first = dict(evaluator.cost_model.vector_stats)
+        assert first["delta_generations"] == 1
+        assert first["delta_member_requests"] == 15
+        assert first["delta_members_reused"] == 0
+
+        survivors = genomes[:5]
+        children = []
+        for genome in genomes[5:]:
+            child = genome.copy()
+            child.levels[1].tiles["S"] = max(1, child.levels[1].tiles["S"] - 1)
+            children.append(child)
+        second = repaired_matrix(
+            GenomeMatrix.from_genomes(survivors + children), space
+        )
+        evaluator.evaluate_matrix(second)
+        stats = evaluator.cost_model.vector_stats
+        assert stats["delta_generations"] == 2
+        assert stats["delta_members_reused"] >= 5  # elitist survivors
+        assert stats["delta_rows_reused"] > 0  # unchanged (member, layer) rows
+        assert stats["delta_row_requests"] > 0
+
+    def test_disabled_delta_keeps_counters_at_zero(self, ncf):
+        evaluator = DesignEvaluator(model=ncf, platform=EDGE, use_delta=False)
+        _, _, matrix = _repaired_population(evaluator, 10, seed=43)
+        evaluator.evaluate_matrix(matrix)
+        evaluator.evaluate_matrix(matrix)
+        stats = evaluator.cost_model.vector_stats
+        assert stats["delta_generations"] == 0
+        assert stats["delta_member_requests"] == 0
+        assert stats["delta_members_reused"] == 0
+
+    def test_cross_model_cache_adoption_cannot_alias(self, ncf):
+        # Fingerprint identity comes from the cache's own token table, so
+        # an evaluator adopting a warm cache that has seen *other* models'
+        # layers numbers its statics consistently with the donor and can
+        # never reuse another layer shape's rows.
+        from repro.cost.maestro import CostModel
+        from repro.encoding.genome import GenomeSpace
+
+        other = get_model("dlrm")
+
+        def rows(model, seed):
+            space = GenomeSpace.from_model(model, max_pes=1024)
+            rng = np.random.default_rng(seed)
+            return repaired_matrix(
+                GenomeMatrix.from_genomes(space.random_population(10, rng)),
+                space,
+            ).data
+
+        donor = CostModel()
+        donor.evaluate_model_matrix(ncf, rows(ncf, 73), 64.0, 16.0)
+        donor.evaluate_model_matrix(other, rows(other, 73), 64.0, 16.0)
+        adopter = CostModel()
+        adopter.adopt_cache(donor.layer_cache)
+        adopted = adopter.evaluate_model_matrix(other, rows(other, 73), 64.0, 16.0)
+        fresh = CostModel().evaluate_model_matrix(other, rows(other, 73), 64.0, 16.0)
+        for a, b in zip(adopted, fresh):
+            assert a.latency == b.latency
+            assert a.energy == b.energy
+
+    def test_fingerprints_include_the_bandwidths(self, ncf):
+        # The row fingerprint must carry the full composite-key context:
+        # the same rows priced under different bandwidths may never alias
+        # in the layer LRU or the delta table.
+        from repro.cost.maestro import CostModel
+
+        evaluator = DesignEvaluator(model=ncf, platform=EDGE)
+        _, _, matrix = _repaired_population(evaluator, 10, seed=71)
+        shared = CostModel()
+        shared.evaluate_model_matrix(ncf, matrix.data, 100.0, 50.0, use_delta=True)
+        reused = shared.evaluate_model_matrix(ncf, matrix.data, 1.0, 0.5, use_delta=True)
+        fresh = CostModel().evaluate_model_matrix(ncf, matrix.data, 1.0, 0.5)
+        for a, b in zip(reused, fresh):
+            assert a.latency == b.latency
+            assert a.energy == b.energy
+
+    def test_cache_clear_drops_the_delta_tables(self, ncf):
+        evaluator = DesignEvaluator(model=ncf, platform=EDGE)
+        _, _, matrix = _repaired_population(evaluator, 10, seed=47)
+        evaluator.evaluate_matrix(matrix)
+        evaluator.cache_clear()
+        stats = evaluator.cost_model.vector_stats
+        assert stats["delta_members_reused"] == 0
+        assert stats["delta_generations"] == 0
+        evaluator.evaluate_matrix(matrix)
+        assert evaluator.cost_model.vector_stats["delta_members_reused"] == 0
+
+
+class TestTrackerMatrixViews:
+    def test_matches_the_genome_batch_view(self, resnet18):
+        def make():
+            evaluator = DesignEvaluator(model=resnet18, platform=EDGE)
+            return SearchTracker(
+                evaluator, evaluator.genome_space(), sampling_budget=30
+            )
+
+        matrix_tracker = make()
+        genome_tracker = make()
+        rng = np.random.default_rng(53)
+        genomes = matrix_tracker.space.random_population(30, rng)
+        fits_matrix = matrix_tracker.evaluate_matrix(
+            GenomeMatrix.from_genomes(genomes)
+        )
+        fits_genomes = genome_tracker.evaluate_batch(genomes)
+        assert fits_matrix == fits_genomes
+        assert matrix_tracker.best.fitness == genome_tracker.best.fitness
+        assert matrix_tracker.history == genome_tracker.history
+        assert matrix_tracker.batch_calls == genome_tracker.batch_calls
+        assert (
+            matrix_tracker.batched_evaluations
+            == genome_tracker.batched_evaluations
+        )
+
+    def test_truncates_at_the_budget(self, ncf):
+        evaluator = DesignEvaluator(model=ncf, platform=EDGE)
+        tracker = SearchTracker(
+            evaluator, evaluator.genome_space(), sampling_budget=5
+        )
+        rng = np.random.default_rng(59)
+        genomes = tracker.space.random_population(9, rng)
+        fitnesses = tracker.evaluate_matrix(GenomeMatrix.from_genomes(genomes))
+        assert len(fitnesses) == 5
+        assert tracker.exhausted
+        assert tracker.evaluate_matrix(GenomeMatrix.from_genomes(genomes)) == []
+
+    def test_vector_batch_rides_the_matrix_path(self, ncf):
+        def make(budget=12):
+            evaluator = DesignEvaluator(model=ncf, platform=EDGE)
+            return SearchTracker(
+                evaluator, evaluator.genome_space(), sampling_budget=budget
+            )
+
+        tracker_batch = make()
+        tracker_loop = make()
+        rng = np.random.default_rng(61)
+        vectors = [tracker_batch.codec.random_vector(rng) for _ in range(12)]
+        fits_batch = tracker_batch.evaluate_vector_batch(vectors)
+        fits_loop = [tracker_loop.evaluate_vector(vector) for vector in vectors]
+        assert fits_batch == fits_loop
+        assert tracker_batch.history == tracker_loop.history
+
+
+class TestWorkerPoolMatrixPath:
+    def test_worker_chunks_match_in_process(self, ncf):
+        pooled = DesignEvaluator(model=ncf, platform=EDGE, workers=2)
+        local = DesignEvaluator(model=ncf, platform=EDGE)
+        try:
+            _, _, matrix = _repaired_population(pooled, 9, seed=67)
+            pooled_results = pooled.evaluate_matrix(matrix)
+            local_results = local.evaluate_matrix(matrix)
+            for a, b in zip(pooled_results, local_results):
+                _assert_results_identical(a, b)
+        finally:
+            pooled.shutdown()

@@ -13,6 +13,7 @@ from repro.framework.pareto import (
     crowding_distances,
     dominates,
     fast_non_dominated_sort,
+    fast_non_dominated_sort_reference,
     non_dominated_indices,
 )
 from repro.optim.digamma import DiGamma
@@ -65,6 +66,53 @@ class TestNonDominatedSort:
     def test_empty_input(self):
         assert fast_non_dominated_sort([]) == []
         assert non_dominated_indices([]) == []
+
+
+class TestVectorizedSortParity:
+    """The NumPy sort must reproduce the pure-Python reference *including*
+    the within-front index order: with duplicate objective vectors, front
+    order decides which duplicate receives the infinite boundary crowding
+    distance — and therefore selection, and therefore trajectories."""
+
+    @pytest.mark.parametrize("objectives", [1, 2, 3])
+    def test_randomized_fronts(self, objectives):
+        rng = np.random.default_rng(objectives)
+        for _ in range(120):
+            count = int(rng.integers(0, 36))
+            # Small integer grids maximise duplicates and dominance ties.
+            values = (
+                rng.integers(0, 4, size=(count, objectives))
+                .astype(float)
+                .tolist()
+            )
+            assert fast_non_dominated_sort(values) == (
+                fast_non_dominated_sort_reference(values)
+            )
+
+    def test_continuous_fronts(self):
+        rng = np.random.default_rng(99)
+        for _ in range(40):
+            count = int(rng.integers(1, 60))
+            values = rng.random((count, 2)).tolist()
+            assert fast_non_dominated_sort(values) == (
+                fast_non_dominated_sort_reference(values)
+            )
+
+    def test_non_dominated_indices_match_pairwise_definition(self):
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            count = int(rng.integers(0, 30))
+            values = rng.integers(0, 3, size=(count, 2)).astype(float).tolist()
+            want = [
+                index
+                for index, candidate in enumerate(values)
+                if not any(
+                    dominates(other, candidate)
+                    for position, other in enumerate(values)
+                    if position != index
+                )
+            ]
+            assert non_dominated_indices(values) == want
 
 
 class TestCrowding:

@@ -1,0 +1,239 @@
+"""Trajectory parity of the gene-matrix search loops.
+
+The hard invariant of this repository's perf work: rewriting a search
+inner loop must not change *anything* about the search — the RNG stream,
+the fitness sequence, the best design, the history.  Every matrix-native
+loop is pinned here against its per-genome twin, and the engine selectors
+and delta evaluation are pinned against each other through whole searches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.platform import get_platform
+from repro.encoding.genome import GenomeSpace
+from repro.encoding.genome_matrix import GenomeMatrix, genome_to_genes
+from repro.framework.cooptimizer import CoOptimizationFramework
+from repro.optim.digamma import operators
+from repro.optim.digamma.algorithm import DiGamma
+from repro.optim.nsga2 import NSGA2
+from repro.optim.pso import ParticleSwarm
+from repro.optim.std_ga import StandardGA
+from repro.workloads.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def ncf():
+    return get_model("ncf")
+
+
+def _search(model, optimizer, budget=600, seed=3, **framework_kwargs):
+    framework = CoOptimizationFramework(
+        model, get_platform("edge"), **framework_kwargs
+    )
+    return framework.search(optimizer, sampling_budget=budget, seed=seed)
+
+
+class TestLoopParity:
+    def test_digamma_matrix_equals_genome_loop(self, ncf):
+        matrix = _search(ncf, DiGamma())
+        legacy = _search(ncf, DiGamma(use_matrix=False))
+        assert matrix.history == legacy.history
+        assert matrix.best.fitness == legacy.best.fitness
+        assert matrix.evaluations == legacy.evaluations
+
+    def test_stdga_matrix_equals_genome_loop(self, ncf):
+        matrix = _search(ncf, StandardGA())
+        legacy = _search(ncf, StandardGA(use_matrix=False))
+        assert matrix.history == legacy.history
+        assert matrix.best.fitness == legacy.best.fitness
+
+    def test_nsga2_matrix_equals_genome_loop(self, ncf):
+        def front(use_matrix):
+            framework = CoOptimizationFramework(
+                ncf, get_platform("edge"), objectives="latency,energy"
+            )
+            return framework.pareto_search(
+                NSGA2(use_matrix=use_matrix), sampling_budget=480, seed=1
+            )
+
+        matrix = front(True)
+        legacy = front(False)
+        assert matrix.front_values == legacy.front_values
+        assert matrix.evaluations == legacy.evaluations
+
+    def test_nsga2_scalar_mode_matrix_equals_genome_loop(self, ncf):
+        matrix = _search(ncf, NSGA2(), budget=480, seed=2)
+        legacy = _search(ncf, NSGA2(use_matrix=False), budget=480, seed=2)
+        assert matrix.history == legacy.history
+        assert matrix.best.fitness == legacy.best.fitness
+
+
+class TestEngineAndDeltaParity:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engine": "fast"},
+            {"engine": "reference"},
+            {"use_delta": False},
+            {"use_cache": False},
+        ],
+        ids=["fast", "reference", "no-delta", "no-cache"],
+    )
+    def test_whole_search_trajectories_are_pinned(self, ncf, kwargs):
+        want = _search(ncf, DiGamma())
+        got = _search(ncf, DiGamma(), **kwargs)
+        assert got.history == want.history
+        assert got.best.fitness == want.best.fitness
+
+    def test_delta_reuse_actually_fires_during_a_search(self, ncf):
+        framework = CoOptimizationFramework(ncf, get_platform("edge"))
+        framework.search(DiGamma(), sampling_budget=600, seed=3)
+        stats = framework.evaluator.cost_model.vector_stats
+        assert stats["delta_generations"] > 1
+        assert stats["delta_members_reused"] > 0
+        assert stats["delta_rows_reused"] > 0
+
+
+class _ReferencePSO(ParticleSwarm):
+    """The pre-vectorization per-particle update loop, kept as ground truth."""
+
+    def run(self, tracker, rng):
+        from repro.optim.base import evaluate_vectors
+
+        dimension = tracker.vector_dimension
+        positions = rng.random((self.swarm_size, dimension))
+        velocities = (rng.random((self.swarm_size, dimension)) - 0.5) * 0.1
+        personal_best = positions.copy()
+        personal_fitness = np.full(self.swarm_size, -np.inf)
+        global_best = positions[0].copy()
+        global_fitness = -np.inf
+
+        fitnesses = evaluate_vectors(tracker, list(positions))
+        for index, fitness in enumerate(fitnesses):
+            personal_fitness[index] = fitness
+            if fitness > global_fitness:
+                global_fitness = fitness
+                global_best = positions[index].copy()
+        if len(fitnesses) < self.swarm_size:
+            return
+
+        while not tracker.exhausted:
+            for index in range(self.swarm_size):
+                r_cognitive = rng.random(dimension)
+                r_social = rng.random(dimension)
+                velocities[index] = (
+                    self.inertia * velocities[index]
+                    + self.cognitive
+                    * r_cognitive
+                    * (personal_best[index] - positions[index])
+                    + self.social * r_social * (global_best - positions[index])
+                )
+                velocities[index] = np.clip(
+                    velocities[index], -self.velocity_clamp, self.velocity_clamp
+                )
+                positions[index] = np.clip(
+                    positions[index] + velocities[index], 0.0, 1.0
+                )
+
+            fitnesses = evaluate_vectors(tracker, list(positions))
+            for index, fitness in enumerate(fitnesses):
+                if fitness > personal_fitness[index]:
+                    personal_fitness[index] = fitness
+                    personal_best[index] = positions[index].copy()
+                if fitness > global_fitness:
+                    global_fitness = fitness
+                    global_best = positions[index].copy()
+            if len(fitnesses) < self.swarm_size:
+                return
+
+
+class TestPSOVectorizedSweep:
+    def test_matches_the_per_particle_reference(self, ncf):
+        vectorized = _search(ncf, ParticleSwarm(), budget=240, seed=5)
+        reference = _search(ncf, _ReferencePSO(), budget=240, seed=5)
+        assert vectorized.history == reference.history
+        assert vectorized.best.fitness == reference.best.fitness
+
+
+class TestOperatorRowTwins:
+    """Each row twin must consume the identical RNG stream and produce the
+    identical genes as its per-genome operator."""
+
+    def _space(self):
+        return GenomeSpace(
+            dim_bounds={"K": 64, "C": 48, "Y": 16, "X": 16, "R": 3, "S": 3},
+            max_pes=256,
+            num_levels=2,
+        )
+
+    def _pair(self, space, seed):
+        rng = np.random.default_rng(seed)
+        parent_a = space.random_genome(rng)
+        parent_b = space.random_genome(rng)
+        return parent_a, parent_b, rng
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_operator(self, seed):
+        space = self._space()
+        cases = [
+            ("crossover", lambda g, b, r: operators.crossover(g, b, r),
+             lambda row, b, r: operators.crossover_rows(row, b, 2, r)),
+            ("reorder", lambda g, b, r: operators.reorder(g, r),
+             lambda row, b, r: operators.reorder_row(row, 2, r)),
+            ("grow", lambda g, b, r: operators.grow(g, space, r),
+             lambda row, b, r: operators.grow_row(row, space, 2, r)),
+            ("mutate_map", lambda g, b, r: operators.mutate_map(g, space, r),
+             lambda row, b, r: operators.mutate_map_row(row, space, 2, r)),
+            ("mutate_hw", lambda g, b, r: operators.mutate_hw(g, space, r),
+             lambda row, b, r: operators.mutate_hw_row(row, space, 2, r)),
+        ]
+        for name, genome_op, row_op in cases:
+            parent_a, parent_b, _ = self._pair(space, seed)
+            rng_genome = np.random.default_rng(100 + seed)
+            rng_row = np.random.default_rng(100 + seed)
+            genome_result = genome_op(parent_a.copy(), parent_b, rng_genome)
+            row_result = row_op(
+                genome_to_genes(parent_a), genome_to_genes(parent_b), rng_row
+            )
+            assert row_result == genome_to_genes(genome_result), name
+            # Identical stream: the next draws must agree too.
+            assert rng_genome.random() == rng_row.random(), name
+
+    def test_balance_parallel_row(self):
+        space = self._space()
+        genome = space.random_genome(np.random.default_rng(9))
+        row = genome_to_genes(genome)
+        operators.balance_parallel(genome, space)
+        operators.balance_parallel_row(row, 2)
+        assert row == genome_to_genes(genome)
+
+
+class TestTrackerShim:
+    def test_matrix_optimizers_fall_back_on_stub_trackers(self):
+        from tests.optim.helpers import BatchSpyTracker
+
+        tracker = BatchSpyTracker(sampling_budget=120)
+        DiGamma().run(tracker, np.random.default_rng(0))
+        assert tracker.evaluations == 120
+        assert tracker.batched_evaluations > 0
+
+        tracker = BatchSpyTracker(sampling_budget=120)
+        StandardGA(population_size=20).run(tracker, np.random.default_rng(0))
+        assert tracker.evaluations == 120
+
+    def test_matrix_population_container_round_trips(self):
+        space = GenomeSpace(
+            dim_bounds={"K": 8, "C": 8, "Y": 4, "X": 4, "R": 3, "S": 3},
+            max_pes=64,
+            num_levels=2,
+        )
+        genomes = space.random_population(6, np.random.default_rng(1))
+        matrix = GenomeMatrix.from_genomes(genomes)
+        assert len(matrix.truncated(4)) == 4
+        assert matrix.copy().data is not matrix.data
+        assert [g.cache_key() for g in matrix.to_genomes()] == [
+            g.cache_key() for g in genomes
+        ]

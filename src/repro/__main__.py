@@ -22,7 +22,11 @@ Subcommands
 ``experiments``
     The unified sweep runner: compile figure suites (or custom grids) into
     jobs, stream results to a JSONL store, ``--resume`` interrupted sweeps
-    and split them with ``--shard i/N``.
+    and split them with ``--shard i/N``.  Jobs run inside a per-job error
+    boundary with retries (``--retries``, ``--retry-backoff``), a watchdog
+    timeout (``--job-timeout``) and poison-job quarantine; stores can be
+    integrity-checked (``--verify-store``) and cleaned (``--repair-store``),
+    and ``--fault-plan`` injects deterministic chaos for testing.
 """
 
 from __future__ import annotations

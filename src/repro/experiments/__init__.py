@@ -4,9 +4,19 @@ Every harness compiles its grid into :class:`~repro.experiments.jobs.JobSpec`
 jobs and executes them through the shared
 :class:`~repro.experiments.runner.SweepRunner` engine, which streams results
 to a JSONL :class:`~repro.experiments.runner.ResultStore` and supports
-resuming and sharding (``python -m repro experiments --help``).
+resuming and sharding (``python -m repro experiments --help``).  The runner
+wraps every job in an error boundary (structured failure records, retry with
+backoff, watchdog timeout, poison-job quarantine); the failure paths are
+exercised deterministically through :mod:`repro.experiments.faults`.
 """
 
+from repro.experiments.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    SweepAborted,
+    parse_fault_plan,
+)
 from repro.experiments.jobs import (
     JobSpec,
     build_framework,
@@ -38,8 +48,12 @@ __all__ = [
     "DEFAULT_MODELS",
     "ExperimentSettings",
     "FIG5_OPTIMIZERS",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "JobSpec",
     "ResultStore",
+    "SweepAborted",
     "SweepRunner",
     "build_framework",
     "build_optimizer",
@@ -51,6 +65,7 @@ __all__ = [
     "job_to_dict",
     "make_fixed_hardware",
     "normalize_by_column",
+    "parse_fault_plan",
     "parse_shard",
     "select_shard",
 ]

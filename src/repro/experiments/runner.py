@@ -7,13 +7,22 @@ This module is the shared engine they now compile into:
 * :class:`ResultStore` — an append-only JSONL store of completed searches
   (one ``{"job_id", "spec", "result"}`` record per line, written and
   flushed as soon as each search finishes, so a killed sweep loses at most
-  the in-flight job).
+  the in-flight job).  Failed attempts are stored too, as structured
+  failure records, and loads tolerate corruption: undecodable lines are
+  counted, warned about and quarantined into ``<store>.corrupt`` instead
+  of silently dropped (``verify()`` / ``repair()`` expose the same checks
+  programmatically and through ``--verify-store``).
 * :class:`SweepRunner` — executes a list of :class:`JobSpec` jobs through
   shared :class:`CoOptimizationFramework` instances (one per
   model/platform/constraint combination, so evaluation caches and worker
   pools are reused across jobs), streams results to the store, and supports
   ``resume`` (skip jobs whose ids are already stored) and ``shard i/N``
-  (take every N-th job of the full list).
+  (take every N-th job of the full list).  Every job runs inside an error
+  boundary: exceptions become failure records and the sweep continues,
+  failed jobs retry with exponential backoff + jitter (``--retries``), a
+  watchdog enforces a per-job wall-clock timeout (``--job-timeout``), and
+  jobs that exhaust their attempts are quarantined — ``--resume`` re-runs
+  failed-but-retryable jobs while skipping quarantined ones.
 * a CLI, reachable as ``python -m repro experiments``, that compiles the
   figure suites into job lists, runs them and renders the tables from the
   result store.
@@ -25,9 +34,16 @@ import argparse
 import json
 import os
 import sys
+import threading
+import time
+import traceback
+import warnings
+import zlib
 from pathlib import Path
+from random import Random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.experiments.faults import SweepAborted
 from repro.experiments.jobs import (
     ENGINES,
     JobSpec,
@@ -39,6 +55,7 @@ from repro.experiments.jobs import (
 from repro.experiments.settings import (
     DEFAULT_MODELS,
     DEFAULT_SAMPLING_BUDGET,
+    DURABILITY_MODES,
     FIG5_OPTIMIZERS,
     ExperimentSettings,
 )
@@ -52,6 +69,11 @@ AnyResult = Union[SearchResult, ParetoResult]
 #: One completed job: its spec plus the search outcome.
 Outcome = Tuple[JobSpec, AnyResult]
 
+#: Job statuses a store record can carry.  Success records predate the
+#: field and stay unmarked for backward (and byte-) compatibility, so a
+#: missing ``"status"`` key reads as ``"ok"``.
+JOB_STATUSES = ("ok", "failed", "quarantined")
+
 #: Smoke-sweep shape: one tiny model, three cheap-but-representative
 #: optimizers (CMA included so the tables' normalization reference exists),
 #: and a budget that finishes in seconds.  Used by ``--smoke`` and CI.
@@ -60,17 +82,46 @@ SMOKE_OPTIMIZERS = ("random", "cma", "digamma")
 SMOKE_BUDGET = 40
 
 
+class JobTimeout(RuntimeError):
+    """A job exceeded the runner's per-job wall-clock timeout."""
+
+
+class ResultStoreCorruption(UserWarning):
+    """Warning category for undecodable lines found in a result store."""
+
+
 class ResultStore:
     """Append-only JSONL store of completed search results.
 
     Each line is an independent JSON record ``{"job_id": ..., "spec": ...,
-    "result": ...}``; later records for the same id win.  Malformed lines
-    (e.g. the partial last line of a killed writer) are skipped on load, so
-    a store surviving a crash is always resumable.
+    "result": ...}`` for a success, or ``{"job_id": ..., "spec": ...,
+    "status": "failed"|"quarantined", "failure": {...}}`` for a failed
+    attempt; later records for the same id win.  Malformed lines (e.g. the
+    partial last line of a killed writer) are counted, warned about and
+    quarantined into ``<store>.corrupt`` on load, so a store surviving a
+    crash is always resumable and never *silently* lossy.
+
+    ``durability`` selects how hard appends push each record toward disk:
+    ``"flush"`` (default) performs one unbuffered ``write`` syscall on an
+    ``O_APPEND`` descriptor; ``"fsync"`` additionally forces the record to
+    stable storage before the append returns.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], durability: str = "flush"):
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {durability!r}"
+            )
         self.path = Path(path)
+        self.durability = durability
+        #: Undecodable lines encountered by the most recent load.
+        self.skipped_lines = 0
+
+    @property
+    def corrupt_path(self) -> Path:
+        """Side file that quarantined undecodable lines accumulate in."""
+        return self.path.with_name(self.path.name + ".corrupt")
 
     def append(
         self,
@@ -82,11 +133,7 @@ class ResultStore:
 
         ``extra`` merges additional top-level keys into the record (e.g.
         the runner's per-search cache statistics); readers ignore keys they
-        do not know, so the store stays backward compatible.  The record is
-        emitted as one ``write`` syscall on an ``O_APPEND`` descriptor (not
-        through buffered text I/O, which splits multi-KB records into
-        several syscalls), so shard processes sharing one store file do not
-        interleave each other's lines.
+        do not know, so the store stays backward compatible.
         """
         record = {
             "job_id": spec.job_id,
@@ -95,51 +142,213 @@ class ResultStore:
         }
         if extra:
             record.update(extra)
+        self._append_record(record)
+
+    def append_failure(
+        self, spec: JobSpec, failure: dict, quarantined: bool = False
+    ) -> None:
+        """Persist one failed attempt as a structured failure record.
+
+        ``failure`` carries the boundary's diagnosis (``error``,
+        ``traceback``, ``attempt``, ``elapsed``); ``quarantined`` marks the
+        terminal attempt after which ``--resume`` stops retrying the job.
+        """
+        record = {
+            "job_id": spec.job_id,
+            "spec": job_to_dict(spec),
+            "status": "quarantined" if quarantined else "failed",
+            "failure": dict(failure),
+        }
+        self._append_record(record)
+
+    def _append_record(self, record: dict) -> None:
+        """Atomically append one record as a self-contained JSONL line.
+
+        The record is emitted as one ``write`` syscall on an ``O_APPEND``
+        descriptor (not through buffered text I/O, which splits multi-KB
+        records into several syscalls), so shard processes sharing one
+        store file do not interleave each other's lines.  If a previous
+        writer died mid-line, the new record first closes the partial line
+        with a newline, so one crash can never corrupt two records.  With
+        ``durability="fsync"`` the record is forced to stable storage
+        before the append returns.
+        """
         data = (json.dumps(record, sort_keys=True) + "\n").encode()
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # O_RDWR (not O_WRONLY): the partial-line check below preads the
+        # current last byte through the same descriptor.
         descriptor = os.open(
-            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            self.path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644
         )
         try:
+            size = os.fstat(descriptor).st_size
+            if size > 0 and hasattr(os, "pread"):
+                if os.pread(descriptor, 1, size - 1) != b"\n":
+                    data = b"\n" + data
             view = memoryview(data)
             while view:  # short writes (ENOSPC mid-write, signals) must not
                 view = view[os.write(descriptor, view) :]  # silently truncate
+            if self.durability == "fsync":
+                os.fsync(descriptor)
         finally:
             os.close(descriptor)
 
-    def records(self) -> List[dict]:
-        """All well-formed records, in file order."""
+    def _scan(self) -> Tuple[List[Tuple[int, str, dict]], List[Tuple[int, str]]]:
+        """Parse the store without side effects.
+
+        Returns ``(good, corrupt)``: well-formed records as ``(line_number,
+        raw_line, parsed)`` triples and undecodable lines as
+        ``(line_number, raw_line)`` pairs, both in file order.
+        """
         if not self.path.exists():
-            return []
-        records = []
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
+            return [], []
+        good: List[Tuple[int, str, dict]] = []
+        corrupt: List[Tuple[int, str]] = []
+        for number, line in enumerate(self.path.read_text().splitlines(), 1):
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                records.append(json.loads(line))
+                good.append((number, line, json.loads(stripped)))
             except json.JSONDecodeError:
-                continue  # partial line from a killed writer
-        return records
+                corrupt.append((number, line))
+        return good, corrupt
+
+    def records(self) -> List[dict]:
+        """All well-formed records, in file order.
+
+        Undecodable lines (the partial last line of a killed writer, disk
+        corruption) are never silently dropped: they are counted in
+        :attr:`skipped_lines`, quarantined into :attr:`corrupt_path` and
+        reported through a :class:`ResultStoreCorruption` warning.
+        """
+        good, corrupt = self._scan()
+        self.skipped_lines = len(corrupt)
+        if corrupt:
+            quarantined = self._quarantine(corrupt)
+            warnings.warn(
+                f"{self.path}: skipped {len(corrupt)} undecodable line(s) "
+                f"(line {', '.join(str(n) for n, _ in corrupt)}); "
+                f"{quarantined} new line(s) quarantined to {self.corrupt_path}"
+                " — run repair() (or `repro experiments --repair-store`) to"
+                " drop them from the store",
+                ResultStoreCorruption,
+                stacklevel=2,
+            )
+        return [record for _, _, record in good]
+
+    def _quarantine(self, corrupt: List[Tuple[int, str]]) -> int:
+        """Copy undecodable lines into the ``.corrupt`` side file (deduped).
+
+        Returns how many lines were newly quarantined; lines already in the
+        side file (repeated loads of the same damaged store) are not
+        duplicated.
+        """
+        known = set()
+        if self.corrupt_path.exists():
+            known = set(self.corrupt_path.read_text().splitlines())
+        fresh = [line for _, line in corrupt if line not in known]
+        if fresh:
+            with self.corrupt_path.open("a") as handle:
+                handle.write("".join(line + "\n" for line in fresh))
+        return len(fresh)
+
+    def verify(self) -> dict:
+        """Integrity report of the store; read-only.
+
+        ``ok`` is True when every line decodes.  ``jobs`` counts each job
+        id once by its *latest* record's status, which is what resume
+        semantics key off.
+        """
+        good, corrupt = self._scan()
+        latest: Dict[str, str] = {}
+        failure_records = 0
+        for _, _, record in good:
+            status = record.get("status", "ok")
+            if status != "ok":
+                failure_records += 1
+            latest[record.get("job_id", "<missing id>")] = status
+        jobs = {status: 0 for status in JOB_STATUSES}
+        for status in latest.values():
+            jobs[status] = jobs.get(status, 0) + 1
+        return {
+            "path": str(self.path),
+            "records": len(good),
+            "failure_records": failure_records,
+            "jobs": jobs,
+            "corrupt_lines": len(corrupt),
+            "corrupt_line_numbers": [number for number, _ in corrupt],
+            "ok": not corrupt,
+        }
+
+    def repair(self) -> dict:
+        """Drop undecodable lines from the store, quarantining them first.
+
+        Well-formed lines are preserved byte-for-byte; the cleaned store is
+        written to a temporary file, fsynced and atomically renamed over
+        the original, so a crash mid-repair leaves either the old or the
+        new store — never a half-written one.  Returns a report with the
+        number of ``removed_lines``.
+        """
+        good, corrupt = self._scan()
+        if corrupt:
+            self._quarantine(corrupt)
+            replacement = self.path.with_name(self.path.name + ".repair")
+            data = "".join(line + "\n" for _, line, _ in good).encode()
+            descriptor = os.open(
+                replacement, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+            )
+            try:
+                view = memoryview(data)
+                while view:
+                    view = view[os.write(descriptor, view) :]
+                os.fsync(descriptor)
+            finally:
+                os.close(descriptor)
+            os.replace(replacement, self.path)
+        return {
+            "path": str(self.path),
+            "records": len(good),
+            "removed_lines": len(corrupt),
+            "quarantine": str(self.corrupt_path) if corrupt else None,
+        }
+
+    def statuses(self, only: Optional[set] = None) -> Dict[str, str]:
+        """Latest status per job id (``"ok"`` / ``"failed"`` /
+        ``"quarantined"``); later records win, success records (which carry
+        no status field) read as ``"ok"``."""
+        table: Dict[str, str] = {}
+        for record in self.records():
+            job_id = record.get("job_id")
+            if only is not None and job_id not in only:
+                continue
+            table[job_id] = record.get("status", "ok")
+        return table
 
     def completed_ids(self) -> set:
-        """Ids of every job with a stored result."""
-        return {record["job_id"] for record in self.records()}
+        """Ids of every job whose latest record is a successful result."""
+        return {
+            job_id
+            for job_id, status in self.statuses().items()
+            if status == "ok"
+        }
 
     def load_results(self, only: Optional[set] = None) -> Dict[str, AnyResult]:
         """Deserialize stored results, keyed by job id.
 
         Records round-trip as whatever they were stored as (Pareto fronts
-        come back as :class:`ParetoResult`).  ``only`` restricts
-        deserialization to the given ids — rebuilding a result (designs,
-        per-layer reports, genomes) is the expensive part, so a shard
-        resuming against a large shared store should not pay it for every
-        other shard's records.
+        come back as :class:`ParetoResult`); failure records carry no
+        result and are skipped.  ``only`` restricts deserialization to the
+        given ids — rebuilding a result (designs, per-layer reports,
+        genomes) is the expensive part, so a shard resuming against a
+        large shared store should not pay it for every other shard's
+        records.
         """
         return {
             record["job_id"]: result_from_dict(record["result"])
             for record in self.records()
-            if only is None or record["job_id"] in only
+            if "result" in record
+            and (only is None or record["job_id"] in only)
         }
 
     def load_jobs(self) -> Dict[str, JobSpec]:
@@ -152,13 +361,28 @@ class ResultStore:
 
 def parse_shard(text: str) -> Tuple[int, int]:
     """Parse a ``--shard i/N`` argument into a 1-based (index, count) pair."""
+    head, separator, tail = text.partition("/")
+    if not separator:
+        raise ValueError(
+            f"shard must look like 'i/N' (shard i of N, e.g. '2/8'); "
+            f"got {text!r}, which has no '/'"
+        )
     try:
-        index_text, count_text = text.split("/", 1)
-        index, count = int(index_text), int(count_text)
+        index, count = int(head), int(tail)
     except ValueError as error:
-        raise ValueError(f"shard must look like 'i/N', got {text!r}") from error
-    if count < 1 or not 1 <= index <= count:
-        raise ValueError(f"shard index must satisfy 1 <= i <= N, got {text!r}")
+        raise ValueError(
+            f"shard must look like 'i/N' with integer i and N (e.g. '2/8'); "
+            f"got {text!r}"
+        ) from error
+    if count < 1:
+        raise ValueError(
+            f"shard count N must be >= 1; got N={count} in {text!r}"
+        )
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"shard index i is 1-based and must satisfy 1 <= i <= N; "
+            f"got i={index} with N={count} in {text!r}"
+        )
     return index, count
 
 
@@ -170,20 +394,29 @@ def select_shard(jobs: Sequence[JobSpec], index: int, count: int) -> List[JobSpe
 class SweepRunner:
     """Execute a job list through shared framework/worker-pool lifecycles.
 
+    Every job runs inside an error boundary: an exception (or watchdog
+    timeout) becomes a structured failure record in the store and the sweep
+    moves on.  Failed jobs retry up to ``settings.retries`` extra times
+    with exponential backoff and deterministic jitter; a job that exhausts
+    its attempts is quarantined.  ``resume`` re-runs jobs whose latest
+    stored record is a retryable failure and skips quarantined ones.
+
     Parameters
     ----------
     jobs:
         The full sweep, in a deterministic order (sharding depends on it).
     settings:
         Evaluation-engine knobs shared by every job (cache, workers,
-        bytes-per-element).  ``models`` / ``sampling_budget`` / ``seed`` on
+        bytes-per-element) plus the reliability knobs (``retries``,
+        ``retry_backoff``, ``job_timeout``, ``durability``,
+        ``fault_plan``).  ``models`` / ``sampling_budget`` / ``seed`` on
         the settings are ignored here — those live on the specs.
     store:
-        Optional :class:`ResultStore` (or path); every completed search is
-        appended immediately.
+        Optional :class:`ResultStore` (or path); every completed search and
+        every failed attempt is appended immediately.
     resume:
-        Skip jobs whose ids are already in the store and return their
-        stored results instead of re-running them.
+        Skip jobs whose ids already have a stored success (returning the
+        stored result) or a quarantine marker; retryable failures re-run.
     shard:
         Optional 1-based ``(index, count)`` pair; only that slice of the
         job list is executed.
@@ -203,7 +436,7 @@ class SweepRunner:
         self.jobs = list(jobs)
         self.settings = settings if settings is not None else ExperimentSettings()
         if store is not None and not isinstance(store, ResultStore):
-            store = ResultStore(store)
+            store = ResultStore(store, durability=self.settings.durability)
         self.store = store
         self.resume = resume
         if shard is not None:
@@ -227,13 +460,25 @@ class SweepRunner:
         affects the search outcome (the ``scheme`` label does not), so
         specs sharing an id — e.g. the same DiGamma search appearing in two
         suites under different labels — are executed once and the result is
-        returned for each of them.
+        returned for each of them.  Failed and quarantined jobs contribute
+        no outcome; their records live in the store.
         """
         jobs = self.shard_jobs
         completed: Dict[str, AnyResult] = {}
+        quarantined: set = set()
         if self.resume and self.store is not None:
+            stored = self.store.statuses(only={spec.job_id for spec in jobs})
+            quarantined = {
+                job_id
+                for job_id, status in stored.items()
+                if status == "quarantined"
+            }
             completed = self.store.load_results(
-                only={spec.job_id for spec in jobs}
+                only={
+                    job_id
+                    for job_id, status in stored.items()
+                    if status == "ok"
+                }
             )
         # Frameworks are shared across jobs and closed as soon as the last
         # job needing them has run, bounding memory on large sweeps.  Warm
@@ -252,56 +497,22 @@ class SweepRunner:
         shared_caches: Dict[tuple, object] = {}
         try:
             for position, spec in enumerate(jobs):
+                prefix = f"[{position + 1}/{len(jobs)}]"
                 known = completed.get(spec.job_id)
                 if known is not None:
                     outcomes.append((spec, known))
-                    self._say(f"[{position + 1}/{len(jobs)}] skip (stored): {spec.job_id}")
+                    self._say(f"{prefix} skip (stored): {spec.job_id}")
+                elif spec.job_id in quarantined:
+                    self._say(f"{prefix} skip (quarantined): {spec.job_id}")
                 else:
-                    framework = frameworks.get(spec.framework_key)
-                    if framework is None:
-                        framework = build_framework(spec, self.settings)
-                        frameworks[spec.framework_key] = framework
-                        self._share_layer_cache(spec, framework, shared_caches)
-                    evaluator = framework.evaluator
-                    design_before = evaluator.design_cache_stats
-                    layer_before = evaluator.layer_cache_stats
-                    delta_before = dict(evaluator.cost_model.vector_stats)
-                    run_search = (
-                        framework.pareto_search
-                        if spec.is_multi_objective
-                        else framework.search
+                    search = self._run_job(
+                        spec, position, prefix, frameworks, shared_caches
                     )
-                    search = run_search(
-                        build_optimizer(spec),
-                        sampling_budget=spec.sampling_budget,
-                        seed=spec.seed,
-                    )
-                    design_stats = evaluator.design_cache_stats.since(design_before)
-                    layer_stats = evaluator.layer_cache_stats.since(layer_before)
-                    delta_stats = {
-                        key: value - delta_before.get(key, 0)
-                        for key, value in
-                        evaluator.cost_model.vector_stats.items()
-                    }
-                    if self.store is not None:
-                        self.store.append(
-                            spec,
-                            search,
-                            extra={
-                                "cache": _cache_record(
-                                    design_stats, layer_stats, delta_stats
-                                )
-                            },
-                        )
-                    completed[spec.job_id] = search
-                    outcomes.append((spec, search))
-                    self._say(
-                        f"[{position + 1}/{len(jobs)}] {spec.job_id}: "
-                        f"{search.summary()} "
-                        f"[design cache {design_stats.hit_rate:.0%} of "
-                        f"{design_stats.requests}, layer cache "
-                        f"{layer_stats.hit_rate:.0%} of {layer_stats.requests}]"
-                    )
+                    if search is not None:
+                        completed[spec.job_id] = search
+                        outcomes.append((spec, search))
+                    else:
+                        quarantined.add(spec.job_id)
                 if last_use[spec.framework_key] == position:
                     framework = frameworks.pop(spec.framework_key, None)
                     if framework is not None:
@@ -309,9 +520,210 @@ class SweepRunner:
                 if cache_last_use[spec.evaluator_cache_key] == position:
                     shared_caches.pop(spec.evaluator_cache_key, None)
         finally:
+            # Close every shared pool even when a framework's own close
+            # raises (e.g. a pool broken by a killed worker) — the
+            # exception path must not leak the other frameworks' pools.
             for framework in frameworks.values():
-                framework.close()
+                try:
+                    framework.close()
+                except Exception:
+                    pass
         return outcomes
+
+    # -- the per-job error boundary ----------------------------------------
+
+    def _run_job(
+        self,
+        spec: JobSpec,
+        position: int,
+        prefix: str,
+        frameworks: Dict[tuple, object],
+        shared_caches: Dict[tuple, object],
+    ) -> Optional[AnyResult]:
+        """Run one job with retries; None means the job was quarantined.
+
+        Each attempt runs inside a try boundary: the failure is recorded to
+        the store (with error, traceback, attempt number and elapsed time),
+        the job's framework is discarded (a timed-out search may still be
+        running on its watchdog thread; a crashed one may hold a broken
+        pool), and the next attempt starts from a fresh framework after an
+        exponentially backed-off, deterministically jittered pause.
+        :class:`SweepAborted` (the fault harness's simulated hard crash)
+        is never caught — it stops the sweep like a real crash would.
+        """
+        attempts = self.settings.retries + 1
+        for attempt in range(1, attempts + 1):
+            start = time.perf_counter()
+            try:
+                framework = self._framework_for(spec, frameworks, shared_caches)
+                search, extra, cache_line = self._supervised_search(
+                    spec, framework, position, attempt
+                )
+            except SweepAborted:
+                raise
+            except Exception as error:
+                elapsed = time.perf_counter() - start
+                terminal = attempt == attempts
+                failure = {
+                    "job_id": spec.job_id,
+                    "error": f"{type(error).__name__}: {error}",
+                    "traceback": traceback.format_exc(),
+                    "attempt": attempt,
+                    "elapsed": round(elapsed, 6),
+                }
+                if self.store is not None:
+                    self.store.append_failure(
+                        spec, failure, quarantined=terminal
+                    )
+                self._discard_framework(spec, frameworks)
+                if terminal:
+                    self._say(
+                        f"{prefix} QUARANTINED after {attempt} attempt(s): "
+                        f"{spec.job_id} ({failure['error']})"
+                    )
+                    return None
+                self._say(
+                    f"{prefix} attempt {attempt}/{attempts} failed: "
+                    f"{spec.job_id} ({failure['error']}); retrying"
+                )
+                self._backoff(spec, attempt)
+                continue
+            if self.store is not None:
+                self.store.append(spec, search, extra=extra)
+                plan = self.settings.fault_plan
+                if plan is not None:
+                    plan.after_append(
+                        self.store.path, spec.job_id, position, attempt
+                    )
+            self._say(f"{prefix} {spec.job_id}: {search.summary()} {cache_line}")
+            return search
+        return None  # pragma: no cover — the loop always returns
+
+    def _supervised_search(
+        self,
+        spec: JobSpec,
+        framework,
+        position: int,
+        attempt: int,
+    ) -> Tuple[AnyResult, dict, str]:
+        """Run one attempt's search under the watchdog, with fault hooks.
+
+        Returns the search result, the ``extra`` dict destined for the
+        store record, and a pre-rendered cache-statistics tail for the
+        progress line (which must never leak into the record).
+        """
+        evaluator = framework.evaluator
+        design_before = evaluator.design_cache_stats
+        layer_before = evaluator.layer_cache_stats
+        delta_before = dict(evaluator.cost_model.vector_stats)
+        plan = self.settings.fault_plan
+
+        def execute() -> AnyResult:
+            if plan is not None:
+                plan.on_job_start(spec.job_id, position, attempt)
+            run_search = (
+                framework.pareto_search
+                if spec.is_multi_objective
+                else framework.search
+            )
+            return run_search(
+                build_optimizer(spec),
+                sampling_budget=spec.sampling_budget,
+                seed=spec.seed,
+            )
+
+        search = self._with_timeout(execute, spec)
+        design_stats = evaluator.design_cache_stats.since(design_before)
+        layer_stats = evaluator.layer_cache_stats.since(layer_before)
+        delta_stats = {
+            key: value - delta_before.get(key, 0)
+            for key, value in evaluator.cost_model.vector_stats.items()
+        }
+        extra = {"cache": _cache_record(design_stats, layer_stats, delta_stats)}
+        cache_line = (
+            f"[design cache {design_stats.hit_rate:.0%} of "
+            f"{design_stats.requests}, layer cache "
+            f"{layer_stats.hit_rate:.0%} of {layer_stats.requests}]"
+        )
+        return search, extra, cache_line
+
+    def _with_timeout(self, execute: Callable[[], AnyResult], spec: JobSpec):
+        """Enforce ``settings.job_timeout`` with a watchdog thread.
+
+        The attempt runs on a daemon thread; if it outlives the deadline
+        the main thread raises :class:`JobTimeout` and abandons it (the
+        caller discards the job's framework, so the zombie thread keeps no
+        shared state alive).  Without a timeout the attempt runs inline.
+        """
+        timeout = self.settings.job_timeout
+        if timeout is None:
+            return execute()
+        box: dict = {}
+
+        def target() -> None:
+            try:
+                box["result"] = execute()
+            except BaseException as error:  # noqa: BLE001 — relayed below
+                box["error"] = error
+
+        thread = threading.Thread(
+            target=target, daemon=True, name=f"job:{spec.job_id}"
+        )
+        thread.start()
+        thread.join(timeout)
+        if thread.is_alive():
+            raise JobTimeout(
+                f"job exceeded --job-timeout={timeout}s wall clock"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _framework_for(
+        self,
+        spec: JobSpec,
+        frameworks: Dict[tuple, object],
+        shared_caches: Dict[tuple, object],
+    ):
+        """Fetch (or build) the shared framework for a spec."""
+        framework = frameworks.get(spec.framework_key)
+        if framework is None:
+            framework = build_framework(spec, self.settings)
+            frameworks[spec.framework_key] = framework
+            self._share_layer_cache(spec, framework, shared_caches)
+            if self.settings.fault_plan is not None:
+                framework.evaluator.fault_plan = self.settings.fault_plan
+        return framework
+
+    def _discard_framework(
+        self, spec: JobSpec, frameworks: Dict[tuple, object]
+    ) -> None:
+        """Drop a failed job's framework so the retry starts fresh.
+
+        A timed-out attempt may still be executing on its watchdog thread
+        and a crashed one may hold a broken worker pool, so the framework
+        is shut down without waiting and never reused.
+        """
+        framework = frameworks.pop(spec.framework_key, None)
+        if framework is None:
+            return
+        try:
+            framework.evaluator.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def _backoff(self, spec: JobSpec, attempt: int) -> None:
+        """Sleep before the next attempt: exponential base, jittered.
+
+        The jitter factor (1.0–2.0x) is deterministic per (job, attempt) so
+        chaos tests reproduce exactly, while concurrent shards retrying the
+        same store still spread out.
+        """
+        base = self.settings.retry_backoff * (2 ** (attempt - 1))
+        if base <= 0:
+            return
+        seed = zlib.crc32(spec.job_id.encode()) + attempt
+        time.sleep(base * (1.0 + Random(seed).random()))
 
     def _share_layer_cache(
         self, spec: JobSpec, framework, shared_caches: Dict[tuple, object]
@@ -388,10 +800,11 @@ def full_outcomes(
     """Outcomes for the *whole* sweep, merging this run with the store.
 
     Returns ``None`` while some jobs have no result yet (e.g. other shards
-    still running) — callers should then skip table rendering.  Pass
-    ``stored_results`` (a preloaded ``store.load_results()`` dict) when
-    rendering several suites from one store, to avoid re-reading and
-    re-deserializing the whole file per suite.
+    still running, or jobs failed/quarantined) — callers should then skip
+    table rendering.  Pass ``stored_results`` (a preloaded
+    ``store.load_results()`` dict) when rendering several suites from one
+    store, to avoid re-reading and re-deserializing the whole file per
+    suite.
     """
     have: Dict[str, AnyResult] = {}
     if stored_results is not None:
@@ -424,7 +837,8 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="skip jobs whose ids are already in the store",
+        help="skip jobs already stored as success or quarantined; re-run "
+        "jobs whose latest record is a retryable failure",
     )
     parser.add_argument(
         "--workers",
@@ -446,6 +860,45 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable cross-generation delta evaluation on the gene-matrix "
         "path (results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per failed job before it is quarantined "
+        "(default: 0, no retry)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="base pause between attempts; attempt k waits "
+        "backoff * 2**(k-1), jittered (default: 0.1)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout enforced by a watchdog; a "
+        "timed-out job counts as a failed attempt (default: none)",
+    )
+    parser.add_argument(
+        "--durability",
+        choices=DURABILITY_MODES,
+        default="flush",
+        help="result-store append durability: 'flush' = one flushed write "
+        "syscall per record (default), 'fsync' = force each record to "
+        "stable storage",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON",
+        help="chaos testing: JSON list of fault specs to inject, e.g. "
+        '\'[{"kind": "raise", "job": 1}, {"kind": "kill-worker"}]\' '
+        "(see repro.experiments.faults)",
+    )
 
 
 def validate_sweep_args(
@@ -460,6 +913,8 @@ def settings_from_args(
     args: argparse.Namespace, models: Optional[Sequence[str]] = None
 ) -> ExperimentSettings:
     """Build :class:`ExperimentSettings` from parsed sweep arguments."""
+    from repro.experiments.faults import parse_fault_plan
+
     return ExperimentSettings(
         models=tuple(models) if models is not None else DEFAULT_MODELS,
         sampling_budget=args.budget,
@@ -467,6 +922,11 @@ def settings_from_args(
         workers=args.workers,
         engine=getattr(args, "engine", "vector"),
         use_delta=not getattr(args, "no_delta", False),
+        retries=getattr(args, "retries", 0),
+        retry_backoff=getattr(args, "retry_backoff", 0.1),
+        job_timeout=getattr(args, "job_timeout", None),
+        durability=getattr(args, "durability", "flush"),
+        fault_plan=parse_fault_plan(getattr(args, "fault_plan", None)),
     )
 
 
@@ -630,13 +1090,64 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
+    parser.add_argument(
+        "--verify-store",
+        default=None,
+        metavar="PATH",
+        help="integrity-check a JSONL result store (decodable lines, "
+        "per-status job counts) instead of running a sweep; exits 1 on "
+        "corruption",
+    )
+    parser.add_argument(
+        "--repair-store",
+        default=None,
+        metavar="PATH",
+        help="quarantine a store's undecodable lines into <store>.corrupt "
+        "and atomically rewrite it clean, instead of running a sweep",
+    )
     return parser
+
+
+def _print_store_report(report: dict) -> None:
+    """Render one verify()/repair() report for the CLI."""
+    jobs = report.get("jobs")
+    if jobs is not None:
+        print(
+            f"{report['path']}: {report['records']} record(s), "
+            f"{jobs['ok']} job(s) ok, {jobs['failed']} failed, "
+            f"{jobs['quarantined']} quarantined, "
+            f"{report['corrupt_lines']} corrupt line(s)"
+            + (
+                f" at line {', '.join(str(n) for n in report['corrupt_line_numbers'])}"
+                if report["corrupt_lines"]
+                else ""
+            )
+        )
+    else:
+        print(
+            f"{report['path']}: {report['records']} record(s) kept, "
+            f"{report['removed_lines']} corrupt line(s) removed"
+            + (
+                f" (quarantined to {report['quarantine']})"
+                if report["quarantine"]
+                else ""
+            )
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (``python -m repro experiments``)."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verify_store or args.repair_store:
+        status = 0
+        if args.repair_store:
+            _print_store_report(ResultStore(args.repair_store).repair())
+        if args.verify_store:
+            report = ResultStore(args.verify_store).verify()
+            _print_store_report(report)
+            status = 0 if report["ok"] else 1
+        return status
     if args.smoke:
         args.models = list(SMOKE_MODELS)
         args.optimizers = list(SMOKE_OPTIMIZERS)
@@ -662,20 +1173,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as error:
             parser.error(str(error))
     validate_sweep_args(parser, args)
-    store = ResultStore(args.store) if args.store else None
+    settings = settings_from_args(args, models=args.models)
+    store = (
+        ResultStore(args.store, durability=settings.durability)
+        if args.store
+        else None
+    )
     if shard is not None and store is None:
         parser.error("--shard requires --store (shards merge through the store)")
 
     progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
     runner = SweepRunner(
         jobs,
-        settings=settings_from_args(args, models=args.models),
+        settings=settings,
         store=store,
         resume=args.resume,
         shard=shard,
         progress=progress,
     )
-    outcomes = runner.run()
+    try:
+        outcomes = runner.run()
+    except SweepAborted as crash:
+        print(f"sweep aborted: {crash}", file=sys.stderr)
+        return 1
 
     rendered_any = False
     # Other processes' results only matter when sharded; a whole-sweep run
@@ -692,7 +1212,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 if any(spec.job_id == ran.job_id for ran, _ in outcomes)
             )
             print(f"{label}: {done}/{len(suite_jobs)} jobs done in this shard; "
-                  "tables pending remaining shards")
+                  "tables pending remaining shards or failed jobs")
             continue
         print(render(merged))
         print()

@@ -15,7 +15,14 @@ from typing import Dict, Optional, Tuple
 from repro.arch.area import AreaModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
+from repro.experiments.faults import FaultPlan
 from repro.framework.evaluator import ENGINES
+
+#: Accepted result-store durability modes (see ``ResultStore``): ``"flush"``
+#: appends each record as one flushed ``write`` syscall (a crash loses at
+#: most the in-flight record), ``"fsync"`` additionally forces the record
+#: to stable storage before the append returns (a power cut loses nothing).
+DURABILITY_MODES = ("flush", "fsync")
 
 #: The seven DNN models of the paper's evaluation, in presentation order.
 DEFAULT_MODELS: Tuple[str, ...] = (
@@ -58,6 +65,14 @@ class ExperimentSettings:
     vector/fast/reference engine selector (results are bit-identical for
     every combination).  A job spec may pin its own engine, which
     overrides the settings value for that job.
+
+    The reliability knobs configure the sweep runner's per-job error
+    boundary: ``retries`` extra attempts per failed job with exponential
+    ``retry_backoff`` (+ deterministic jitter) between them, a per-job
+    wall-clock ``job_timeout`` enforced by a watchdog, the result store's
+    ``durability`` mode, and an optional ``fault_plan``
+    (:class:`~repro.experiments.faults.FaultPlan`) that injects
+    deterministic failures for chaos testing.
     """
 
     models: Tuple[str, ...] = DEFAULT_MODELS
@@ -70,6 +85,19 @@ class ExperimentSettings:
     #: Cross-generation delta evaluation on the gene-matrix path; results
     #: are bit-identical either way, so the flag is not part of job ids.
     use_delta: bool = True
+    #: Extra attempts per failed job (0 = one attempt, no retry).
+    retries: int = 0
+    #: Base backoff between attempts, seconds; attempt ``k`` waits
+    #: ``retry_backoff * 2**(k-1)`` scaled by deterministic jitter.
+    retry_backoff: float = 0.1
+    #: Per-job wall-clock timeout, seconds (``None`` = no timeout).
+    job_timeout: Optional[float] = None
+    #: Result-store durability mode (see :data:`DURABILITY_MODES`).
+    durability: str = "flush"
+    #: Optional fault-injection plan for chaos testing; ``None`` in
+    #: production.  Not part of any job identity — faults never change
+    #: what a successful search computes, only whether an attempt fails.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.sampling_budget < 1:
@@ -79,6 +107,21 @@ class ExperimentSettings:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be > 0 when given, got {self.job_timeout}"
+            )
+        if self.durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {self.durability!r}"
             )
         object.__setattr__(self, "models", tuple(self.models))
 

@@ -126,6 +126,12 @@ class CoOptimizationFramework:
         """Release evaluator resources (worker pool, caches)."""
         self.evaluator.shutdown()
 
+    def __enter__(self) -> "CoOptimizationFramework":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self.close()
+
     def search(
         self,
         optimizer: SupportsRun,

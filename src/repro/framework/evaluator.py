@@ -10,6 +10,7 @@ can be plugged into the Optimization Block unchanged.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,12 @@ DEFAULT_DESIGN_CACHE_SIZE = 2048
 #: of truth: job specs, experiment settings and the CLIs import this.
 ENGINES = ("vector", "fast", "reference")
 
+#: How many times a broken worker pool is respawned over an evaluator's
+#: lifetime before it degrades (stickily) to in-process evaluation.  A pool
+#: that keeps dying is usually being OOM-killed, and respawning it forever
+#: just thrashes the machine.
+DEFAULT_MAX_POOL_RESTARTS = 2
+
 #: Clock default the inlined matrix scoring pins hardware to — taken from
 #: the dataclass itself so a changed HardwareConfig default cannot silently
 #: diverge the matrix path from :meth:`DesignEvaluator._score_performance`.
@@ -70,17 +77,31 @@ def _evaluate_in_worker(genome: Genome) -> "EvaluationResult":
     return _WORKER_EVALUATOR.evaluate_genome(genome)
 
 
+def _fire_worker_faults() -> None:
+    """Chaos hook: let an installed fault plan kill this worker process.
+
+    The plan travels into the worker pickled inside the evaluator (see
+    ``_init_worker``); outside fault-injection runs ``fault_plan`` is None
+    and this is a no-op attribute check.
+    """
+    plan = getattr(_WORKER_EVALUATOR, "fault_plan", None)
+    if plan is not None:
+        plan.on_worker_chunk()
+
+
 def _evaluate_batch_in_worker(genomes: List[Genome]) -> List["EvaluationResult"]:
     """Evaluate a population chunk in a worker process (pool map target).
 
     Chunks go through the worker evaluator's own in-process population
     path, so the vector engine runs inside each worker.
     """
+    _fire_worker_faults()
     return _WORKER_EVALUATOR.evaluate_population(genomes, workers=1)
 
 
 def _evaluate_matrix_in_worker(matrix: GenomeMatrix) -> List["EvaluationResult"]:
     """Evaluate a gene-matrix chunk in a worker process (pool map target)."""
+    _fire_worker_faults()
     return _WORKER_EVALUATOR.evaluate_matrix(matrix, workers=1)
 
 
@@ -274,6 +295,23 @@ class DesignEvaluator:
         self._delta_members: Optional[dict] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
+        #: Optional :class:`~repro.experiments.faults.FaultPlan`; ships to
+        #: pool workers inside the pickled evaluator so chaos tests can
+        #: kill workers deterministically.  ``None`` in production.
+        self.fault_plan = None
+        #: Lifetime cap on worker-pool respawns after ``BrokenProcessPool``.
+        self.max_pool_restarts = DEFAULT_MAX_POOL_RESTARTS
+        self._pool_restarts = 0
+        #: Sticky: once the restart budget is spent, every later population
+        #: call evaluates in-process instead of thrashing a dying pool.
+        self._pool_degraded = False
+        #: Observability counters for the pool-recovery path.
+        self.pool_stats = {
+            "broken": 0,
+            "restarts": 0,
+            "redispatched_chunks": 0,
+            "degraded": False,
+        }
 
     # -- public API --------------------------------------------------------
 
@@ -326,17 +364,24 @@ class DesignEvaluator:
         """
         genomes = list(genomes)
         width = self.workers if workers is None else workers
-        if width is not None and width > 1 and len(genomes) > 1:
-            pool = self._ensure_pool(width)
+        if (
+            width is not None
+            and width > 1
+            and len(genomes) > 1
+            and not self._pool_degraded
+        ):
             chunk = -(-len(genomes) // width)
             chunks = [
                 genomes[start : start + chunk]
                 for start in range(0, len(genomes), chunk)
             ]
-            results: List[EvaluationResult] = []
-            for batch in pool.map(_evaluate_batch_in_worker, chunks):
-                results.extend(batch)
-            return results
+            batches = self._map_chunks(
+                _evaluate_batch_in_worker,
+                chunks,
+                width,
+                lambda piece: self.evaluate_population(piece, workers=1),
+            )
+            return [result for batch in batches for result in batch]
         if self.engine == "vector" and len(genomes) > 1:
             return self._evaluate_population_vector(genomes)
         return [self.evaluate_genome(genome) for genome in genomes]
@@ -442,17 +487,24 @@ class DesignEvaluator:
         if count == 0:
             return []
         width = self.workers if workers is None else workers
-        if width is not None and width > 1 and count > 1:
-            pool = self._ensure_pool(width)
+        if (
+            width is not None
+            and width > 1
+            and count > 1
+            and not self._pool_degraded
+        ):
             chunk = -(-count // width)
             chunks = [
                 GenomeMatrix(matrix.data[start : start + chunk], matrix.num_levels)
                 for start in range(0, count, chunk)
             ]
-            results: List[EvaluationResult] = []
-            for batch in pool.map(_evaluate_matrix_in_worker, chunks):
-                results.extend(batch)
-            return results
+            batches = self._map_chunks(
+                _evaluate_matrix_in_worker,
+                chunks,
+                width,
+                lambda piece: self.evaluate_matrix(piece, workers=1),
+            )
+            return [result for batch in batches for result in batch]
         if self.engine != "vector" or matrix.num_levels != 2:
             # The scalar engines (and non-two-level hierarchies) take the
             # genome path; values are bit-identical, so matrix-native
@@ -678,10 +730,85 @@ class DesignEvaluator:
         self._delta_members = None
         self.cost_model.cache_clear()
 
-    def shutdown(self) -> None:
-        """Tear down the worker pool (if one was started)."""
+    def _map_chunks(
+        self,
+        worker_fn: Callable,
+        chunks: List,
+        width: int,
+        local_fn: Callable,
+    ) -> List[List[EvaluationResult]]:
+        """Map deterministic chunks over the pool, surviving dead workers.
+
+        ``pool.map`` yields chunk results in input order, so when a worker
+        dies (OOM-killer, segfault, injected ``kill-worker`` fault) and the
+        iteration raises :class:`BrokenProcessPool`, every chunk already
+        yielded is kept and exactly the undelivered chunks are re-dispatched
+        — against a respawned pool while the lifetime restart budget
+        (:attr:`max_pool_restarts`) lasts, and in-process through
+        ``local_fn`` once it is spent (:attr:`_pool_degraded` then stays
+        set, so later population calls skip the pool entirely).  The chunk
+        boundaries never change across re-dispatches and every evaluation
+        is a pure function of its genome, so results are bit-identical to
+        an undisturbed pool run.
+        """
+        outputs: List[Optional[List[EvaluationResult]]] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        while pending:
+            if self._pool_degraded:
+                for index in pending:
+                    outputs[index] = local_fn(chunks[index])
+                break
+            pool = self._ensure_pool(width)
+            try:
+                cursor = 0
+                for batch in pool.map(
+                    worker_fn, [chunks[index] for index in pending]
+                ):
+                    outputs[pending[cursor]] = batch
+                    cursor += 1
+                pending = []
+            except BrokenProcessPool:
+                self.pool_stats["broken"] += 1
+                self._teardown_pool()
+                pending = [index for index in pending if outputs[index] is None]
+                self.pool_stats["redispatched_chunks"] += len(pending)
+                if self._pool_restarts >= self.max_pool_restarts:
+                    self._pool_degraded = True
+                    self.pool_stats["degraded"] = True
+                else:
+                    self._pool_restarts += 1
+                    self.pool_stats["restarts"] += 1
+        return outputs
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear down the worker pool (if one was started).
+
+        ``wait=False`` abandons in-flight work instead of joining it — the
+        right call when discarding an evaluator whose pool may be broken or
+        whose search may still be running on a watchdog thread.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+            self._pool_workers = 0
+
+    def close(self) -> None:
+        """Alias of :meth:`shutdown` (context-manager symmetry)."""
+        self.shutdown()
+
+    def __enter__(self) -> "DesignEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self.shutdown()
+
+    def _teardown_pool(self) -> None:
+        """Drop a (possibly broken) pool without joining its workers."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False)
+            except Exception:
+                pass
             self._pool = None
             self._pool_workers = 0
 

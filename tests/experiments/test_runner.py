@@ -16,6 +16,7 @@ from repro.experiments.jobs import (
 )
 from repro.experiments.runner import (
     ResultStore,
+    ResultStoreCorruption,
     SweepRunner,
     full_outcomes,
     parse_shard,
@@ -98,13 +99,104 @@ class TestResultStore:
         SweepRunner(jobs, settings=TINY, store=store).run()
         with path.open("a") as handle:
             handle.write('{"job_id": "killed-mid-wr')  # no newline, no close
-        assert len(store.records()) == 1
-        assert store.completed_ids() == {jobs[0].job_id}
+        with pytest.warns(ResultStoreCorruption):
+            assert len(store.records()) == 1
+        with pytest.warns(ResultStoreCorruption):
+            assert store.completed_ids() == {jobs[0].job_id}
 
     def test_missing_file_is_empty(self, tmp_path):
         store = ResultStore(tmp_path / "absent.jsonl")
         assert store.records() == []
         assert store.completed_ids() == set()
+
+    def test_corrupt_lines_are_counted_and_quarantined(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            '{"job_id": "a", "spec": {}, "result": 1}\n'
+            "не-json мусор\n"
+            '{"job_id": "b", "spec": {}, "result": 2}\n'
+            '{"job_id": "truncated", "sp'
+        )
+        store = ResultStore(path)
+        with pytest.warns(ResultStoreCorruption, match="2 undecodable"):
+            records = store.records()
+        assert [record["job_id"] for record in records] == ["a", "b"]
+        assert store.skipped_lines == 2
+        quarantined = store.corrupt_path.read_text().splitlines()
+        assert quarantined == ["не-json мусор", '{"job_id": "truncated", "sp']
+        # Re-reading the same damaged store does not duplicate quarantines.
+        with pytest.warns(ResultStoreCorruption):
+            store.records()
+        assert store.corrupt_path.read_text().splitlines() == quarantined
+
+    def test_append_heals_a_partial_trailing_line(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        store = ResultStore(path)
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        SweepRunner(jobs, settings=TINY, store=store).run()
+        with path.open("a") as handle:
+            handle.write('{"half": ')  # a writer died mid-record
+        # The next append must not glue onto the partial line — one crash
+        # may never corrupt a second record.
+        SweepRunner(jobs, settings=ExperimentSettings(
+            models=("ncf",), sampling_budget=40, seed=1
+        ), store=store).run()
+        with pytest.warns(ResultStoreCorruption):
+            assert len(store.records()) == 2
+        assert store.skipped_lines == 1
+
+    def test_verify_and_repair(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        store = ResultStore(path)
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        SweepRunner(jobs, settings=TINY, store=store).run()
+        good_line = path.read_text()
+        path.write_text(good_line + '{"cut-off-mid-wri')
+        report = store.verify()
+        assert not report["ok"]
+        assert report["records"] == 1
+        assert report["corrupt_lines"] == 1
+        assert report["corrupt_line_numbers"] == [2]
+        assert report["jobs"] == {"ok": 1, "failed": 0, "quarantined": 0}
+
+        repair_report = store.repair()
+        assert repair_report["removed_lines"] == 1
+        # Good lines survive byte-for-byte; the bad one is quarantined.
+        assert path.read_text() == good_line
+        assert '{"cut-off-mid-wri' in store.corrupt_path.read_text()
+        clean = store.verify()
+        assert clean["ok"] and clean["corrupt_lines"] == 0
+        # Repairing a clean store is a no-op.
+        assert store.repair()["removed_lines"] == 0
+        assert path.read_text() == good_line
+
+    def test_failure_records_change_status_not_completed_ids(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        spec = jobs[0]
+        failure = {"job_id": spec.job_id, "error": "RuntimeError: x",
+                   "traceback": "...", "attempt": 1, "elapsed": 0.5}
+        store.append_failure(spec, failure, quarantined=False)
+        assert store.statuses() == {spec.job_id: "failed"}
+        assert store.completed_ids() == set()
+        assert store.load_results() == {}
+        store.append_failure(spec, {**failure, "attempt": 2}, quarantined=True)
+        assert store.statuses() == {spec.job_id: "quarantined"}
+        # A later success wins (the job was re-run after manual triage).
+        SweepRunner(jobs, settings=TINY, store=store).run()
+        assert store.statuses() == {spec.job_id: "ok"}
+        assert store.completed_ids() == {spec.job_id}
+        report = store.verify()
+        assert report["failure_records"] == 2
+        assert report["jobs"] == {"ok": 1, "failed": 0, "quarantined": 0}
+
+    def test_fsync_durability_mode(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl", durability="fsync")
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        SweepRunner(jobs, settings=TINY, store=store).run()
+        assert store.completed_ids() == {jobs[0].job_id}
+        with pytest.raises(ValueError, match="durability"):
+            ResultStore(tmp_path / "x.jsonl", durability="paranoid")
 
 
 class TestSharding:
@@ -114,6 +206,18 @@ class TestSharding:
         for bad in ("0/4", "5/4", "4", "a/b", "1/0"):
             with pytest.raises(ValueError):
                 parse_shard(bad)
+
+    def test_parse_shard_errors_name_the_offence(self):
+        with pytest.raises(ValueError, match=r"no '/'"):
+            parse_shard("4")
+        with pytest.raises(ValueError, match=r"integer i and N.*'a/b'"):
+            parse_shard("a/b")
+        with pytest.raises(ValueError, match=r"N must be >= 1.*'1/0'"):
+            parse_shard("1/0")
+        with pytest.raises(ValueError, match=r"1-based.*i=0.*N=4"):
+            parse_shard("0/4")
+        with pytest.raises(ValueError, match=r"i=5.*N=4"):
+            parse_shard("5/4")
 
     def test_shards_partition_the_job_list(self):
         jobs = compile_grid(
@@ -223,6 +327,34 @@ class TestExperimentsCLI:
     def test_shard_requires_store(self):
         with pytest.raises(SystemExit):
             repro_main(["experiments", "--smoke", "--shard", "1/2"])
+
+    def test_verify_store_flags_corruption(self, tmp_path, capsys):
+        store_path = tmp_path / "sweep.jsonl"
+        store = ResultStore(store_path)
+        jobs = compile_fig5_jobs("edge", TINY, ("random",))
+        SweepRunner(jobs, settings=TINY, store=store).run()
+        assert repro_main(
+            ["experiments", "--verify-store", str(store_path)]
+        ) == 0
+        assert "0 corrupt line(s)" in capsys.readouterr().out
+
+        with store_path.open("a") as handle:
+            handle.write('{"half-written')
+        assert repro_main(
+            ["experiments", "--verify-store", str(store_path)]
+        ) == 1
+        assert "1 corrupt line(s) at line 2" in capsys.readouterr().out
+
+        # --repair-store cleans it; combined with --verify-store the exit
+        # code reflects the post-repair state.
+        assert repro_main([
+            "experiments",
+            "--repair-store", str(store_path),
+            "--verify-store", str(store_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt line(s) removed" in out
+        assert store.corrupt_path.exists()
 
     def test_resume_requires_store(self):
         with pytest.raises(SystemExit):

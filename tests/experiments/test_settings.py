@@ -31,6 +31,27 @@ class TestConstants:
         with pytest.raises(ValueError):
             ExperimentSettings(workers=0)
 
+    def test_reliability_knob_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(retries=-1)
+        with pytest.raises(ValueError):
+            ExperimentSettings(retry_backoff=-0.1)
+        with pytest.raises(ValueError):
+            ExperimentSettings(job_timeout=0)
+        with pytest.raises(ValueError):
+            ExperimentSettings(durability="eventually")
+
+    def test_reliability_knobs_default_to_production_safety(self):
+        settings = ExperimentSettings()
+        assert settings.retries == 0
+        assert settings.job_timeout is None
+        assert settings.durability == "flush"
+        assert settings.fault_plan is None
+        # The reliability knobs are runner concerns: they must not leak
+        # into the framework construction kwargs.
+        assert "retries" not in settings.framework_options()
+        assert "fault_plan" not in settings.framework_options()
+
     def test_engine_knobs_default_and_forward(self):
         settings = ExperimentSettings()
         assert settings.use_cache is True

@@ -168,6 +168,69 @@ def bench_search_throughput(budget: int, reps: int, seed: int = 0) -> dict:
     }
 
 
+def bench_three_level(budget: int, reps: int, seed: int = 0) -> dict:
+    """Three-level hierarchy search throughput: vector path vs scalar engine.
+
+    Before the depth-generalized vector engine, three-level searches fell
+    off the vector path onto the ~20x-slower scalar fallback; this
+    benchmark records the vectorized three-level throughput
+    (``three_level_cached``) next to the scalar fast engine on the same
+    search (the old fallback's data path) and the uncached reference
+    engine (the seed scalar implementation the "20x" is measured
+    against), and asserts the depth actually rides the vector path (rows
+    vectorized, zero depth fallbacks) with a bit-identical outcome
+    across all three engines.
+    """
+    model = get_model("resnet18")
+    configs = {
+        "three_level_cached": {},
+        "three_level_fast_cached": {"engine": "fast"},
+        "three_level_reference": {"engine": "reference", "use_cache": False},
+    }
+    samples = {name: [] for name in configs}
+    fitness = {}
+    names = list(configs)
+    for rep in range(reps):
+        rotation = names[rep % len(names) :] + names[: rep % len(names)]
+        for name in rotation:
+            framework = CoOptimizationFramework(
+                model, get_platform("edge"), num_levels=3, **configs[name]
+            )
+            start = time.perf_counter()
+            result = framework.search(
+                get_optimizer("digamma"), sampling_budget=budget, seed=seed
+            )
+            elapsed = time.perf_counter() - start
+            samples[name].append(result.evaluations / elapsed)
+            fitness[name] = result.best.fitness if result.best else None
+            if name == "three_level_cached":
+                stats = framework.evaluator.cost_model.vector_stats
+                assert stats["rows_vectorized"] > 0, stats
+                assert stats["fallback_depth"] == 0, stats
+    throughput = {
+        name: round(max(values), 1) for name, values in samples.items()
+    }
+    assert len(set(fitness.values())) == 1, (
+        f"engines disagree on the three-level search outcome: {fitness}"
+    )
+    return {
+        "budget": budget,
+        "reps": reps,
+        "evals_per_second": throughput,
+        "speedup_vector_vs_fast": round(
+            throughput["three_level_cached"]
+            / throughput["three_level_fast_cached"],
+            2,
+        ),
+        "speedup_vector_vs_reference": round(
+            throughput["three_level_cached"]
+            / throughput["three_level_reference"],
+            2,
+        ),
+        "best_fitness": fitness["three_level_cached"],
+    }
+
+
 def _measure_throughput(
     budget: int, reps: int, use_matrix: bool = True, **framework_kwargs
 ) -> float:
@@ -295,6 +358,54 @@ def check_regression(
             f"{gated} {measured:.1f} evals/s vs floor {floor:.1f} "
             f"({recorded:.1f} recorded, tolerance {tolerance:.0%})"
         )
+    # Secondary gate: the vectorized three-level path.  Baselines recorded
+    # before depth generalization carry no entry and are tolerated; once an
+    # entry exists, the three-level throughput (absolute mode) or its
+    # vector/fast speedup (relative mode) must not regress either.
+    three_level = baseline.get("three_level_search_throughput")
+    if three_level is not None:
+        recorded_three = three_level["evals_per_second"]["three_level_cached"]
+        measured_three = _measure_throughput(budget, reps, num_levels=3)
+        three_payload = {
+            "recorded_evals_per_second": recorded_three,
+            "measured_evals_per_second": round(measured_three, 1),
+        }
+        if relative:
+            recorded_ratio_three = three_level["speedup_vector_vs_fast"]
+            fast_three = _measure_throughput(
+                budget, reps, num_levels=3, engine="fast"
+            )
+            measured_ratio_three = measured_three / fast_three
+            floor_three = recorded_ratio_three * (1.0 - tolerance)
+            three_passed = measured_ratio_three >= floor_three
+            three_payload.update(
+                {
+                    "recorded_speedup_vs_fast": recorded_ratio_three,
+                    "measured_speedup_vs_fast": round(measured_ratio_three, 2),
+                    "floor_speedup": round(floor_three, 2),
+                    "passed": three_passed,
+                }
+            )
+            three_subject = (
+                f"three_level_cached/fast speedup {measured_ratio_three:.2f}x "
+                f"vs floor {floor_three:.2f}x"
+            )
+        else:
+            floor_three = recorded_three * (1.0 - tolerance)
+            three_passed = measured_three >= floor_three
+            three_payload.update(
+                {
+                    "floor_evals_per_second": round(floor_three, 1),
+                    "passed": three_passed,
+                }
+            )
+            three_subject = (
+                f"three_level_cached {measured_three:.1f} evals/s vs floor "
+                f"{floor_three:.1f}"
+            )
+        payload["three_level"] = three_payload
+        passed = passed and three_passed
+        subject += "; " + three_subject
     if output:
         Path(output).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
@@ -419,6 +530,9 @@ def main(argv=None) -> int:
         },
         "single_layer_eval_us": bench_layer_eval(),
         "search_throughput": bench_search_throughput(args.budget, args.reps),
+        "three_level_search_throughput": bench_three_level(
+            args.budget, args.reps
+        ),
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -27,6 +27,10 @@ Subcommands
     timeout (``--job-timeout``) and poison-job quarantine; stores can be
     integrity-checked (``--verify-store``) and cleaned (``--repair-store``),
     and ``--fault-plan`` injects deterministic chaos for testing.
+``crosscheck``
+    Cross-backend agreement check: price one design sample on both the
+    analytic and the zigzag cost backend and gate their per-objective
+    deltas against the documented tolerance (exit 1 on disagreement).
 """
 
 from __future__ import annotations
@@ -43,6 +47,8 @@ from repro.experiments import fig6 as fig6_module
 from repro.experiments import fig7 as fig7_module
 from repro.experiments import pareto as pareto_module
 from repro.experiments import runner as runner_module
+from repro.cost.backend import BACKENDS
+from repro.experiments import crosscheck as crosscheck_module
 from repro.framework.cooptimizer import CoOptimizationFramework
 from repro.framework.evaluator import ENGINES
 from repro.framework.objective import Objective, ObjectiveSet
@@ -84,6 +90,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=args.engine,
         use_delta=not args.no_delta,
+        backend=args.backend,
     )
     optimizer = get_optimizer(args.optimizer)
     try:
@@ -111,6 +118,7 @@ def _run_pareto_search(args: argparse.Namespace, model, platform) -> int:
         workers=args.workers,
         engine=args.engine,
         use_delta=not args.no_delta,
+        backend=args.backend,
     )
     optimizer = get_optimizer(args.optimizer)
     try:
@@ -209,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "'vector' batches whole populations through "
                              "NumPy, 'fast' is the scalar engine, "
                              "'reference' the seed implementation)")
+    search.add_argument("--backend", choices=BACKENDS,
+                        default="analytic",
+                        help="cost backend: 'analytic' (the paper's "
+                             "MAESTRO-style order-aware model, default) or "
+                             "'zigzag' (independently coded memory-centric "
+                             "model); backends compute different costs")
     search.add_argument("--no-cache", action="store_true",
                         help="disable evaluation memoization (results are "
                              "bit-identical either way)")
@@ -232,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("ablations", add_help=False)
     subparsers.add_parser("pareto", add_help=False)
     subparsers.add_parser("experiments", add_help=False)
+    subparsers.add_parser("crosscheck", add_help=False)
     return parser
 
 
@@ -240,7 +255,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # The figure subcommands forward their remaining arguments unchanged.
     if argv and argv[0] in (
-        "fig5", "fig6", "fig7", "ablations", "pareto", "experiments"
+        "fig5", "fig6", "fig7", "ablations", "pareto", "experiments",
+        "crosscheck",
     ):
         forwarding = {
             "fig5": fig5_module.main,
@@ -249,6 +265,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "ablations": ablations_module.main,
             "pareto": pareto_module.main,
             "experiments": runner_module.main,
+            "crosscheck": crosscheck_module.main,
         }
         return forwarding[argv[0]](argv[1:])
 

@@ -35,7 +35,7 @@ from repro.cost.engine import (
     make_report,
     report_values,
 )
-from repro.cost.vector_engine import VectorEngine
+from repro.cost.vector_engine import GENES_PER_LEVEL, VectorEngine
 from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.cost.reuse import (
     LevelAnalysis,
@@ -245,20 +245,32 @@ class CostModel:
         """Vectorized / scalar-fallback / delta-reuse counters.
 
         ``rows_vectorized`` and ``rows_fallback`` count engine rows by how
-        they were priced; the ``delta_*`` counters track cross-generation
-        delta evaluation — members and (member, layer) rows reused from the
-        previous generation's fingerprint tables without touching the
-        engine (see :meth:`evaluate_model_matrix`).
+        they were priced, with ``rows_fallback`` further broken down by
+        reason in the ``fallback_*`` counters (``fallback_depth``,
+        ``fallback_statics_overflow``, ``fallback_intermediate_overflow``,
+        ``fallback_small_batch``, ``fallback_gene_overflow``); the
+        ``delta_*`` counters track cross-generation delta evaluation —
+        members and (member, layer) rows reused from the previous
+        generation's fingerprint tables without touching the engine (see
+        :meth:`evaluate_model_matrix`).
         """
         stats = dict(self.delta_counters)
         engine = self.__dict__.get("_vector_engine")
         if engine is None:
             stats.update(rows_vectorized=0, rows_fallback=0)
+            stats.update(
+                fallback_depth=0,
+                fallback_statics_overflow=0,
+                fallback_intermediate_overflow=0,
+                fallback_small_batch=0,
+                fallback_gene_overflow=0,
+            )
         else:
             stats.update(
                 rows_vectorized=engine.rows_vectorized,
                 rows_fallback=engine.rows_fallback,
             )
+            stats.update(engine.fallback_counters)
         return stats
 
     # -- single layer ------------------------------------------------------
@@ -506,40 +518,52 @@ class CostModel:
         rows: List[tuple] = []
         row_design: List[int] = []
         row_layer: List[int] = []
-        packable = True  # all designs two-level with int64-safe genes
+        pack_depth: Optional[int] = None  # hierarchy depth of the batch
+        packable = True  # all designs uniform-depth with int64-safe genes
         static_parts: List[tuple] = []
-        tiles0_arrays: List[np.ndarray] = []
-        tiles1_arrays: List[np.ndarray] = []
+        tiles_arrays: List[List[np.ndarray]] = []  # per level, per design
         design_entries: List[List] = []
         for design_index, mapping in enumerate(mappings):
             parts = (
                 mapping.cache_key() if isinstance(mapping, Mapping) else mapping
             )
-            two_level = len(parts) == 2
-            if two_level:
-                (static0, tiles0), (static1, tiles1) = parts
+            depth = len(parts)
+            if pack_depth is None:
+                pack_depth = depth
+            clipped: Optional[List[np.ndarray]] = None
+            if depth == pack_depth and depth > 0:
                 try:
-                    clipped0 = np.minimum(
-                        np.array(tiles0, dtype=np.int64), dims_matrix
-                    )
-                    clipped1 = np.minimum(
-                        np.array(tiles1, dtype=np.int64), clipped0
-                    )
+                    clipped = []
+                    parent = dims_matrix
+                    for _, level_tiles in parts:
+                        level_clipped = np.minimum(
+                            np.array(level_tiles, dtype=np.int64), parent
+                        )
+                        clipped.append(level_clipped)
+                        parent = level_clipped
                 except OverflowError:
-                    two_level = False  # beyond int64; tuple path is exact
-            if two_level:
-                keys = [
-                    ((static0, outer), (static1, inner))
-                    for outer, inner in zip(
-                        map(tuple, clipped0.tolist()),
-                        map(tuple, clipped1.tolist()),
-                    )
+                    clipped = None  # beyond int64; tuple path is exact
+            if clipped is not None:
+                statics_list = [static for static, _ in parts]
+                clipped_tiles = [
+                    list(map(tuple, level_clipped.tolist()))
+                    for level_clipped in clipped
                 ]
-                static_parts.append(
-                    static0[:2] + static0[2] + static1[:2] + static1[2]
-                )
-                tiles0_arrays.append(clipped0)
-                tiles1_arrays.append(clipped1)
+                keys = [
+                    tuple(
+                        (statics_list[level], clipped_tiles[level][layer])
+                        for level in range(depth)
+                    )
+                    for layer in range(num_layers)
+                ]
+                static_flat: tuple = ()
+                for static in statics_list:
+                    static_flat += static[:2] + static[2]
+                static_parts.append(static_flat)
+                while len(tiles_arrays) < depth:
+                    tiles_arrays.append([])
+                for level in range(depth):
+                    tiles_arrays[level].append(clipped[level])
             else:
                 if not isinstance(mapping, Mapping):
                     mapping = mapping_from_cache_key(parts)
@@ -580,8 +604,7 @@ class CostModel:
                     engine,
                     rows,
                     static_parts,
-                    tiles0_arrays,
-                    tiles1_arrays,
+                    tiles_arrays,
                     np.array(row_design, dtype=np.int64),
                     layer_index,
                     slots_array,
@@ -623,8 +646,7 @@ class CostModel:
         engine: VectorEngine,
         rows: List[tuple],
         static_parts: List[tuple],
-        tiles0_arrays: List[np.ndarray],
-        tiles1_arrays: List[np.ndarray],
+        tiles_arrays: List[List[np.ndarray]],
         row_design: np.ndarray,
         row_layer: np.ndarray,
         layer_slots: np.ndarray,
@@ -634,9 +656,10 @@ class CostModel:
     ) -> List[tuple]:
         """Assemble the engine's gene matrix with array gathers and run it.
 
-        The clipped tile arrays and per-design static parts already exist
-        from key building, so the per-row work reduces to two fancy-indexed
-        copies instead of re-flattening every key tuple.
+        The per-level clipped tile arrays and per-design static parts
+        already exist from key building, so the per-row work reduces to two
+        fancy-indexed copies per hierarchy level instead of re-flattening
+        every key tuple.
         """
         try:
             statics_matrix = np.array(static_parts, dtype=np.int64)
@@ -647,15 +670,15 @@ class CostModel:
                 dram_bandwidth,
                 slots=layer_slots[row_layer].tolist(),
             )
-        tiles0 = np.stack(tiles0_arrays).reshape(-1, 6)
-        tiles1 = np.stack(tiles1_arrays).reshape(-1, 6)
+        depth = len(tiles_arrays)
+        tiles = [np.stack(arrays).reshape(-1, 6) for arrays in tiles_arrays]
         row_position = row_design * num_layers + row_layer
-        matrix = np.empty((len(rows), 28), dtype=np.int64)
+        matrix = np.empty((len(rows), GENES_PER_LEVEL * depth), dtype=np.int64)
         gathered = statics_matrix[row_design]
-        matrix[:, 0:8] = gathered[:, 0:8]
-        matrix[:, 8:14] = tiles0[row_position]
-        matrix[:, 14:22] = gathered[:, 8:16]
-        matrix[:, 22:28] = tiles1[row_position]
+        for level in range(depth):
+            base = level * GENES_PER_LEVEL
+            matrix[:, base:base + 8] = gathered[:, 8 * level:8 * level + 8]
+            matrix[:, base + 8:base + 14] = tiles[level][row_position]
         return engine.evaluate_packed(
             rows,
             matrix,
@@ -685,15 +708,15 @@ class CostModel:
     ) -> List[ModelPerformance]:
         """Evaluate one model under many *repaired gene rows* in one pass.
 
-        ``design_matrix`` is a ``(designs, 28)`` int64 two-level
-        :class:`~repro.encoding.genome_matrix.GenomeMatrix` slice whose rows
-        are already repaired (spatial >= 1, tiles >= 1, orders are
-        permutations).  The per-(design, layer) work rows are assembled with
-        array gathers — vectorized tile clipping against the model's
-        dimension matrix, no per-member tuple construction — and
-        deduplicated by raw row bytes before anything touches a Python
-        dict.  Results are bit-identical to :meth:`evaluate_model_batch` on
-        the rows' cache keys.
+        ``design_matrix`` is a ``(designs, 14 * num_levels)`` int64
+        :class:`~repro.encoding.genome_matrix.GenomeMatrix` slice of any
+        hierarchy depth whose rows are already repaired (spatial >= 1,
+        tiles >= 1, orders are permutations).  The per-(design, layer) work
+        rows are assembled with array gathers — vectorized tile clipping
+        against the model's dimension matrix, no per-member tuple
+        construction — and deduplicated by raw row bytes before anything
+        touches a Python dict.  Results are bit-identical to
+        :meth:`evaluate_model_batch` on the rows' cache keys.
 
         With ``use_delta`` the previous call's (member, layer) working set
         is kept as a generation-scoped fingerprint table: rows unchanged
@@ -737,23 +760,29 @@ class CostModel:
             dtype=np.int64,
         )
 
-        clipped0 = np.minimum(
-            design_matrix[:, None, 8:14], dims_matrix[None, :, :]
-        )
-        clipped1 = np.minimum(design_matrix[:, None, 22:28], clipped0)
-        # Columns 29/30 carry the bandwidth float bit patterns so a row's
-        # bytes fingerprint the *full* composite cache key — same contract
-        # as the tuple keys, which include the statics and both bandwidths
-        # — and calls with different bandwidths can never alias in the LRU
-        # or delta table.
-        work = np.empty((num_designs * num_layers, 31), dtype=np.int64)
+        num_levels = design_matrix.shape[1] // GENES_PER_LEVEL
+        # The last two columns carry the bandwidth float bit patterns so a
+        # row's bytes fingerprint the *full* composite cache key — same
+        # contract as the tuple keys, which include the statics and both
+        # bandwidths — and calls with different bandwidths can never alias
+        # in the LRU or delta table.
+        width = 1 + GENES_PER_LEVEL * num_levels + 2
+        work = np.empty((num_designs * num_layers, width), dtype=np.int64)
         work[:, 0] = np.tile(layer_tokens, num_designs)
-        work[:, 1:9] = np.repeat(design_matrix[:, 0:8], num_layers, axis=0)
-        work[:, 9:15] = clipped0.reshape(-1, 6)
-        work[:, 15:23] = np.repeat(design_matrix[:, 14:22], num_layers, axis=0)
-        work[:, 23:29] = clipped1.reshape(-1, 6)
-        work[:, 29] = np.float64(noc_bandwidth).view(np.int64)
-        work[:, 30] = np.float64(dram_bandwidth).view(np.int64)
+        parent = dims_matrix[None, :, :]
+        for level in range(num_levels):
+            src = level * GENES_PER_LEVEL
+            dst = 1 + level * GENES_PER_LEVEL
+            work[:, dst:dst + 8] = np.repeat(
+                design_matrix[:, src:src + 8], num_layers, axis=0
+            )
+            clipped = np.minimum(
+                design_matrix[:, None, src + 8:src + 14], parent
+            )
+            work[:, dst + 8:dst + 14] = clipped.reshape(-1, 6)
+            parent = clipped
+        work[:, width - 2] = np.float64(noc_bandwidth).view(np.int64)
+        work[:, width - 1] = np.float64(dram_bandwidth).view(np.int64)
 
         # Row reuse is resolved on raw row *bytes*: the statics token in
         # column 0 keeps same-gene rows of different layer shapes apart, so
@@ -766,7 +795,7 @@ class CostModel:
         # Hit/miss totals match the sequential path (first occurrence of an
         # unknown row is the miss, later occurrences are hits).
         raw = work.tobytes()
-        step = 31 * 8
+        step = width * 8
         cache = self._cache
         cache_on = cache.maxsize > 0
         data = cache.data
@@ -823,7 +852,7 @@ class CostModel:
                         )
                     },
                 ),
-                work[positions, 1:29],
+                work[positions, 1:width - 2],
                 np.tile(layer_slots, num_designs)[positions],
                 noc_bandwidth,
                 dram_bandwidth,
@@ -993,9 +1022,17 @@ class _WorkRowView:
 
     def __getitem__(self, index: int):
         genes = self._work[self._positions[index]].tolist()
-        key = (
-            ((genes[1], genes[2], tuple(genes[3:9])), tuple(genes[9:15])),
-            ((genes[15], genes[16], tuple(genes[17:23])), tuple(genes[23:29])),
+        # Row layout: statics token, 14 genes per level, two bandwidth
+        # bit-pattern columns.
+        num_levels = (len(genes) - 3) // GENES_PER_LEVEL
+        key = tuple(
+            (
+                (genes[base], genes[base + 1], tuple(genes[base + 2:base + 8])),
+                tuple(genes[base + 8:base + 14]),
+            )
+            for base in range(
+                1, 1 + num_levels * GENES_PER_LEVEL, GENES_PER_LEVEL
+            )
         )
         return self._statics_of_token[genes[0]], key
 

@@ -6,11 +6,17 @@ This module evaluates a whole batch of such pairs — one *row* per
 (population member, unique layer) cache miss — in a single NumPy pass:
 
 * a packer flattens each row's layer mapping key (spatial sizes, parallel
-  dims, loop orders, clipped tiles) into one ``int64`` matrix and resolves
+  dims, loop orders, clipped tiles) into one ``int64`` matrix — one
+  :data:`GENES_PER_LEVEL`-column block per hierarchy level — and resolves
   the per-layer invariants through a small statics table, and
-* the two-level reuse/latency/energy arithmetic of
-  :func:`repro.cost.engine._evaluate_two_level` is re-expressed as
+* the reuse/latency/energy arithmetic of the scalar engine
+  (:func:`repro.cost.engine._evaluate_two_level` and its depth-general
+  sibling ``_evaluate_general``) is re-expressed as level-stacked
   elementwise array operations **in the same operation order**.
+
+Hierarchy depth is a parameter, not an assumption: 1-level, 2-level and
+3+-level rows all ride the array pipeline (mixed-depth batches are grouped
+by depth first).
 
 Bit-identical results are the contract (enforced by
 ``tests/cost/test_vector_engine.py``).  The scalar engine does its integer
@@ -19,11 +25,12 @@ float domain; IEEE-754 float64 multiplication/addition of *exactly
 representable* operands is also correctly rounded, so the array pipeline
 produces the same bits as long as every integer-chain intermediate stays
 below 2**53.  Rows where any monitored intermediate reaches that limit —
-and rows with non-two-level hierarchies or oversized layer statics — are
-flagged and routed through the scalar engine instead (the *scalar
-fallback*; see the README's engine-selection notes).  On the paper's
-workloads the flags never fire: traffic and trip-count intermediates top
-out around 1e13, two orders of magnitude below the limit.
+and rows with oversized layer statics — are flagged and routed through the
+scalar engine instead (the *scalar fallback*; see the README's
+engine-selection notes, and the per-reason ``fallback_*`` counters this
+engine keeps).  On the paper's workloads the flags never fire: traffic and
+trip-count intermediates top out around 1e13, two orders of magnitude below
+the limit.
 """
 
 from __future__ import annotations
@@ -41,6 +48,10 @@ from repro.workloads.statics import REDUCTION_INDEXES, LayerStatics
 
 #: One row of work: a layer's statics plus one clipped mapping key.
 Row = Tuple[LayerStatics, LayerMappingKey]
+
+#: Columns per hierarchy level in the packed gene matrix: spatial size,
+#: parallel dim index, six order positions, six tile sizes.
+GENES_PER_LEVEL = 14
 
 #: Integer-chain intermediates must stay below 2**53 for float64 products to
 #: be exact.  The guard subtracts a relative margin much larger than the
@@ -66,9 +77,11 @@ class VectorEngine:
     """Batched, bit-identical counterpart of the scalar fast engine.
 
     One instance per :class:`~repro.cost.maestro.CostModel`; it owns a small
-    statics table (one row per unique layer shape seen) and two counters,
-    ``rows_vectorized`` / ``rows_fallback``, that make the scalar-fallback
-    rate observable.
+    statics table (one row per unique layer shape seen) and fallback
+    telemetry: ``rows_vectorized`` / ``rows_fallback`` totals plus the
+    per-reason ``fallback_counters`` dict, which makes the scalar-fallback
+    rate *diagnosable* (a non-zero ``fallback_depth`` would mean a hierarchy
+    depth regressed off the vector path).
     """
 
     def __init__(
@@ -89,6 +102,13 @@ class VectorEngine:
         self._table: Optional[tuple] = None
         self.rows_vectorized = 0
         self.rows_fallback = 0
+        self.fallback_counters = {
+            "fallback_depth": 0,
+            "fallback_statics_overflow": 0,
+            "fallback_intermediate_overflow": 0,
+            "fallback_small_batch": 0,
+            "fallback_gene_overflow": 0,
+        }
 
     # -- statics table -----------------------------------------------------
 
@@ -155,20 +175,20 @@ class VectorEngine:
         order, so they drop straight into the layer-report cache and are
         reconstituted per layer with ``make_report``.  ``slots`` optionally
         carries precomputed :meth:`statics_slot` values parallel to
-        ``rows``.  Handles any hierarchy depth (non-two-level rows go
-        scalar); the batch path uses :meth:`evaluate_packed` instead, which
-        skips the per-row flattening done here.
+        ``rows``.  Handles any hierarchy depth: mixed-depth batches are
+        grouped by depth and each group rides the array pipeline.  The
+        batch path uses :meth:`evaluate_packed` instead, which skips the
+        per-row flattening done here.
         """
         count = len(rows)
         values: List[Optional[tuple]] = [None] * count
-        vec_positions: List[int] = []
-        flat: List[tuple] = []
-        vec_slots: List[int] = []
+        # depth -> (positions, flattened gene rows, statics slots)
+        groups: dict = {}
         statics_rows = self._statics_rows
         for position, (statics, key) in enumerate(rows):
-            if len(key) != 2:
+            if len(key) == 0:
                 values[position] = self._scalar_values(
-                    statics, key, noc_bandwidth, dram_bandwidth
+                    statics, key, noc_bandwidth, dram_bandwidth, "depth"
                 )
                 continue
             slot = (
@@ -177,48 +197,49 @@ class VectorEngine:
             )
             if not statics_rows[slot][8]:
                 values[position] = self._scalar_values(
-                    statics, key, noc_bandwidth, dram_bandwidth
+                    statics, key, noc_bandwidth, dram_bandwidth,
+                    "statics_overflow",
                 )
                 continue
-            (static0, tile0), (static1, tile1) = key
-            flat.append(
-                static0[:2] + static0[2] + tile0 + static1[:2] + static1[2] + tile1
+            flat_row: tuple = ()
+            for static, tile in key:
+                flat_row += static[:2] + static[2] + tile
+            group = groups.setdefault(len(key), ([], [], []))
+            group[0].append(position)
+            group[1].append(flat_row)
+            group[2].append(slot)
+
+        for positions, flat, group_slots in groups.values():
+            if len(positions) < MIN_VECTOR_ROWS:
+                for position in positions:
+                    statics, key = rows[position]
+                    values[position] = self._scalar_values(
+                        statics, key, noc_bandwidth, dram_bandwidth,
+                        "small_batch",
+                    )
+                continue
+            try:
+                matrix = np.array(flat, dtype=np.int64)
+            except OverflowError:
+                # A gene beyond int64 (pathological hand-built mappings);
+                # the scalar engine's arbitrary-precision ints handle it.
+                for position in positions:
+                    statics, key = rows[position]
+                    values[position] = self._scalar_values(
+                        statics, key, noc_bandwidth, dram_bandwidth,
+                        "gene_overflow",
+                    )
+                continue
+            tuples = self._finish_matrix(
+                rows,
+                positions,
+                matrix,
+                np.array(group_slots, dtype=np.int64),
+                noc_bandwidth,
+                dram_bandwidth,
             )
-            vec_slots.append(slot)
-            vec_positions.append(position)
-
-        if len(vec_positions) < MIN_VECTOR_ROWS:
-            for position in vec_positions:
-                statics, key = rows[position]
-                values[position] = self._scalar_values(
-                    statics, key, noc_bandwidth, dram_bandwidth
-                )
-            return values
-
-        try:
-            matrix = np.array(flat, dtype=np.int64)
-        except OverflowError:
-            # A gene beyond int64 (pathological hand-built mappings); the
-            # scalar engine's arbitrary-precision ints handle it fine.
-            for position in vec_positions:
-                statics, key = rows[position]
-                values[position] = self._scalar_values(
-                    statics, key, noc_bandwidth, dram_bandwidth
-                )
-            return values
-
-        tuples = self._finish_matrix(
-            rows,
-            vec_positions,
-            matrix,
-            np.array(vec_slots, dtype=np.int64),
-            noc_bandwidth,
-            dram_bandwidth,
-        )
-        if len(vec_positions) == count:
-            return tuples
-        for index, position in enumerate(vec_positions):
-            values[position] = tuples[index]
+            for index, position in enumerate(positions):
+                values[position] = tuples[index]
         return values
 
     def evaluate_packed(
@@ -229,10 +250,11 @@ class VectorEngine:
         noc_bandwidth: float,
         dram_bandwidth: float,
     ) -> List[tuple]:
-        """Evaluate two-level rows whose genes are already packed.
+        """Evaluate uniform-depth rows whose genes are already packed.
 
-        ``matrix`` is the ``(n, 28)`` int64 gene matrix (spatial, parallel,
-        order, tiles per level) the batch path assembles with array gathers;
+        ``matrix`` is the ``(n, 14 * num_levels)`` int64 gene matrix
+        (spatial, parallel, order, tiles per level) the batch path assembles
+        with array gathers — hierarchy depth is inferred from its width;
         ``slots`` are the rows' statics-table slots.  ``rows`` is consulted
         only when a row needs the scalar fallback.
         """
@@ -250,7 +272,8 @@ class VectorEngine:
                 for position in np.flatnonzero(~vectorizable).tolist():
                     statics, key = rows[position]
                     values[position] = self._scalar_values(
-                        statics, key, noc_bandwidth, dram_bandwidth
+                        statics, key, noc_bandwidth, dram_bandwidth,
+                        "statics_overflow",
                     )
                 matrix = matrix[keep]
                 slots = slots[keep]
@@ -261,7 +284,8 @@ class VectorEngine:
             for position in positions:
                 statics, key = rows[position]
                 out[position] = self._scalar_values(
-                    statics, key, noc_bandwidth, dram_bandwidth
+                    statics, key, noc_bandwidth, dram_bandwidth,
+                    "small_batch",
                 )
             return out
         tuples = self._finish_matrix(
@@ -311,7 +335,8 @@ class VectorEngine:
             for index in np.flatnonzero(inexact).tolist():
                 row = rows[positions[index] if positions is not None else index]
                 tuples[index] = self._scalar_values(
-                    row[0], row[1], noc_bandwidth, dram_bandwidth
+                    row[0], row[1], noc_bandwidth, dram_bandwidth,
+                    "intermediate_overflow",
                 )
                 flagged += 1
         self.rows_vectorized += len(tuples) - flagged
@@ -325,9 +350,16 @@ class VectorEngine:
         key: LayerMappingKey,
         noc_bandwidth: float,
         dram_bandwidth: float,
+        reason: str,
     ) -> tuple:
-        """One row through the scalar engine (fallback path)."""
+        """One row through the scalar engine (fallback path).
+
+        ``reason`` names the per-reason counter to bump (``depth``,
+        ``statics_overflow``, ``intermediate_overflow``, ``small_batch`` or
+        ``gene_overflow``); ``rows_fallback`` stays the total.
+        """
         self.rows_fallback += 1
+        self.fallback_counters["fallback_" + reason] += 1
         report = evaluate_layer_key(
             statics,
             key,
@@ -347,14 +379,15 @@ class VectorEngine:
         noc_bandwidth: float,
         dram_bandwidth: float,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The vectorized two-level evaluation.
+        """The vectorized, depth-general evaluation.
 
-        Mirrors ``engine._evaluate_two_level`` operation for operation; see
-        the module docstring for the exactness argument behind the
-        ``inexact`` flags.  Returns the float columns (latency, compute,
-        noc, dram, l2_to_l1, dram_bytes, l1_access, energy), the integer
-        columns (macs, active_pes, num_pes, l1_requirement,
-        l2_requirement) and the per-row inexactness flags.
+        Mirrors ``engine._evaluate_two_level`` / ``engine._evaluate_general``
+        operation for operation as a loop over hierarchy levels (the depth
+        comes from the matrix width); see the module docstring for the
+        exactness argument behind the ``inexact`` flags.  Returns the float
+        columns (latency, compute, noc, dram, l2_to_l1, dram_bytes,
+        l1_access, energy), the integer columns (macs, active_pes, num_pes,
+        l1_requirement, l2_requirement) and the per-row inexactness flags.
         """
         (
             dims_table, stride_table, dw_table, macs_f_table, macs_i_table,
@@ -367,49 +400,69 @@ class VectorEngine:
         i_mask = i_table[slots]
         o_mask = o_table[slots]
 
-        spatial0 = matrix[:, 0]
-        par0 = matrix[:, 1:2]
-        order0 = matrix[:, 2:8]
-        tile0 = matrix[:, 8:14]
-        spatial1 = matrix[:, 14]
-        par1 = matrix[:, 15:16]
-        order1 = matrix[:, 16:22]
-        tile1 = matrix[:, 22:28]
+        num_levels = matrix.shape[1] // GENES_PER_LEVEL
+        spatial = []
+        par = []
+        order = []
+        tile = []
+        for level in range(num_levels):
+            base = level * GENES_PER_LEVEL
+            spatial.append(matrix[:, base])
+            par.append(matrix[:, base + 1:base + 2])
+            order.append(matrix[:, base + 2:base + 8])
+            tile.append(matrix[:, base + 8:base + 14])
 
         inexact = np.zeros(len(matrix), dtype=bool)
 
         # -- per-level reuse analysis (engine: base/active/folds/trips) ----
-        def _analyze(parent, tile, par, spatial):
-            base = -(-parent // tile)
-            chunks = np.take_along_axis(base, par, 1)[:, 0]
-            active = np.minimum(spatial, chunks)
+        def _analyze(parent, tile_l, par_l, spatial_l):
+            base = -(-parent // tile_l)
+            chunks = np.take_along_axis(base, par_l, 1)[:, 0]
+            active = np.minimum(spatial_l, chunks)
             folds = -(-chunks // active)
             trips = base.copy()
-            np.put_along_axis(trips, par, folds[:, None], 1)
-            covered = np.take_along_axis(tile, par, 1)[:, 0] * active
-            parent_extent = np.take_along_axis(parent, par, 1)[:, 0]
-            macro = tile.copy()
+            np.put_along_axis(trips, par_l, folds[:, None], 1)
+            covered = np.take_along_axis(tile_l, par_l, 1)[:, 0] * active
+            parent_extent = np.take_along_axis(parent, par_l, 1)[:, 0]
+            macro = tile_l.copy()
             np.put_along_axis(
-                macro, par, np.minimum(parent_extent, covered)[:, None], 1
+                macro, par_l, np.minimum(parent_extent, covered)[:, None], 1
             )
             return trips, macro, active
 
-        trips0, macro0, active0 = _analyze(dims, tile0, par0, spatial0)
-        trips1, _, active1 = _analyze(tile0, tile1, par1, spatial1)
+        trips = []
+        macros = []
+        actives = []
+        parent = dims
+        for level in range(num_levels):
+            trips_l, macro_l, active_l = _analyze(
+                parent, tile[level], par[level], spatial[level]
+            )
+            trips.append(trips_l)
+            macros.append(macro_l)
+            actives.append(active_l)
+            parent = tile[level]
 
-        trips0_in_order = np.take_along_axis(trips0, order0, 1).astype(np.float64)
-        prefix0 = np.cumprod(trips0_in_order, axis=1)
-        product0 = prefix0[:, 5]
-        inexact |= product0 >= _EXACT_LIMIT
-        trips1_in_order = np.take_along_axis(trips1, order1, 1).astype(np.float64)
-        prefix1 = np.cumprod(trips1_in_order, axis=1)
-        product1 = prefix1[:, 5]
-        inexact |= product1 >= _EXACT_LIMIT
+        trips_in_order = []
+        prefixes = []
+        products = []
+        for level in range(num_levels):
+            in_order = np.take_along_axis(
+                trips[level], order[level], 1
+            ).astype(np.float64)
+            prefix = np.cumprod(in_order, axis=1)
+            product = prefix[:, 5]
+            inexact |= product >= _EXACT_LIMIT
+            trips_in_order.append(in_order)
+            prefixes.append(prefix)
+            products.append(product)
 
-        inner_volume = np.cumprod(tile1.astype(np.float64), axis=1)[:, 5]
+        inner_volume = np.cumprod(tile[-1].astype(np.float64), axis=1)[:, 5]
         inexact |= inner_volume >= _EXACT_LIMIT
-        total_steps = product0 * product1
-        inexact |= total_steps >= _EXACT_LIMIT
+        total_steps = products[0]
+        for level in range(1, num_levels):
+            total_steps = total_steps * products[level]
+            inexact |= total_steps >= _EXACT_LIMIT
         compute_cycles = inner_volume * total_steps
 
         # -- operand footprints (flag every integer-chain intermediate) ----
@@ -440,9 +493,7 @@ class VectorEngine:
             inexact_local |= inputs >= _EXACT_LIMIT
             return weight, inputs, output, inexact_local
 
-        macro_w, macro_i, macro_o, flagged = _footprints(macro0)
-        inexact |= flagged
-        inner_w, inner_i, inner_o, flagged = _footprints(tile1)
+        macro_w, macro_i, macro_o, flagged = _footprints(macros[0])
         inexact |= flagged
 
         # -- operand fetch scans (engine: _operand_fetches) ----------------
@@ -454,9 +505,9 @@ class VectorEngine:
             )[:, 0]
             return np.where(position >= 0, gathered, 1.0)
 
-        rel_w0 = np.take_along_axis(w_mask, order0, 1)
-        rel_i0 = np.take_along_axis(i_mask, order0, 1)
-        rel_o0 = np.take_along_axis(o_mask, order0, 1)
+        rel_w0 = np.take_along_axis(w_mask, order[0], 1)
+        rel_i0 = np.take_along_axis(i_mask, order[0], 1)
+        rel_o0 = np.take_along_axis(o_mask, order[0], 1)
 
         bpe = self._bpe_f
         bpe_exact = self._bpe_exact
@@ -470,53 +521,63 @@ class VectorEngine:
 
         # -- off-chip traffic (engine: dram_bytes accumulation) ------------
         out_elements = out_f_table[slots]
-        term = _fetches(rel_w0, trips0_in_order, prefix0) * macro_w
+        term = _fetches(rel_w0, trips_in_order[0], prefixes[0]) * macro_w
         if not bpe_exact:
             inexact |= term >= _EXACT_LIMIT
         dram_bytes = term * bpe
-        term = _fetches(rel_i0, trips0_in_order, prefix0) * macro_i
+        term = _fetches(rel_i0, trips_in_order[0], prefixes[0]) * macro_i
         if not bpe_exact:
             inexact |= term >= _EXACT_LIMIT
         dram_bytes = dram_bytes + term * bpe
-        fetched_out = _fetches(rel_o0, trips0_in_order, prefix0) * macro_o
+        fetched_out = _fetches(rel_o0, trips_in_order[0], prefixes[0]) * macro_o
         inexact |= fetched_out >= _EXACT_LIMIT  # feeds an exact subtraction
         spills = np.maximum(0.0, fetched_out - out_elements)
         dram_bytes = dram_bytes + (out_elements + 2.0 * spills) * bpe
 
         # -- NoC traffic (engine: l2_to_l1_bytes accumulation) -------------
-        rel_w1 = np.take_along_axis(w_mask, order1, 1)
-        rel_i1 = np.take_along_axis(i_mask, order1, 1)
-        rel_o1 = np.take_along_axis(o_mask, order1, 1)
-        active0_f = active0.astype(np.float64)
-        active1_f = active1.astype(np.float64)
-        par0_flat = par0[:, 0]
-        par1_flat = par1[:, 0]
+        actives_f = [active.astype(np.float64) for active in actives]
+        pars_flat = [par_l[:, 0] for par_l in par]
 
-        def _distinct(mask, is_output):
-            at0 = np.take_along_axis(mask, par0, 1)[:, 0]
-            at1 = np.take_along_axis(mask, par1, 1)[:, 0]
-            if is_output:
-                at0 = at0 | _REDUCTION_MASK[par0_flat]
-                at1 = at1 | _REDUCTION_MASK[par1_flat]
-            distinct = np.where(at0, active0_f, 1.0) * np.where(at1, active1_f, 1.0)
+        def _distinct(mask, is_output, depth):
+            distinct = None
+            for level in range(depth):
+                at = np.take_along_axis(mask, par[level], 1)[:, 0]
+                if is_output:
+                    at = at | _REDUCTION_MASK[pars_flat[level]]
+                factor = np.where(at, actives_f[level], 1.0)
+                distinct = factor if distinct is None else distinct * factor
             return distinct
 
         l2_to_l1_bytes = np.zeros(len(matrix))
-        for footprint, rel1, mask, is_output in (
-            (inner_w, rel_w1, w_mask, False),
-            (inner_i, rel_i1, i_mask, False),
-            (inner_o, rel_o1, o_mask, True),
-        ):
-            term = product0 * _fetches(rel1, trips1_in_order, prefix1)
-            inexact |= term >= _EXACT_LIMIT
-            term = term * footprint
-            inexact |= term >= _EXACT_LIMIT
-            distinct = _distinct(mask, is_output)
-            inexact |= distinct >= _EXACT_LIMIT
-            term = term * distinct
-            if not bpe_exact:
+        inner_w = inner_i = inner_o = None
+        steps_above = products[0]
+        for level_index in range(1, num_levels):
+            rel_w_l = np.take_along_axis(w_mask, order[level_index], 1)
+            rel_i_l = np.take_along_axis(i_mask, order[level_index], 1)
+            rel_o_l = np.take_along_axis(o_mask, order[level_index], 1)
+            tile_w, tile_i, tile_o, flagged = _footprints(tile[level_index])
+            inexact |= flagged
+            for footprint, rel_l, mask, is_output in (
+                (tile_w, rel_w_l, w_mask, False),
+                (tile_i, rel_i_l, i_mask, False),
+                (tile_o, rel_o_l, o_mask, True),
+            ):
+                term = steps_above * _fetches(
+                    rel_l, trips_in_order[level_index], prefixes[level_index]
+                )
                 inexact |= term >= _EXACT_LIMIT
-            l2_to_l1_bytes = l2_to_l1_bytes + term * bpe
+                term = term * footprint
+                inexact |= term >= _EXACT_LIMIT
+                distinct = _distinct(mask, is_output, level_index + 1)
+                inexact |= distinct >= _EXACT_LIMIT
+                term = term * distinct
+                if not bpe_exact:
+                    inexact |= term >= _EXACT_LIMIT
+                l2_to_l1_bytes = l2_to_l1_bytes + term * bpe
+            if level_index < num_levels - 1:
+                steps_above = steps_above * products[level_index]
+                inexact |= steps_above >= _EXACT_LIMIT
+            inner_w, inner_i, inner_o = tile_w, tile_i, tile_o
 
         noc_cycles = l2_to_l1_bytes / noc_bandwidth
         dram_cycles = dram_bytes / dram_bandwidth
@@ -526,10 +587,14 @@ class VectorEngine:
         if not bpe_exact:
             inexact |= fill >= _EXACT_LIMIT
         startup = fill * bpe / dram_bandwidth
-        fill = inner_w + inner_i
-        if not bpe_exact:
-            inexact |= fill >= _EXACT_LIMIT
-        startup = startup + fill * bpe / noc_bandwidth
+        if num_levels > 1:
+            # The scalar engine adds an exact 0.0 here for one-level
+            # hierarchies, which is the float identity — skipping the term
+            # entirely is bit-identical.
+            fill = inner_w + inner_i
+            if not bpe_exact:
+                inexact |= fill >= _EXACT_LIMIT
+            startup = startup + fill * bpe / noc_bandwidth
         latency = (
             np.maximum(np.maximum(compute_cycles, noc_cycles), dram_cycles)
             + startup
@@ -547,14 +612,32 @@ class VectorEngine:
         )
 
         # -- minimum buffer capacities (exact integers in the report) ------
-        partial = inner_w + inner_i
-        inexact |= partial >= _EXACT_LIMIT
-        l1_requirement = (partial + inner_o) * bpe
-        inexact |= l1_requirement >= _EXACT_LIMIT
-        partial = macro_w + macro_i
-        inexact |= partial >= _EXACT_LIMIT
-        l2_requirement = (partial + macro_o) * bpe
-        inexact |= l2_requirement >= _EXACT_LIMIT
+        if num_levels == 1:
+            # One-level hierarchies size both buffers from the raw inner
+            # tile footprint (not the macro), mirroring the scalar engine.
+            tile_w, tile_i, tile_o, flagged = _footprints(tile[0])
+            inexact |= flagged
+            partial = tile_w + tile_i
+            inexact |= partial >= _EXACT_LIMIT
+            l1_requirement = (partial + tile_o) * bpe
+            inexact |= l1_requirement >= _EXACT_LIMIT
+            l2_requirement = l1_requirement
+        else:
+            partial = inner_w + inner_i
+            inexact |= partial >= _EXACT_LIMIT
+            l1_requirement = (partial + inner_o) * bpe
+            inexact |= l1_requirement >= _EXACT_LIMIT
+            partial = macro_w + macro_i
+            inexact |= partial >= _EXACT_LIMIT
+            l2_requirement = (partial + macro_o) * bpe
+            inexact |= l2_requirement >= _EXACT_LIMIT
+            for level_index in range(1, num_levels - 1):
+                mid_w, mid_i, mid_o, flagged = _footprints(macros[level_index])
+                inexact |= flagged
+                partial = mid_w + mid_i
+                inexact |= partial >= _EXACT_LIMIT
+                l2_requirement = l2_requirement + (partial + mid_o) * bpe
+                inexact |= l2_requirement >= _EXACT_LIMIT
 
         float_columns = np.stack(
             (
@@ -563,12 +646,17 @@ class VectorEngine:
             ),
             axis=1,
         )
+        active_pes = actives[0]
+        num_pes = spatial[0]
+        for level in range(1, num_levels):
+            active_pes = active_pes * actives[level]
+            num_pes = num_pes * spatial[level]
         safe = ~inexact
         int_columns = np.stack(
             (
                 macs_i_table[slots],
-                active0 * active1,
-                spatial0 * spatial1,
+                active_pes,
+                num_pes,
                 np.where(safe, l1_requirement, 0.0).astype(np.int64),
                 np.where(safe, l2_requirement, 0.0).astype(np.int64),
             ),

@@ -26,6 +26,7 @@ from repro.framework.objective import Objective, ObjectiveSet
 from repro.optim.base import Optimizer
 from repro.optim.grid_search import HardwareGridSearch
 from repro.optim.registry import optimizer_class
+from repro.cost.backend import BACKENDS
 from repro.framework.evaluator import ENGINES
 from repro.workloads.registry import get_model
 
@@ -64,6 +65,14 @@ class JobSpec:
         engine; an explicit value pins this job and becomes part of its
         ``job_id``.  Engines are bit-identical, so the id component only
         matters for benchmarking sweeps that compare them.
+    backend:
+        Cost-backend selector (``"analytic"`` / ``"zigzag"``, see
+        :mod:`repro.cost.backend`).  ``None`` (default) inherits the sweep
+        settings' backend; an explicit value pins this job and joins its
+        ``job_id``.  Unlike ``engine``, backends compute *different*
+        costs, so the sweep runner pins any non-default settings backend
+        onto every spec — two jobs differing only in backend are different
+        experiments and never share an id.
     scheme:
         Optional display label used as the table column; defaults to the
         optimizer's own display name.
@@ -80,6 +89,7 @@ class JobSpec:
     fixed_hw_style: Optional[str] = None
     buffer_allocation: str = "exact"
     engine: Optional[str] = None
+    backend: Optional[str] = None
     scheme: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -88,6 +98,10 @@ class JobSpec:
         if self.engine is not None and self.engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES} (or None), got {self.engine!r}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS} (or None), got {self.backend!r}"
             )
         objectives = self.objectives
         if objectives:
@@ -126,6 +140,8 @@ class JobSpec:
             parts.append(f"alloc={self.buffer_allocation}")
         if self.engine is not None:
             parts.append(f"engine={self.engine}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
         parts.append(f"b{self.sampling_budget}")
         parts.append(f"s{self.seed}")
         return "/".join(parts)
@@ -141,10 +157,11 @@ class JobSpec:
             self.fixed_hw_style,
             self.buffer_allocation,
             self.engine,
+            self.backend,
         )
 
     @property
-    def evaluator_cache_key(self) -> Tuple[str, str, Optional[str], str, Optional[str]]:
+    def evaluator_cache_key(self) -> Tuple:
         """Jobs with equal keys can share one warm layer-report cache.
 
         Per-layer cost reports are pure functions of (layer statics,
@@ -159,6 +176,7 @@ class JobSpec:
             self.fixed_hw_style,
             self.buffer_allocation,
             self.engine,
+            self.backend,
         )
 
     @property
@@ -207,6 +225,7 @@ def build_framework(
         buffer_allocation=spec.buffer_allocation,
         bytes_per_element=settings.bytes_per_element,
         engine=spec.engine if spec.engine is not None else settings.engine,
+        backend=spec.backend if spec.backend is not None else settings.backend,
         **settings.framework_options(),
     )
 
@@ -228,6 +247,7 @@ def job_to_dict(spec: JobSpec) -> Dict[str, Any]:
         "fixed_hw_style": spec.fixed_hw_style,
         "buffer_allocation": spec.buffer_allocation,
         "engine": spec.engine,
+        "backend": spec.backend,
         "scheme": spec.scheme,
     }
 
@@ -246,6 +266,7 @@ def job_from_dict(data: Dict[str, Any]) -> JobSpec:
         fixed_hw_style=data.get("fixed_hw_style"),
         buffer_allocation=str(data.get("buffer_allocation", "exact")),
         engine=data.get("engine"),
+        backend=data.get("backend"),
         scheme=data.get("scheme"),
     )
 

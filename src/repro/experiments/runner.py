@@ -39,12 +39,14 @@ import time
 import traceback
 import warnings
 import zlib
+from dataclasses import replace
 from pathlib import Path
 from random import Random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.faults import SweepAborted
 from repro.experiments.jobs import (
+    BACKENDS,
     ENGINES,
     JobSpec,
     build_framework,
@@ -391,6 +393,27 @@ def select_shard(jobs: Sequence[JobSpec], index: int, count: int) -> List[JobSpe
     return list(jobs[index - 1 :: count])
 
 
+def pin_settings_backend(
+    jobs: Sequence[JobSpec], settings: ExperimentSettings
+) -> List[JobSpec]:
+    """Pin a non-default sweep backend onto every spec that inherits it.
+
+    An explicit backend always lands in ``job_id``: runs under different
+    backends are different experiments and must never collide in (or
+    resume from) each other's store records.  Table rendering compiles
+    suite specs independently of the runner, so both sides pin through
+    this one helper to agree on ids.
+    """
+    if settings.backend == "analytic":
+        return list(jobs)
+    return [
+        spec
+        if spec.backend is not None
+        else replace(spec, backend=settings.backend)
+        for spec in jobs
+    ]
+
+
 class SweepRunner:
     """Execute a job list through shared framework/worker-pool lifecycles.
 
@@ -433,8 +456,8 @@ class SweepRunner:
         shard: Optional[Tuple[int, int]] = None,
         progress: Optional[Callable[[str], None]] = None,
     ):
-        self.jobs = list(jobs)
         self.settings = settings if settings is not None else ExperimentSettings()
+        self.jobs = pin_settings_backend(jobs, self.settings)
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store, durability=self.settings.durability)
         self.store = store
@@ -751,10 +774,14 @@ def _cache_record(
 ) -> dict:
     """JSON-ready per-search cache statistics for the result store.
 
-    The ``delta`` section only appears for searches that actually ran
-    through the delta-filtered gene-matrix path; jobs on the scalar
-    engines (or with ``--no-delta``) keep their records free of all-zero
-    noise.
+    The ``delta`` and ``vector`` sections only appear for searches that
+    actually ran through the delta-filtered gene-matrix path / the vector
+    engine; jobs on the scalar engines (or with ``--no-delta``) keep
+    their records free of all-zero noise.  ``vector`` splits the scalar
+    fallbacks by reason, so a sweep record shows at a glance *why* rows
+    left the vector path (``fallback_depth`` in particular is a
+    regression detector: the depth-generalized engine prices every
+    hierarchy depth, so it must stay 0).
     """
     record = {
         "design": {
@@ -787,6 +814,22 @@ def _cache_record(
             if row_requests
             else 0.0,
             "generations": delta.get("delta_generations", 0),
+        }
+    rows_vectorized = delta.get("rows_vectorized", 0)
+    rows_fallback = delta.get("rows_fallback", 0)
+    if rows_vectorized or rows_fallback:
+        record["vector"] = {
+            "rows_vectorized": rows_vectorized,
+            "rows_fallback": rows_fallback,
+            "fallback_depth": delta.get("fallback_depth", 0),
+            "fallback_statics_overflow": delta.get(
+                "fallback_statics_overflow", 0
+            ),
+            "fallback_intermediate_overflow": delta.get(
+                "fallback_intermediate_overflow", 0
+            ),
+            "fallback_small_batch": delta.get("fallback_small_batch", 0),
+            "fallback_gene_overflow": delta.get("fallback_gene_overflow", 0),
         }
     return record
 
@@ -855,6 +898,15 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         "implementation); all three are bit-identical",
     )
     parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="analytic",
+        help="cost backend: 'analytic' (the paper's MAESTRO-style "
+        "order-aware model, default) or 'zigzag' (independently coded "
+        "memory-centric model); unlike --engine, backends compute "
+        "different costs and join every job id",
+    )
+    parser.add_argument(
         "--no-delta",
         action="store_true",
         help="disable cross-generation delta evaluation on the gene-matrix "
@@ -921,6 +973,7 @@ def settings_from_args(
         seed=args.seed,
         workers=args.workers,
         engine=getattr(args, "engine", "vector"),
+        backend=getattr(args, "backend", "analytic"),
         use_delta=not getattr(args, "no_delta", False),
         retries=getattr(args, "retries", 0),
         retry_backoff=getattr(args, "retry_backoff", 0.1),
@@ -1174,6 +1227,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(str(error))
     validate_sweep_args(parser, args)
     settings = settings_from_args(args, models=args.models)
+    if settings.backend != "analytic":
+        # Rendering matches outcomes to suite specs by job_id, and the
+        # runner pins the sweep backend into ids — pin the suite copies
+        # identically or every lookup misses.
+        entries = [
+            (label, pin_settings_backend(suite_jobs, settings), render)
+            for label, suite_jobs, render in entries
+        ]
+        jobs = pin_settings_backend(jobs, settings)
     store = (
         ResultStore(args.store, durability=settings.durability)
         if args.store

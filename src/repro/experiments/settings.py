@@ -16,6 +16,7 @@ from repro.arch.area import AreaModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
 from repro.experiments.faults import FaultPlan
+from repro.cost.backend import BACKENDS
 from repro.framework.evaluator import ENGINES
 
 #: Accepted result-store durability modes (see ``ResultStore``): ``"flush"``
@@ -82,6 +83,10 @@ class ExperimentSettings:
     use_cache: bool = True
     workers: Optional[int] = None
     engine: str = "vector"
+    #: Cost-backend selector (:mod:`repro.cost.backend`).  Unlike
+    #: ``engine``, the backend changes what a search computes, so it joins
+    #: job identities (see :class:`~repro.experiments.jobs.JobSpec`).
+    backend: str = "analytic"
     #: Cross-generation delta evaluation on the gene-matrix path; results
     #: are bit-identical either way, so the flag is not part of job ids.
     use_delta: bool = True
@@ -107,6 +112,10 @@ class ExperimentSettings:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")

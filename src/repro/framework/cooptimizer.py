@@ -67,6 +67,10 @@ class CoOptimizationFramework:
         vector/fast/reference engine selector (``"vector"`` by default) and
         cross-generation delta evaluation on/off.  Every combination
         produces bit-identical results.
+    backend:
+        Cost-backend selector forwarded to the evaluator (``"analytic"``
+        by default; ``"zigzag"`` swaps in the independently coded
+        memory-centric model — see :mod:`repro.cost.backend`).
     objectives:
         Optional multi-objective axis set for Pareto-front search: an
         :class:`ObjectiveSet`, an iterable of objective names, or a
@@ -93,6 +97,7 @@ class CoOptimizationFramework:
         engine: str = "vector",
         objectives: Union[ObjectiveSet, Iterable[str], str, None] = None,
         use_delta: bool = True,
+        backend: str = "analytic",
     ):
         if objectives is not None and not isinstance(objectives, ObjectiveSet):
             objectives = ObjectiveSet.from_names(objectives)
@@ -119,6 +124,7 @@ class CoOptimizationFramework:
             engine=engine,
             objectives=objectives,
             use_delta=use_delta,
+            backend=backend,
         )
         self.space = self.evaluator.genome_space(num_levels=num_levels)
 

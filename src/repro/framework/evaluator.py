@@ -20,11 +20,12 @@ from repro.arch.area import AreaBreakdown, AreaModel
 from repro.arch.energy import EnergyModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
+from repro.cost.backend import BACKENDS, create_backend
 from repro.cost.cache import CacheStats, LRUCache
-from repro.cost.maestro import DEFAULT_LAYER_CACHE_SIZE, CostModel
+from repro.cost.maestro import DEFAULT_LAYER_CACHE_SIZE
 from repro.cost.performance import ModelPerformance
 from repro.encoding.genome import Genome, GenomeSpace
-from repro.encoding.genome_matrix import GenomeMatrix, row_to_genome
+from repro.encoding.genome_matrix import LEVEL_WIDTH, GenomeMatrix, row_to_genome
 from repro.framework.constraints import ConstraintChecker
 from repro.framework.designpoint import (
     AcceleratorDesign,
@@ -234,10 +235,21 @@ class DesignEvaluator:
         bit-identical either way (reused values are pure functions of the
         fingerprint); the flag exists for benchmarking and the parity
         tests.  Reuse counters surface in ``cost_model.vector_stats``.
+    backend:
+        Cost-backend selector (:mod:`repro.cost.backend`).  ``"analytic"``
+        (default) is the MAESTRO-style order-aware engine this repo
+        reproduces; ``"zigzag"`` is the independently coded memory-centric
+        model used as a cross-backend correctness oracle
+        (``repro crosscheck``).  Non-analytic backends price designs
+        through the per-genome path: the vector/matrix fast paths and the
+        ``engine`` selector are analytic-backend concepts.
     """
 
     #: Accepted ``engine`` values (the module-level constant).
     ENGINES = ENGINES
+
+    #: Accepted ``backend`` values (from :mod:`repro.cost.backend`).
+    BACKENDS = BACKENDS
 
     def __init__(
         self,
@@ -254,6 +266,7 @@ class DesignEvaluator:
         engine: str = "vector",
         objectives: Optional[ObjectiveSet] = None,
         use_delta: bool = True,
+        backend: str = "analytic",
     ):
         if buffer_allocation not in ("exact", "fill"):
             raise ValueError(
@@ -265,7 +278,12 @@ class DesignEvaluator:
             raise ValueError(
                 f"engine must be one of {self.ENGINES}, got {engine!r}"
             )
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self.BACKENDS}, got {backend!r}"
+            )
         self.engine = engine
+        self.backend = backend
         self.model = model
         self.platform = platform
         self.objective = objective
@@ -277,7 +295,8 @@ class DesignEvaluator:
         self.bytes_per_element = bytes_per_element
         self.use_cache = use_cache
         self.workers = workers
-        self.cost_model = CostModel(
+        self.cost_model = create_backend(
+            backend,
             energy_model=self.energy_model,
             bytes_per_element=bytes_per_element,
             cache_size=DEFAULT_LAYER_CACHE_SIZE if use_cache else 0,
@@ -382,7 +401,11 @@ class DesignEvaluator:
                 lambda piece: self.evaluate_population(piece, workers=1),
             )
             return [result for batch in batches for result in batch]
-        if self.engine == "vector" and len(genomes) > 1:
+        if (
+            self.engine == "vector"
+            and self.backend == "analytic"
+            and len(genomes) > 1
+        ):
             return self._evaluate_population_vector(genomes)
         return [self.evaluate_genome(genome) for genome in genomes]
 
@@ -505,10 +528,12 @@ class DesignEvaluator:
                 lambda piece: self.evaluate_matrix(piece, workers=1),
             )
             return [result for batch in batches for result in batch]
-        if self.engine != "vector" or matrix.num_levels != 2:
-            # The scalar engines (and non-two-level hierarchies) take the
-            # genome path; values are bit-identical, so matrix-native
-            # search loops stay exact under every engine selector.
+        if self.engine != "vector" or self.backend != "analytic":
+            # The scalar engines (and non-analytic backends) take the
+            # genome path; under the analytic backend values are
+            # bit-identical, so matrix-native search loops stay exact under
+            # every engine selector.  Hierarchy depth is no gate: the
+            # vector path prices 1-, 2- and 3+-level matrices natively.
             genomes = matrix.to_genomes()
             return self.evaluate_population(genomes, workers=1)
         return self._evaluate_matrix_vector(matrix)
@@ -589,9 +614,9 @@ class DesignEvaluator:
                     miss_results.append(
                         self._score_performance(
                             performance,
-                            pe_array=(
-                                int(data[position, 0]),
-                                int(data[position, 14]),
+                            pe_array=tuple(
+                                int(data[position, level * LEVEL_WIDTH])
+                                for level in range(matrix.num_levels)
                             ),
                             mapping_fingerprint=fingerprints[position],
                         )
@@ -642,8 +667,11 @@ class DesignEvaluator:
         bytes_per_element = self.bytes_per_element
         objective = self.objective
         objectives = self.objectives
-        spatial0 = miss_matrix[:, 0].tolist()
-        spatial1 = miss_matrix[:, 14].tolist()
+        num_levels = miss_matrix.shape[1] // LEVEL_WIDTH
+        spatial_columns = [
+            miss_matrix[:, level * LEVEL_WIDTH].tolist()
+            for level in range(num_levels)
+        ]
         results: List[EvaluationResult] = []
         for index, performance in enumerate(performances):
             l1_size = performance.l1_requirement_bytes
@@ -652,12 +680,13 @@ class DesignEvaluator:
             l2_size = performance.l2_requirement_bytes
             if l2_size < 1:
                 l2_size = 1
-            pe0 = spatial0[index]
-            pe1 = spatial1[index]
-            num_pes = pe0 * pe1
+            pe_array = tuple(column[index] for column in spatial_columns)
+            num_pes = 1
+            for extent in pe_array:
+                num_pes *= extent
             hardware = object.__new__(HardwareConfig)
             hardware.__dict__.update(
-                pe_array=(pe0, pe1),
+                pe_array=pe_array,
                 l1_size=l1_size,
                 l2_size=l2_size,
                 noc_bandwidth=noc_bandwidth,

@@ -1,12 +1,13 @@
-"""Scalar-fallback rows vs the seed reference implementation.
+"""Vectorized and scalar-fallback rows vs the seed reference implementation.
 
 ``tests/cost/test_vector_engine.py`` pins the fallback triggers against the
 scalar *fast* engine; these tests close the remaining gap required by the
-vector engine's contract: rows that fall back — non-two-level hierarchies,
->= 2**53 statics and 2**53-scale intermediates — must ALSO reproduce
-``CostModel(engine="reference")`` bit for bit, with the fallback counters
-in ``CostModel.vector_stats`` accounting for every such row, on both the
-mapping-batch and the gene-matrix entry points.
+vector engine's contract: every depth the vector path prices (1-, 2- and
+3-level hierarchies) and every row that falls back — >= 2**53 statics and
+2**53-scale intermediates — must ALSO reproduce
+``CostModel(engine="reference")`` bit for bit, with the per-reason fallback
+counters in ``CostModel.vector_stats`` accounting for every such row, on
+both the mapping-batch and the gene-matrix entry points.
 """
 
 from __future__ import annotations
@@ -55,14 +56,17 @@ def _assert_layer_fields_identical(batch_performance, reference_performance):
 class TestFallbacksMatchReference:
     @pytest.mark.parametrize("num_levels", [1, 3])
     def test_non_two_level_hierarchies(self, num_levels):
+        # 1- and 3-level hierarchies ride the vector path (no depth
+        # fallback) and still match the reference engine bit for bit.
         model = get_model("ncf")
         mappings = _random_mappings(model, 8, seed=101, num_levels=num_levels)
         batch_model = CostModel()
         reference = CostModel(engine="reference")
-        before = batch_model.vector_stats["rows_fallback"]
         batch = batch_model.evaluate_model_batch(model, mappings, 64.0, 16.0)
-        assert batch_model.vector_stats["rows_fallback"] > before
-        assert batch_model.vector_stats["rows_vectorized"] == 0
+        stats = batch_model.vector_stats
+        assert stats["rows_vectorized"] > 0
+        assert stats["fallback_depth"] == 0
+        assert stats["rows_fallback"] == 0
         for mapping, performance in zip(mappings, batch):
             _assert_layer_fields_identical(
                 performance,

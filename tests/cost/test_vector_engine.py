@@ -130,6 +130,8 @@ class TestBatchMatchesScalar:
 class TestScalarFallbacks:
     @pytest.mark.parametrize("num_levels", [1, 3])
     def test_non_default_hierarchy_depths(self, num_levels):
+        # Depth is a parameter, not a fallback trigger: 1- and 3-level
+        # batches ride the vector path and match the scalar engine exactly.
         model = get_model("ncf")
         mappings = _random_mappings(model, 8, seed=11, num_levels=num_levels)
         batch_model = CostModel()
@@ -138,7 +140,28 @@ class TestScalarFallbacks:
         for mapping, batch_performance in zip(mappings, batch):
             scalar = scalar_model.evaluate_model(model, mapping, 64.0, 16.0)
             _assert_reports_identical(batch_performance, scalar)
-        assert batch_model.vector_stats["rows_fallback"] > 0
+        assert batch_model.vector_stats["rows_vectorized"] > 0
+        assert batch_model.vector_stats["fallback_depth"] == 0
+        assert batch_model.vector_stats["rows_fallback"] == 0
+
+    def test_mixed_depth_batches_group_by_depth(self):
+        # One call containing 1-, 2- and 3-level mappings vectorizes every
+        # depth group (each is >= MIN_VECTOR_ROWS rows) without fallback.
+        model = get_model("ncf")
+        mappings = []
+        for num_levels in (1, 2, 3):
+            mappings += _random_mappings(
+                model, 2 * MIN_VECTOR_ROWS, seed=41 + num_levels,
+                num_levels=num_levels,
+            )
+        batch_model = CostModel()
+        batch = batch_model.evaluate_model_batch(model, mappings, 64.0, 16.0)
+        scalar_model = CostModel()
+        for mapping, batch_performance in zip(mappings, batch):
+            scalar = scalar_model.evaluate_model(model, mapping, 64.0, 16.0)
+            _assert_reports_identical(batch_performance, scalar)
+        assert batch_model.vector_stats["rows_fallback"] == 0
+        assert batch_model.vector_stats["rows_vectorized"] > 0
 
     def test_oversized_layer_statics_fall_back(self):
         # macs = 2**60 >= 2**53: float64 cannot hold the integer chain.

@@ -88,6 +88,17 @@ class TestSearchThreeLevels:
         assert design.hardware.num_levels == 3
         assert design.area.total <= EDGE.area_budget_um2
 
+    def test_three_level_search_engages_the_vector_path(self, tiny_model):
+        # Depth is a parameter of the vector engine, not a fallback
+        # trigger: a three-level search must price its populations on the
+        # vector path (rows actually vectorized, zero depth fallbacks).
+        framework = CoOptimizationFramework(tiny_model, EDGE, num_levels=3)
+        result = framework.search(DiGamma(), sampling_budget=250, seed=0)
+        assert result.found_valid
+        stats = framework.evaluator.cost_model.vector_stats
+        assert stats["rows_vectorized"] > 0
+        assert stats["fallback_depth"] == 0
+
     def test_real_layer_three_level_vs_two_level(self):
         # Both hierarchies must produce sane designs for a real conv layer.
         layer = Layer.conv2d("conv", 64, 128, 28, 3)

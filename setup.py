@@ -1,0 +1,10 @@
+"""Compatibility shim for toolchains without PEP 660 editable support.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on environments whose setuptools
+predates native wheel building (e.g. setuptools < 70 without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -91,6 +91,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         engine=args.engine,
         use_delta=not args.no_delta,
         backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     optimizer = get_optimizer(args.optimizer)
     try:
@@ -99,6 +100,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         framework.close()
     print(result.summary())
     _print_cache_stats(framework)
+    if args.cache_stats_json:
+        best = result.best.fitness if result.found_valid else None
+        _write_cache_stats_json(framework, best, args.cache_stats_json)
     if result.found_valid:
         print()
         print(result.best.design.describe())
@@ -119,6 +123,7 @@ def _run_pareto_search(args: argparse.Namespace, model, platform) -> int:
         engine=args.engine,
         use_delta=not args.no_delta,
         backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     optimizer = get_optimizer(args.optimizer)
     try:
@@ -129,6 +134,10 @@ def _run_pareto_search(args: argparse.Namespace, model, platform) -> int:
         framework.close()
     print(result.summary())
     _print_cache_stats(framework)
+    if args.cache_stats_json:
+        front = result.front
+        best = max(point.fitness for point in front) if front else None
+        _write_cache_stats_json(framework, best, args.cache_stats_json)
     if result.found_valid:
         print()
         print(pareto_front_report(result))
@@ -149,6 +158,17 @@ def _print_cache_stats(framework: CoOptimizationFramework) -> None:
         return
     print(f"design cache: {evaluator.design_cache_stats.summary()}")
     print(f"layer cache:  {evaluator.layer_cache_stats.summary()}")
+    tier = evaluator.persistent_cache
+    if tier is not None:
+        counters = tier.counters()
+        requests = counters["l2_hits"] + counters["l2_misses"]
+        rate = counters["l2_hits"] / requests if requests else 0.0
+        print(
+            "l2 cache:     "
+            f"{counters['l2_hits']}/{requests} hits ({rate:.1%}), "
+            f"{counters['l2_writes']} writes, "
+            f"{tier.entries} entries on disk"
+        )
     stats = evaluator.cost_model.vector_stats
     if stats["delta_generations"] > 0:
         # Delta reuse resolves before the cache probes but still counts as
@@ -164,6 +184,38 @@ def _print_cache_stats(framework: CoOptimizationFramework) -> None:
             f"({stats['delta_rows_reused'] / max(1, rows):.1%}) "
             f"over {stats['delta_generations']} generations"
         )
+
+
+def _write_cache_stats_json(
+    framework: CoOptimizationFramework,
+    best_fitness: Optional[float],
+    path: str,
+) -> None:
+    """Save machine-readable cache statistics for one finished search.
+
+    The CI warm-cache gate runs the same search twice against one
+    ``--cache-dir`` and compares these files: the second run must answer
+    its layer pricings from the persistent tier (``l2.hit_rate``) while
+    reproducing the first run's ``best_fitness`` bit-identically.
+    """
+    evaluator = framework.evaluator
+    record: dict = {
+        "best_fitness": best_fitness,
+        "l1": {
+            "design": {
+                "hits": evaluator.design_cache_stats.hits,
+                "misses": evaluator.design_cache_stats.misses,
+            },
+            "layer": {
+                "hits": evaluator.layer_cache_stats.hits,
+                "misses": evaluator.layer_cache_stats.misses,
+            },
+        },
+    }
+    tier = evaluator.persistent_cache
+    record["l2"] = tier.stats() if tier is not None else None
+    out = save_json(record, path)
+    print(f"Saved cache statistics to {out}")
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -230,6 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable cross-generation delta evaluation on "
                              "the gene-matrix path (results are "
                              "bit-identical either way)")
+    search.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent cross-run layer-cache directory; "
+                             "warm reruns answer repeat layer pricings from "
+                             "disk with bit-identical results (see "
+                             "repro.cost.persist)")
+    search.add_argument("--cache-stats-json", default=None, metavar="PATH",
+                        help="save best fitness plus L1/L2 cache counters "
+                             "as JSON (used by the CI warm-cache gate)")
 
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate a fixed dataflow on a model"

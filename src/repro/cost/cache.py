@@ -98,6 +98,13 @@ class LRUCache:
         #: cached values, and is bounded by the number of distinct layer
         #: shapes ever seen.
         self.tokens: Dict[Any, int] = {}
+        #: Optional persistent L2 tier
+        #: (:class:`~repro.cost.persist.PersistentLayerCache`).  It rides
+        #: on the cache instance so ``adopt_cache`` hands the shared tier
+        #: to every adopter along with the L1 contents; the cost models
+        #: probe it on L1 misses and write freshly priced rows back.
+        #: ``None`` keeps every lookup purely in-memory.
+        self.tier: Optional[Any] = None
 
     @property
     def enabled(self) -> bool:
@@ -144,11 +151,14 @@ class LRUCache:
             maxsize=max(0, self.maxsize),
         )
 
-    # Caches never travel across process boundaries (e.g. into evaluation
-    # worker processes): pickling preserves only the bound, not the contents.
+    # Cache *contents* never travel across process boundaries (e.g. into
+    # evaluation worker processes): pickling preserves the bound and the
+    # persistent tier (which re-opens by path on the other side, so pool
+    # workers share the on-disk store), not the in-memory entries.
 
     def __getstate__(self) -> Dict[str, Any]:
-        return {"maxsize": self.maxsize}
+        return {"maxsize": self.maxsize, "tier": self.tier}
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__init__(state["maxsize"])
+        self.tier = state.get("tier")

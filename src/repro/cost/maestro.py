@@ -35,6 +35,13 @@ from repro.cost.engine import (
     make_report,
     report_values,
 )
+from repro.cost.persist import (
+    PersistentLayerCache,
+    cache_namespace,
+    matrix_row_digest,
+    statics_blob,
+    tuple_key_digest,
+)
 from repro.cost.vector_engine import GENES_PER_LEVEL, VectorEngine
 from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.cost.reuse import (
@@ -180,6 +187,16 @@ class CostModel:
         object.__setattr__(
             self, "_energy_coefficients", energy_coefficients(self.energy_model)
         )
+        # Persistent-tier key namespace: scopes every L2 digest to this
+        # backend + technology configuration so cross-backend /
+        # cross-element-width rows can never alias on disk.
+        object.__setattr__(
+            self,
+            "_l2_namespace",
+            cache_namespace(
+                "analytic", self.bytes_per_element, self._energy_coefficients
+            ),
+        )
         # Cross-generation delta-evaluation state: the previous generation's
         # (member, layer) working set keyed by row fingerprint, plus the
         # reuse counters surfaced through vector_stats.
@@ -226,9 +243,28 @@ class CostModel:
         adopter agrees on the fingerprints) — and reuse across objectives
         and optimizers is sound.  The delta table is dropped: its
         fingerprints embed the *previous* cache's tokens.
+
+        A persistent L2 tier rides along: if this model's current cache
+        carries one and the adopted cache does not, the tier moves over,
+        so a sweep's shared warm caches stay backed by the shared on-disk
+        store (L2 digests embed no process- or cache-local state, so the
+        carry is always sound).
         """
+        tier = self._cache.tier
+        if tier is not None and cache.tier is None:
+            cache.tier = tier
         object.__setattr__(self, "_cache", cache)
         object.__setattr__(self, "_delta_rows", None)
+
+    def attach_persistent_cache(self, tier: PersistentLayerCache) -> None:
+        """Back the layer-report LRU with a persistent L2 tier.
+
+        Lookups that miss the in-memory cache then probe the on-disk
+        store before falling back to the engine, and freshly priced rows
+        are written back — all inside the cache-enabled branches, so
+        ``use_cache=False`` keeps the tier inactive too.
+        """
+        self._cache.tier = tier
 
     # -- vector engine -----------------------------------------------------
 
@@ -252,9 +288,17 @@ class CostModel:
         ``delta_*`` counters track cross-generation delta evaluation —
         members and (member, layer) rows reused from the previous
         generation's fingerprint tables without touching the engine (see
-        :meth:`evaluate_model_matrix`).
+        :meth:`evaluate_model_matrix`).  The ``l2_*`` counters report the
+        persistent tier when one is attached (an L2 hit also counts as an
+        L1 miss, so the L1 hit/miss counters are identical cold or warm
+        and the tier's effect is purely who supplies the miss).
         """
         stats = dict(self.delta_counters)
+        tier = self._cache.tier
+        if tier is None:
+            stats.update(l2_hits=0, l2_misses=0, l2_writes=0)
+        else:
+            stats.update(tier.counters())
         engine = self.__dict__.get("_vector_engine")
         if engine is None:
             stats.update(rows_vectorized=0, rows_fallback=0)
@@ -306,6 +350,16 @@ class CostModel:
         entry = cache.get(cache_key)
         if entry is not None:
             return make_report(layer.name, *entry, layer.count)
+        tier = cache.tier if cache.maxsize > 0 else None
+        digest = None
+        if tier is not None:
+            digest = tuple_key_digest(
+                self._l2_namespace, statics, key, noc_bandwidth, dram_bandwidth
+            )
+            entry = tier.get(digest)
+            if entry is not None:
+                cache.put(cache_key, entry)
+                return make_report(layer.name, *entry, layer.count)
         report = evaluate_layer_key(
             statics,
             key,
@@ -316,7 +370,11 @@ class CostModel:
             layer.name,
             layer.count,
         )
-        cache.put(cache_key, _report_values(report))
+        values = _report_values(report)
+        cache.put(cache_key, values)
+        if tier is not None:
+            tier.put(digest, values)
+            tier.flush()
         return report
 
     def evaluate_layer_reference(
@@ -425,6 +483,8 @@ class CostModel:
             raise ValueError("bandwidths must be positive")
         cache = self._cache
         cache_on = cache.maxsize > 0
+        tier = cache.tier if cache_on else None
+        namespace = self._l2_namespace
         data = cache.data
         maxsize = cache.maxsize
         hits = misses = 0
@@ -436,9 +496,27 @@ class CostModel:
             mapping = shared if shared is not None else _resolve_mapping(mappings, layer)
             key = layer_mapping_key(statics, mapping)
             entry = None
+            digest = None
             if cache_on:
                 cache_key = (statics, key, noc_bandwidth, dram_bandwidth)
                 entry = data.get(cache_key)
+                if entry is not None:
+                    hits += 1
+                else:
+                    # An L2 hit below still counts as an L1 miss: the L1
+                    # counters are identical cold or warm, the tier only
+                    # changes who supplies the missing row.
+                    misses += 1
+                    if tier is not None:
+                        digest = tuple_key_digest(
+                            namespace, statics, key,
+                            noc_bandwidth, dram_bandwidth,
+                        )
+                        entry = tier.get(digest)
+                        if entry is not None:
+                            data[cache_key] = entry
+                            if len(data) > maxsize:
+                                data.popitem(last=False)
             if entry is None:
                 report = evaluate_layer_key(
                     statics,
@@ -451,16 +529,19 @@ class CostModel:
                     layer.count,
                 )
                 if cache_on:
-                    misses += 1
-                    data[cache_key] = _report_values(report)
+                    values = _report_values(report)
+                    data[cache_key] = values
                     if len(data) > maxsize:
                         data.popitem(last=False)
+                    if digest is not None:
+                        tier.put(digest, values)
             else:
-                hits += 1
                 report = make_report(layer.name, *entry, layer.count)
             reports.append(report)
         cache.hits += hits
         cache.misses += misses
+        if tier is not None:
+            tier.flush()
         return ModelPerformance(model_name=model.name, layers=tuple(reports))
 
     # -- whole population --------------------------------------------------
@@ -512,9 +593,13 @@ class CostModel:
         num_layers = len(pairs)
         cache = self._cache
         cache_on = cache.maxsize > 0
+        tier = cache.tier if cache_on else None
+        namespace = self._l2_namespace
+        maxsize = cache.maxsize
         data = cache.data
         hits = misses = 0
         pending: Dict[tuple, int] = {}
+        pending_digests: Dict[tuple, bytes] = {}
         rows: List[tuple] = []
         row_design: List[int] = []
         row_layer: List[int] = []
@@ -582,6 +667,23 @@ class CostModel:
                         continue
                 row_index = pending.get(cache_key)
                 if row_index is None:
+                    if tier is not None:
+                        digest = tuple_key_digest(
+                            namespace, statics, key,
+                            noc_bandwidth, dram_bandwidth,
+                        )
+                        entry = tier.get(digest)
+                        if entry is not None:
+                            # Served from the persistent tier: counts as
+                            # an L1 miss (same counters as a cold run) and
+                            # enters L1 so later occurrences hit in-memory.
+                            misses += 1
+                            data[cache_key] = entry
+                            if len(data) > maxsize:
+                                data.popitem(last=False)
+                            per_design.append(entry)
+                            continue
+                        pending_digests[cache_key] = digest
                     row_index = len(rows)
                     rows.append((statics, key))
                     row_design.append(design_index)
@@ -620,13 +722,17 @@ class CostModel:
                     slots=[layer_slots[layer] for layer in row_layer],
                 )
         if cache_on:
-            maxsize = cache.maxsize
             for cache_key, row_index in pending.items():
-                data[cache_key] = values[row_index]
+                row_values = values[row_index]
+                data[cache_key] = row_values
                 if len(data) > maxsize:
                     data.popitem(last=False)
+                if tier is not None:
+                    tier.put(pending_digests[cache_key], row_values)
             cache.hits += hits
             cache.misses += misses
+            if tier is not None:
+                tier.flush()
 
         performances: List[ModelPerformance] = []
         for per_design in design_entries:
@@ -798,14 +904,27 @@ class CostModel:
         step = width * 8
         cache = self._cache
         cache_on = cache.maxsize > 0
+        tier = cache.tier if cache_on else None
+        namespace = self._l2_namespace
+        maxsize = cache.maxsize
+        # Per-layer statics content blobs for the persistent-tier digests:
+        # the digest replaces the process-local token column with them, so
+        # on-disk keys are stable across processes and runs.
+        blobs = (
+            [statics_blob(statics) for _, statics in pairs]
+            if tier is not None
+            else None
+        )
         data = cache.data
         hits = misses = 0
+        l2_served = 0
         counters = self.delta_counters
         prev_rows = self._delta_rows if use_delta else None
         next_rows: Optional[dict] = {} if use_delta else None
         rows_reused = 0
         entries: List = [None] * (num_designs * num_layers)
         pending: Dict[bytes, int] = {}
+        pending_digest: Dict[bytes, bytes] = {}
         pending_positions: List[int] = []
         for index in range(num_designs * num_layers):
             fingerprint = raw[index * step : index * step + step]
@@ -834,6 +953,24 @@ class CostModel:
                     if next_rows is not None:
                         next_rows[fingerprint] = value
                     continue
+                if tier is not None:
+                    digest = matrix_row_digest(
+                        namespace, blobs[index % num_layers], fingerprint
+                    )
+                    value = tier.get(digest)
+                    if value is not None:
+                        # Served from the persistent tier: counted as an
+                        # L1 miss below (same counters as a cold run) and
+                        # inserted so later occurrences hit in-memory.
+                        l2_served += 1
+                        entries[index] = value
+                        data[fingerprint] = value
+                        if len(data) > maxsize:
+                            data.popitem(last=False)
+                        if next_rows is not None:
+                            next_rows[fingerprint] = value
+                        continue
+                    pending_digest[fingerprint] = digest
             pending[fingerprint] = len(pending_positions)
             entries[index] = len(pending_positions)
             pending_positions.append(index)
@@ -859,17 +996,21 @@ class CostModel:
             )
             if cache_on:
                 misses += len(pending_positions)
-                maxsize = cache.maxsize
                 for fingerprint, slot in pending.items():
-                    data[fingerprint] = values[slot]
+                    row_values = values[slot]
+                    data[fingerprint] = row_values
                     if len(data) > maxsize:
                         data.popitem(last=False)
+                    if tier is not None:
+                        tier.put(pending_digest[fingerprint], row_values)
             if next_rows is not None:
                 for fingerprint, slot in pending.items():
                     next_rows[fingerprint] = values[slot]
         if cache_on:
             cache.hits += hits
-            cache.misses += misses
+            cache.misses += misses + l2_served
+        if tier is not None:
+            tier.flush()
         if next_rows is not None:
             object.__setattr__(self, "_delta_rows", next_rows)
             counters["delta_rows_reused"] += rows_reused

@@ -1,0 +1,593 @@
+"""Persistent cross-run layer-report cache: the L2 tier under the LRU.
+
+Layer reports are pure functions of (layer shape, clipped mapping key,
+bandwidths, cost-backend configuration), and the gene-matrix path already
+fingerprints that whole composite key into content-addressed row bytes
+(see :meth:`repro.cost.maestro.CostModel.evaluate_model_matrix`).  This
+module turns those fingerprints into a crash-safe on-disk store so the
+in-memory :class:`~repro.cost.cache.LRUCache` becomes an L1 over an L2
+shared by worker processes, sweep jobs and successive runs: repeat
+queries become lookups instead of engine evaluations.
+
+Keying
+------
+
+Entries are addressed by a SHA-1 digest of three parts:
+
+* a **namespace** — :data:`KEY_VERSION`, the cost-backend name, the
+  element width and the energy coefficients — so rows priced under
+  different backends or technology models can never alias;
+* a **statics blob** — the layer's canonical shape signature (operator
+  name, dimension sizes, stride).  The in-memory fingerprints embed a
+  *process-local* statics token (``LRUCache.tokens``); the digest
+  replaces it with this content form, which is what makes the key stable
+  across processes and runs; and
+* the **gene tail** — the per-level (spatial, parallel, order, tiles)
+  integers plus both bandwidth float bit patterns, exactly the layout of
+  a matrix work row after its token column.
+
+The scalar tuple keys and the packed matrix rows canonicalize to the same
+digest, so a search warmed on one engine path serves every other.
+
+Durability
+----------
+
+The data file is append-only JSONL with a header record, written with the
+:class:`~repro.experiments.runner.ResultStore` discipline: one ``write``
+syscall per flush on an ``O_APPEND`` descriptor (concurrent writers never
+interleave bytes), partial trailing lines healed by prefixing a newline,
+undecodable lines counted and reported via
+:class:`PersistentCacheCorruption` — a damaged record is *never served*;
+lookups re-verify the stored digest before returning a row.  The binary
+index sidecar is a rebuildable accelerator: any inconsistency (torn
+entry, stale header, wrong version) discards it and rescans the data
+file, which remains the single source of truth.  A data file whose header
+does not match :data:`FORMAT_NAME`/:data:`KEY_VERSION` is quarantined
+(renamed aside) and the cache starts fresh rather than risk serving rows
+keyed under different rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+#: Bump when the digest composition or the record layout changes; stores
+#: written under another version are quarantined, never reinterpreted.
+KEY_VERSION = 1
+
+#: Header ``format`` field of the data file.
+FORMAT_NAME = "repro-layer-cache"
+
+#: File names inside the cache directory.
+DATA_FILE = "layers.jsonl"
+INDEX_FILE = "layers.index"
+
+_INDEX_MAGIC = b"RPLC"
+_INDEX_VERSION = 1
+#: magic, index version, key version, covered data size, entry count.
+_INDEX_HEADER = struct.Struct("<4sIIQQ")
+#: 20-byte SHA-1 digest, data-file offset, record length.
+_INDEX_RECORD = struct.Struct("<20sQI")
+
+
+class PersistentCacheCorruption(UserWarning):
+    """A persistent cache file contained damaged or mismatched content.
+
+    Mirrors :class:`~repro.experiments.runner.ResultStoreCorruption`
+    semantics: the store heals or quarantines and keeps working; nothing
+    damaged is ever served back as a layer report.
+    """
+
+
+# -- digest helpers ------------------------------------------------------------
+
+#: Content blobs per canonical statics instance (statics are identity-
+#: hashed and immortal — see :mod:`repro.workloads.statics` — so this
+#: memo is bounded by the number of distinct layer shapes ever seen).
+_STATICS_BLOBS: Dict[object, bytes] = {}
+
+
+def cache_namespace(
+    backend: str,
+    bytes_per_element: int,
+    energy_coefficients: Sequence[float],
+) -> bytes:
+    """Digest scoping every key to one cost-backend configuration.
+
+    Joins :data:`KEY_VERSION`, so a format bump invalidates every old
+    digest at once; bandwidths live in the gene tail, and the model
+    identity is carried by each row's statics blob, so neither needs to
+    appear here.
+    """
+    blob = repr(
+        (
+            KEY_VERSION,
+            str(backend),
+            int(bytes_per_element),
+            tuple(float(value) for value in energy_coefficients),
+        )
+    ).encode()
+    return hashlib.sha1(blob).digest()
+
+
+def statics_blob(statics) -> bytes:
+    """Stable content form of one layer-shape signature."""
+    blob = _STATICS_BLOBS.get(statics)
+    if blob is None:
+        op_type, dims, stride = statics.signature
+        blob = repr((op_type.name, tuple(dims), int(stride))).encode()
+        _STATICS_BLOBS[statics] = blob
+    return blob
+
+
+def row_digest(namespace: bytes, blob: bytes, tail: bytes) -> bytes:
+    """SHA-1 of (namespace, statics blob, gene tail) — the L2 address."""
+    digest = hashlib.sha1(namespace)
+    digest.update(blob)
+    digest.update(tail)
+    return digest.digest()
+
+
+def matrix_row_digest(namespace: bytes, blob: bytes, fingerprint: bytes) -> bytes:
+    """Digest of one packed work row (token column stripped, tail kept)."""
+    return row_digest(namespace, blob, fingerprint[8:])
+
+
+def tuple_key_digest(
+    namespace: bytes,
+    statics,
+    key: tuple,
+    noc_bandwidth: float,
+    dram_bandwidth: float,
+) -> bytes:
+    """Digest of one scalar-path composite cache key.
+
+    Flattens the per-level ``((spatial, parallel, order), tiles)`` tuples
+    in matrix gene order and appends both bandwidth float bit patterns,
+    reproducing a packed work row's byte tail exactly, so scalar- and
+    matrix-path queries for the same logical row share one digest.  Keys
+    whose integers exceed int64 (possible on the exact tuple path, never
+    on a matrix row) fall back to a ``repr`` tail: still deterministic,
+    just not shared with the matrix form that cannot represent them.
+    """
+    genes = []
+    for (spatial, parallel, order), tiles in key:
+        genes.append(spatial)
+        genes.append(parallel)
+        genes.extend(order)
+        genes.extend(tiles)
+    try:
+        tail = struct.pack(f"={len(genes)}q", *genes)
+    except (struct.error, OverflowError):
+        tail = repr(key).encode()
+    tail += struct.pack("=dd", noc_bandwidth, dram_bandwidth)
+    return row_digest(namespace, statics_blob(statics), tail)
+
+
+def _plain(value: Union[int, float]) -> Union[int, float]:
+    """Coerce a report scalar to a JSON-exact built-in int or float."""
+    kind = type(value)
+    if kind is int or kind is float:
+        return value
+    if isinstance(value, float):
+        return float(value)
+    return int(value)
+
+
+class PersistentLayerCache:
+    """Crash-safe shared on-disk store of layer-report value tuples.
+
+    One instance fronts one cache directory.  Opening is lazy (the first
+    ``get``/``put`` touches disk), writes buffer in memory until
+    :meth:`flush` — which the cost models call once per evaluation pass,
+    emitting the whole batch as a single ``O_APPEND`` write — and
+    :meth:`close` additionally rewrites the index sidecar atomically.  A
+    closed cache transparently reopens on the next lookup, so sharing one
+    instance across sweep jobs (via ``adopt_cache``) is safe even when a
+    finished job closes its evaluator.
+
+    Instances pickle as (directory, durability) and reopen lazily on the
+    other side, so worker processes of an evaluation pool read and append
+    the same store; the ``O_APPEND`` single-write discipline keeps
+    concurrent appends intact at line granularity.
+    """
+
+    def __init__(self, directory, durability: str = "flush"):
+        if durability not in ("flush", "fsync"):
+            raise ValueError(
+                f"durability must be 'flush' or 'fsync', got {durability!r}"
+            )
+        self.directory = Path(directory)
+        self.durability = durability
+        #: Tier counters (this process; workers count in their own copy).
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.l2_writes = 0
+        #: Undecodable / mismatched data lines seen while scanning.
+        self.corrupt_lines = 0
+        #: Entries found on disk at open — the cross-run carryover.
+        self.loaded_entries = 0
+        self._offsets: Optional[Dict[bytes, Tuple[int, int]]] = None
+        self._buffer: Dict[bytes, tuple] = {}
+        self._descriptor: Optional[int] = None
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def data_path(self) -> Path:
+        return self.directory / DATA_FILE
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / INDEX_FILE
+
+    # -- lookups / inserts -------------------------------------------------
+
+    def get(self, digest: bytes) -> Optional[tuple]:
+        """Return the stored value tuple for ``digest`` or ``None``.
+
+        Every served row is re-verified against its stored digest: a
+        record that fails to parse or keys differently (bit rot, torn
+        write) counts as corruption and reads as a miss — the caller
+        falls back to engine pricing, never to a wrong row.
+        """
+        if self._offsets is None:
+            self._open()
+        value = self._buffer.get(digest)
+        if value is not None:
+            self.l2_hits += 1
+            return value
+        location = self._offsets.get(digest)
+        if location is None:
+            self.l2_misses += 1
+            return None
+        offset, length = location
+        values = self._read_record(digest, offset, length)
+        if values is None:
+            del self._offsets[digest]
+            self.corrupt_lines += 1
+            self.l2_misses += 1
+            warnings.warn(
+                f"{self.data_path}: dropped one unreadable cache record at "
+                f"offset {offset} (served as a miss)",
+                PersistentCacheCorruption,
+                stacklevel=2,
+            )
+            return None
+        self.l2_hits += 1
+        return values
+
+    def put(self, digest: bytes, values: Sequence[Union[int, float]]) -> None:
+        """Buffer one freshly priced row for the next :meth:`flush`."""
+        if self._offsets is None:
+            self._open()
+        if digest in self._buffer or digest in self._offsets:
+            return
+        self._buffer[digest] = tuple(_plain(value) for value in values)
+        self.l2_writes += 1
+
+    def flush(self) -> None:
+        """Append all buffered rows as one crash-safe ``write`` syscall."""
+        if not self._buffer:
+            return
+        descriptor = self._ensure_descriptor()
+        size = os.fstat(descriptor).st_size
+        prefix = b""
+        if size > 0 and os.pread(descriptor, 1, size - 1) != b"\n":
+            # A previous writer died mid-line: close its partial line so
+            # one crash can never corrupt two records.
+            prefix = b"\n"
+        pieces = []
+        locations = []
+        cursor = size + len(prefix)
+        for digest, values in self._buffer.items():
+            line = (
+                json.dumps({"k": digest.hex(), "v": list(values)}) + "\n"
+            ).encode()
+            pieces.append(line)
+            locations.append((digest, cursor, len(line)))
+            cursor += len(line)
+        data = prefix + b"".join(pieces)
+        view = memoryview(data)
+        while view:  # short writes (ENOSPC, signals) must not truncate
+            view = view[os.write(descriptor, view) :]
+        if self.durability == "fsync":
+            os.fsync(descriptor)
+        for digest, offset, length in locations:
+            self._offsets[digest] = (offset, length)
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush, persist the index sidecar and release the descriptor.
+
+        Idempotent, and not terminal: the next lookup reopens the store
+        (now with a fresh index, so reopening is cheap).
+        """
+        if self._offsets is None:
+            return
+        self.flush()
+        self._write_index()
+        if self._descriptor is not None:
+            os.close(self._descriptor)
+            self._descriptor = None
+        self._offsets = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        """Rows addressable right now (opens the store if needed)."""
+        if self._offsets is None:
+            self._open()
+        return len(self._offsets) + len(self._buffer)
+
+    def counters(self) -> Dict[str, int]:
+        """The three tier counters, in ``vector_stats`` key form."""
+        return {
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "l2_writes": self.l2_writes,
+        }
+
+    def stats(self) -> Dict[str, Union[int, float, str]]:
+        """JSON-ready tier statistics (counters, sizes, hit rate)."""
+        requests = self.l2_hits + self.l2_misses
+        return {
+            "directory": str(self.directory),
+            "hits": self.l2_hits,
+            "misses": self.l2_misses,
+            "writes": self.l2_writes,
+            "hit_rate": (self.l2_hits / requests) if requests else 0.0,
+            "entries": self.entries,
+            "loaded_entries": self.loaded_entries,
+            "corrupt_lines": self.corrupt_lines,
+        }
+
+    def verify(self) -> Dict[str, Union[int, bool, str]]:
+        """Read-only integrity report of the data file."""
+        offsets, corrupt = self._scan_data(0, {})
+        return {
+            "path": str(self.data_path),
+            "entries": len(offsets),
+            "corrupt_lines": corrupt,
+            "ok": corrupt == 0,
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _open(self) -> None:
+        """Load (or initialize) the store: header check, index, tail scan."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.data_path
+        offsets: Dict[bytes, Tuple[int, int]] = {}
+        if path.exists() and path.stat().st_size > 0:
+            if not self._header_ok():
+                self._quarantine()
+            else:
+                covered = 0
+                from_index = self._load_index(offsets)
+                if from_index is not None:
+                    covered = from_index
+                offsets, corrupt = self._scan_data(covered, offsets)
+                if corrupt:
+                    warnings.warn(
+                        f"{path}: skipped {corrupt} undecodable cache "
+                        "line(s); damaged rows are re-priced by the "
+                        "engine, never served",
+                        PersistentCacheCorruption,
+                        stacklevel=3,
+                    )
+                    self.corrupt_lines += corrupt
+        if not path.exists() or path.stat().st_size == 0:
+            header = (
+                json.dumps(
+                    {
+                        "format": FORMAT_NAME,
+                        "version": 1,
+                        "key_version": KEY_VERSION,
+                    }
+                )
+                + "\n"
+            ).encode()
+            descriptor = os.open(
+                path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                if os.fstat(descriptor).st_size == 0:
+                    view = memoryview(header)
+                    while view:
+                        view = view[os.write(descriptor, view) :]
+            finally:
+                os.close(descriptor)
+        self._offsets = offsets
+        self.loaded_entries = len(offsets)
+
+    def _header_ok(self) -> bool:
+        """True when the data file's first line matches this format/version."""
+        try:
+            with self.data_path.open("rb") as handle:
+                first = handle.readline(4096)
+            header = json.loads(first.decode())
+            return (
+                header.get("format") == FORMAT_NAME
+                and header.get("key_version") == KEY_VERSION
+            )
+        except (OSError, ValueError, UnicodeDecodeError):
+            return False
+
+    def _quarantine(self) -> None:
+        """Move a mismatched/unreadable store aside and start fresh."""
+        for path in (self.data_path, self.index_path):
+            if path.exists():
+                target = path.with_name(path.name + ".quarantined")
+                suffix = 0
+                while target.exists():
+                    suffix += 1
+                    target = path.with_name(
+                        f"{path.name}.quarantined.{suffix}"
+                    )
+                os.replace(path, target)
+        warnings.warn(
+            f"{self.data_path}: header does not match "
+            f"{FORMAT_NAME} v{KEY_VERSION}; quarantined the old store and "
+            "started fresh (rows keyed under other rules are never served)",
+            PersistentCacheCorruption,
+            stacklevel=3,
+        )
+
+    def _load_index(self, offsets: Dict[bytes, Tuple[int, int]]) -> Optional[int]:
+        """Load the sidecar into ``offsets``; None means rebuild by scan.
+
+        Returns the data size the index covers, so the caller only scans
+        the tail appended since the index was written.  Any inconsistency
+        — wrong magic/version, torn entry, count mismatch, covering more
+        data than exists — discards the index (it is an accelerator, the
+        data file is the source of truth).
+        """
+        path = self.index_path
+        if not path.exists():
+            return None
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        if len(raw) < _INDEX_HEADER.size:
+            return None
+        magic, version, key_version, covered, count = _INDEX_HEADER.unpack_from(
+            raw, 0
+        )
+        payload = raw[_INDEX_HEADER.size :]
+        if (
+            magic != _INDEX_MAGIC
+            or version != _INDEX_VERSION
+            or key_version != KEY_VERSION
+            or len(payload) % _INDEX_RECORD.size != 0
+            or len(payload) // _INDEX_RECORD.size != count
+            or covered > self.data_path.stat().st_size
+        ):
+            return None
+        for position in range(count):
+            digest, offset, length = _INDEX_RECORD.unpack_from(
+                payload, position * _INDEX_RECORD.size
+            )
+            if offset + length > covered:
+                offsets.clear()
+                return None
+            offsets[digest] = (offset, length)
+        return covered
+
+    def _write_index(self) -> None:
+        """Atomically persist the offset table (temp + fsync + replace)."""
+        covered = 0
+        if self._descriptor is not None:
+            covered = os.fstat(self._descriptor).st_size
+        elif self.data_path.exists():
+            covered = self.data_path.stat().st_size
+        entries = self._offsets or {}
+        pieces = [
+            _INDEX_HEADER.pack(
+                _INDEX_MAGIC, _INDEX_VERSION, KEY_VERSION, covered, len(entries)
+            )
+        ]
+        for digest, (offset, length) in entries.items():
+            pieces.append(_INDEX_RECORD.pack(digest, offset, length))
+        data = b"".join(pieces)
+        replacement = self.index_path.with_name(self.index_path.name + ".tmp")
+        descriptor = os.open(
+            replacement, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+        )
+        try:
+            view = memoryview(data)
+            while view:
+                view = view[os.write(descriptor, view) :]
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+        os.replace(replacement, self.index_path)
+
+    def _scan_data(
+        self, start: int, offsets: Dict[bytes, Tuple[int, int]]
+    ) -> Tuple[Dict[bytes, Tuple[int, int]], int]:
+        """Index data records from byte ``start`` on; returns corrupt count.
+
+        A trailing line without a newline is a partial record from a
+        killed writer: it is counted corrupt here (it cannot be served)
+        and healed by the newline-prefix check on the next append.
+        """
+        corrupt = 0
+        try:
+            with self.data_path.open("rb") as handle:
+                handle.seek(start)
+                cursor = start
+                for line in handle:
+                    length = len(line)
+                    offset = cursor
+                    cursor += length
+                    stripped = line.strip()
+                    if not stripped or not line.endswith(b"\n"):
+                        corrupt += 1 if stripped else 0
+                        continue
+                    try:
+                        record = json.loads(stripped)
+                        key = record["k"]
+                        values = record["v"]
+                        digest = bytes.fromhex(key)
+                        if len(digest) != 20 or not isinstance(values, list):
+                            raise ValueError("malformed record")
+                    except (ValueError, KeyError, TypeError):
+                        if offset == 0 or b'"format"' in stripped:
+                            continue  # the header line is not a record
+                        corrupt += 1
+                        continue
+                    offsets[digest] = (offset, length)
+        except OSError:
+            pass
+        return offsets, corrupt
+
+    def _read_record(
+        self, digest: bytes, offset: int, length: int
+    ) -> Optional[tuple]:
+        """Fetch and re-verify one record; None when it cannot be trusted."""
+        descriptor = self._ensure_descriptor()
+        try:
+            raw = os.pread(descriptor, length, offset)
+            record = json.loads(raw.decode())
+            if record["k"] != digest.hex():
+                return None
+            values = record["v"]
+            if not isinstance(values, list):
+                return None
+            return tuple(values)
+        except (OSError, ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return None
+
+    def _ensure_descriptor(self) -> int:
+        if self._descriptor is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._descriptor = os.open(
+                self.data_path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644
+            )
+        return self._descriptor
+
+    # -- pickling (worker pools share the store by path) -------------------
+
+    def __getstate__(self) -> dict:
+        return {"directory": str(self.directory), "durability": self.durability}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["directory"], state.get("durability", "flush"))
+
+    def __del__(self) -> None:
+        try:
+            if self._buffer and self._descriptor is not None:
+                self.flush()
+            if self._descriptor is not None:
+                os.close(self._descriptor)
+        except Exception:
+            pass

@@ -43,6 +43,11 @@ from repro.cost.engine import (
     report_values,
 )
 from repro.cost.maestro import DEFAULT_LAYER_CACHE_SIZE, _resolve_mapping
+from repro.cost.persist import (
+    PersistentLayerCache,
+    cache_namespace,
+    tuple_key_digest,
+)
 from repro.cost.performance import LayerPerformance, ModelPerformance
 from repro.mapping.mapping import Mapping, mapping_from_cache_key
 from repro.workloads.model import Model
@@ -230,6 +235,15 @@ class ZigZagCostModel:
         object.__setattr__(
             self, "_energy_coefficients", energy_coefficients(self.energy_model)
         )
+        # Persistent-tier namespace: the backend name keeps zigzag rows
+        # and analytic rows from ever aliasing in a shared cache dir.
+        object.__setattr__(
+            self,
+            "_l2_namespace",
+            cache_namespace(
+                "zigzag", self.bytes_per_element, self._energy_coefficients
+            ),
+        )
         object.__setattr__(
             self,
             "delta_counters",
@@ -261,13 +275,30 @@ class ZigZagCostModel:
         return self._cache
 
     def adopt_cache(self, cache: LRUCache) -> None:
-        """Swap in an externally owned layer-report cache."""
+        """Swap in an externally owned layer-report cache.
+
+        Carries a persistent L2 tier over to the adopted cache when it
+        does not have one yet (protocol parity with
+        :meth:`repro.cost.maestro.CostModel.adopt_cache`).
+        """
+        tier = self._cache.tier
+        if tier is not None and cache.tier is None:
+            cache.tier = tier
         object.__setattr__(self, "_cache", cache)
+
+    def attach_persistent_cache(self, tier: PersistentLayerCache) -> None:
+        """Back the layer-report LRU with a persistent L2 tier."""
+        self._cache.tier = tier
 
     @property
     def vector_stats(self) -> dict:
         """Stats dict with the standard keys (this backend has no vector path)."""
         stats = dict(self.delta_counters)
+        tier = self._cache.tier
+        if tier is None:
+            stats.update(l2_hits=0, l2_misses=0, l2_writes=0)
+        else:
+            stats.update(tier.counters())
         stats.update(
             rows_vectorized=0,
             rows_fallback=0,
@@ -293,6 +324,8 @@ class ZigZagCostModel:
             raise ValueError("bandwidths must be positive")
         cache = self._cache
         cache_on = cache.maxsize > 0
+        tier = cache.tier if cache_on else None
+        namespace = self._l2_namespace
         data = cache.data
         maxsize = cache.maxsize
         hits = misses = 0
@@ -307,9 +340,26 @@ class ZigZagCostModel:
             )
             key = layer_mapping_key(statics, mapping)
             entry = None
+            digest = None
             if cache_on:
                 cache_key = (statics, key, noc_bandwidth, dram_bandwidth)
                 entry = data.get(cache_key)
+                if entry is not None:
+                    hits += 1
+                else:
+                    # An L2 hit still counts as an L1 miss (identical
+                    # counters cold or warm; see CostModel.evaluate_model).
+                    misses += 1
+                    if tier is not None:
+                        digest = tuple_key_digest(
+                            namespace, statics, key,
+                            noc_bandwidth, dram_bandwidth,
+                        )
+                        entry = tier.get(digest)
+                        if entry is not None:
+                            data[cache_key] = entry
+                            if len(data) > maxsize:
+                                data.popitem(last=False)
             if entry is None:
                 report = evaluate_layer_zigzag(
                     statics,
@@ -322,16 +372,19 @@ class ZigZagCostModel:
                     layer.count,
                 )
                 if cache_on:
-                    misses += 1
-                    data[cache_key] = report_values(report)
+                    values = report_values(report)
+                    data[cache_key] = values
                     if len(data) > maxsize:
                         data.popitem(last=False)
+                    if digest is not None:
+                        tier.put(digest, values)
             else:
-                hits += 1
                 report = make_report(layer.name, *entry, layer.count)
             reports.append(report)
         cache.hits += hits
         cache.misses += misses
+        if tier is not None:
+            tier.flush()
         return ModelPerformance(model_name=model.name, layers=tuple(reports))
 
     def evaluate_model_batch(

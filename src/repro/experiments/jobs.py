@@ -206,7 +206,14 @@ def build_optimizer(spec: JobSpec) -> Optimizer:
 def build_framework(
     spec: JobSpec, settings: Optional[ExperimentSettings] = None
 ) -> CoOptimizationFramework:
-    """Build the co-optimization framework a spec's searches run through."""
+    """Build the co-optimization framework a spec's searches run through.
+
+    Engine knobs that never change results — workers, memoization,
+    delta evaluation, the persistent ``cache_dir`` tier — arrive via
+    ``settings.framework_options()`` and stay out of job identities;
+    knobs that *do* change what a search computes (backend, objective,
+    budget, ...) live on the spec and join its ``job_id``.
+    """
     settings = settings if settings is not None else ExperimentSettings()
     platform = get_platform(spec.platform)
     fixed_hardware = None

@@ -795,6 +795,17 @@ def _cache_record(
             "hit_rate": round(layer.hit_rate, 4),
         },
     }
+    l2_hits = delta.get("l2_hits", 0)
+    l2_misses = delta.get("l2_misses", 0)
+    l2_writes = delta.get("l2_writes", 0)
+    if l2_hits or l2_misses or l2_writes:
+        l2_requests = l2_hits + l2_misses
+        record["l2"] = {
+            "hits": l2_hits,
+            "misses": l2_misses,
+            "writes": l2_writes,
+            "hit_rate": round(l2_hits / l2_requests, 4) if l2_requests else 0.0,
+        }
     member_requests = delta.get("delta_member_requests", 0)
     row_requests = delta.get("delta_row_requests", 0)
     if member_requests or row_requests:
@@ -913,6 +924,14 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         "path (results are bit-identical either way)",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cross-run layer-cache directory shared by every "
+        "job and worker; rows are bit-identical to engine pricing, so "
+        "warm reruns only get faster (see repro.cost.persist)",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -975,6 +994,7 @@ def settings_from_args(
         engine=getattr(args, "engine", "vector"),
         backend=getattr(args, "backend", "analytic"),
         use_delta=not getattr(args, "no_delta", False),
+        cache_dir=getattr(args, "cache_dir", None),
         retries=getattr(args, "retries", 0),
         retry_backoff=getattr(args, "retry_backoff", 0.1),
         job_timeout=getattr(args, "job_timeout", None),

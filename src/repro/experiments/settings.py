@@ -90,6 +90,12 @@ class ExperimentSettings:
     #: Cross-generation delta evaluation on the gene-matrix path; results
     #: are bit-identical either way, so the flag is not part of job ids.
     use_delta: bool = True
+    #: Optional persistent cross-run layer-cache directory
+    #: (:class:`~repro.cost.persist.PersistentLayerCache`).  Purely an
+    #: accelerator: cached rows are bit-identical to engine pricing, so the
+    #: directory does not join job identities and one directory may be
+    #: shared by every job, worker and run.
+    cache_dir: Optional[str] = None
     #: Extra attempts per failed job (0 = one attempt, no retry).
     retries: int = 0
     #: Base backoff between attempts, seconds; attempt ``k`` waits
@@ -140,6 +146,7 @@ class ExperimentSettings:
             "use_cache": self.use_cache,
             "workers": self.workers,
             "use_delta": self.use_delta,
+            "cache_dir": self.cache_dir,
         }
 
 

@@ -71,6 +71,10 @@ class CoOptimizationFramework:
         Cost-backend selector forwarded to the evaluator (``"analytic"``
         by default; ``"zigzag"`` swaps in the independently coded
         memory-centric model — see :mod:`repro.cost.backend`).
+    cache_dir:
+        Optional persistent cross-run layer-cache directory forwarded to
+        the evaluator (see :class:`~repro.cost.persist.PersistentLayerCache`);
+        results are bit-identical with or without it.
     objectives:
         Optional multi-objective axis set for Pareto-front search: an
         :class:`ObjectiveSet`, an iterable of objective names, or a
@@ -98,6 +102,7 @@ class CoOptimizationFramework:
         objectives: Union[ObjectiveSet, Iterable[str], str, None] = None,
         use_delta: bool = True,
         backend: str = "analytic",
+        cache_dir: Optional[str] = None,
     ):
         if objectives is not None and not isinstance(objectives, ObjectiveSet):
             objectives = ObjectiveSet.from_names(objectives)
@@ -125,6 +130,7 @@ class CoOptimizationFramework:
             objectives=objectives,
             use_delta=use_delta,
             backend=backend,
+            cache_dir=cache_dir,
         )
         self.space = self.evaluator.genome_space(num_levels=num_levels)
 

@@ -243,6 +243,16 @@ class DesignEvaluator:
         (``repro crosscheck``).  Non-analytic backends price designs
         through the per-genome path: the vector/matrix fast paths and the
         ``engine`` selector are analytic-backend concepts.
+    cache_dir:
+        Optional directory of a persistent cross-run layer cache
+        (:class:`~repro.cost.persist.PersistentLayerCache`).  The
+        in-memory layer LRU becomes an L1 over this shared on-disk L2:
+        misses probe the store before the engine and freshly priced rows
+        are written back, so identical queries across worker processes,
+        sweep jobs and successive runs become lookups.  Results are
+        bit-identical with or without it (served rows are pure functions
+        of their content-addressed keys); ignored when ``use_cache`` is
+        False or on the reference engine.
     """
 
     #: Accepted ``engine`` values (the module-level constant).
@@ -267,6 +277,7 @@ class DesignEvaluator:
         objectives: Optional[ObjectiveSet] = None,
         use_delta: bool = True,
         backend: str = "analytic",
+        cache_dir: Optional[str] = None,
     ):
         if buffer_allocation not in ("exact", "fill"):
             raise ValueError(
@@ -302,6 +313,13 @@ class DesignEvaluator:
             cache_size=DEFAULT_LAYER_CACHE_SIZE if use_cache else 0,
             engine="reference" if engine == "reference" else "fast",
         )
+        self.cache_dir = cache_dir
+        if cache_dir is not None and use_cache and engine != "reference":
+            from repro.cost.persist import PersistentLayerCache
+
+            self.cost_model.attach_persistent_cache(
+                PersistentLayerCache(cache_dir)
+            )
         self.constraint_checker = ConstraintChecker(
             area_budget_um2=platform.area_budget_um2,
             fixed_hardware=fixed_hardware,
@@ -753,6 +771,11 @@ class DesignEvaluator:
         """Hit/miss counters of the per-layer report cache."""
         return self.cost_model.cache_stats
 
+    @property
+    def persistent_cache(self):
+        """The attached persistent L2 tier, or ``None``."""
+        return self.cost_model.layer_cache.tier
+
     def cache_clear(self) -> None:
         """Drop all memoized evaluations, delta tables and counters."""
         self._design_cache.clear()
@@ -815,11 +838,19 @@ class DesignEvaluator:
         ``wait=False`` abandons in-flight work instead of joining it — the
         right call when discarding an evaluator whose pool may be broken or
         whose search may still be running on a watchdog thread.
+
+        A persistent cache tier is flushed and its index persisted; the
+        close is not terminal (the next lookup reopens the store), so
+        shutting one evaluator down never strands a tier shared with
+        other jobs through ``adopt_cache``.
         """
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
             self._pool = None
             self._pool_workers = 0
+        tier = self.cost_model.layer_cache.tier
+        if tier is not None:
+            tier.close()
 
     def close(self) -> None:
         """Alias of :meth:`shutdown` (context-manager symmetry)."""

@@ -608,6 +608,52 @@ class TestCacheReuseAcrossJobs:
         assert "design cache" in lines[0]
         assert "layer cache" in lines[0]
 
+    def test_persistent_tier_spans_runs_and_is_recorded(self, tmp_path):
+        spec = JobSpec(
+            model="ncf", platform="edge", optimizer="random", sampling_budget=40
+        )
+        settings = ExperimentSettings(
+            models=("ncf",),
+            sampling_budget=40,
+            seed=0,
+            cache_dir=str(tmp_path / "l2"),
+        )
+
+        cold_store = ResultStore(tmp_path / "cold.jsonl")
+        SweepRunner([spec], settings=settings, store=cold_store).run()
+        cold = cold_store.records()[0]["cache"]["l2"]
+        assert cold["writes"] > 0 and cold["hits"] == 0
+
+        # A brand-new runner (fresh process semantics) over the same
+        # directory must answer every layer pricing from disk and land on
+        # identical results — the store records prove it counter-wise.
+        warm_store = ResultStore(tmp_path / "warm.jsonl")
+        SweepRunner([spec], settings=settings, store=warm_store).run()
+        warm = warm_store.records()[0]["cache"]["l2"]
+        assert warm["hit_rate"] >= 0.9 and warm["writes"] == 0
+        cold_result = cold_store.records()[0]["result"]
+        warm_result = warm_store.records()[0]["result"]
+        cold_result.pop("wall_time_seconds")
+        warm_result.pop("wall_time_seconds")
+        assert warm_result == cold_result
+
+    def test_cache_dir_threads_from_cli_args(self, tmp_path):
+        import argparse
+
+        from repro.experiments.runner import (
+            add_sweep_arguments,
+            settings_from_args,
+        )
+
+        parser = argparse.ArgumentParser()
+        add_sweep_arguments(parser)
+        args = parser.parse_args(["--cache-dir", str(tmp_path / "l2")])
+        settings = settings_from_args(args, models=("ncf",))
+        assert settings.cache_dir == str(tmp_path / "l2")
+        assert settings.framework_options()["cache_dir"] == str(tmp_path / "l2")
+        # And stays out of job identities: the spec grid is cache-blind.
+        assert parser.parse_args([]).cache_dir is None
+
     def test_reference_jobs_do_not_join_cache_sharing(self):
         jobs = [
             JobSpec(model="ncf", platform="edge", optimizer="random",

@@ -61,12 +61,16 @@ class TestConstants:
             "use_cache": True,
             "workers": None,
             "use_delta": True,
+            "cache_dir": None,
         }
-        tuned = ExperimentSettings(use_cache=False, workers=2, use_delta=False)
+        tuned = ExperimentSettings(
+            use_cache=False, workers=2, use_delta=False, cache_dir="/tmp/l2"
+        )
         assert tuned.framework_options() == {
             "use_cache": False,
             "workers": 2,
             "use_delta": False,
+            "cache_dir": "/tmp/l2",
         }
 
 

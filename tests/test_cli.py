@@ -51,6 +51,30 @@ class TestSearch:
         assert exit_code == 0
         assert "cache: disabled" in capsys.readouterr().out
 
+    def test_search_warm_cache_dir_reproduces_fitness(self, capsys, tmp_path):
+        # The CI warm-cache gate in miniature: same search twice against
+        # one --cache-dir; the second run must answer >= 90% of its layer
+        # pricings from the persistent tier and reproduce the best
+        # fitness bit-identically.
+        stats = []
+        for name in ("cold.json", "warm.json"):
+            path = tmp_path / name
+            exit_code = main([
+                "search", "--model", "ncf", "--budget", "60",
+                "--optimizer", "random",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--cache-stats-json", str(path),
+            ])
+            assert exit_code == 0
+            assert "l2 cache:" in capsys.readouterr().out
+            stats.append(json.loads(path.read_text()))
+        cold, warm = stats
+        assert cold["best_fitness"] is not None
+        assert warm["best_fitness"] == cold["best_fitness"]
+        assert cold["l2"]["writes"] > 0
+        assert warm["l2"]["hit_rate"] >= 0.9
+        assert warm["l2"]["writes"] == 0
+
     def test_search_objectives_prints_front_and_saves_json(self, capsys, tmp_path):
         output_path = tmp_path / "front.json"
         exit_code = main([

@@ -25,8 +25,10 @@ Subcommands
     and split them with ``--shard i/N``.  Jobs run inside a per-job error
     boundary with retries (``--retries``, ``--retry-backoff``), a watchdog
     timeout (``--job-timeout``) and poison-job quarantine; stores can be
-    integrity-checked (``--verify-store``) and cleaned (``--repair-store``),
-    and ``--fault-plan`` injects deterministic chaos for testing.
+    integrity-checked (``--verify-store``), cleaned (``--repair-store``)
+    and summarised (``--status``), ``--checkpoint-dir`` makes killed or
+    interrupted searches resume bit-identically mid-search, and
+    ``--fault-plan`` injects deterministic chaos for testing.
 ``crosscheck``
     Cross-backend agreement check: price one design sample on both the
     analytic and the zigzag cost backend and gate their per-objective
@@ -95,7 +97,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     optimizer = get_optimizer(args.optimizer)
     try:
-        result = framework.search(optimizer, sampling_budget=args.budget, seed=args.seed)
+        result = framework.search(
+            optimizer,
+            sampling_budget=args.budget,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
     finally:
         framework.close()
     print(result.summary())
@@ -128,7 +136,11 @@ def _run_pareto_search(args: argparse.Namespace, model, platform) -> int:
     optimizer = get_optimizer(args.optimizer)
     try:
         result = framework.pareto_search(
-            optimizer, sampling_budget=args.budget, seed=args.seed
+            optimizer,
+            sampling_budget=args.budget,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
         )
     finally:
         framework.close()
@@ -290,6 +302,14 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--cache-stats-json", default=None, metavar="PATH",
                         help="save best fitness plus L1/L2 cache counters "
                              "as JSON (used by the CI warm-cache gate)")
+    search.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="mid-search checkpoint directory; a killed or "
+                             "interrupted search resumes bit-identically "
+                             "from its last completed generation on re-run "
+                             "(see repro.framework.checkpoint)")
+    search.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                        help="save a checkpoint every N generation "
+                             "boundaries (default: 1)")
 
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate a fixed dataflow on a model"

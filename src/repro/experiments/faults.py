@@ -14,6 +14,12 @@ on purpose:
   runner's per-job watchdog timeout.
 * ``truncate-store`` — the result store loses the tail of the record it
   just appended and the sweep aborts, simulating a hard crash mid-write.
+* ``kill-generation`` — ``os._exit`` at a chosen generation boundary
+  *inside* the optimizer loop, simulating preemption mid-search (the
+  checkpoint subsystem's reason to exist).
+* ``sigterm`` — the process sends itself SIGTERM at a chosen generation
+  boundary, driving the runner's graceful-interruption path: checkpoint,
+  ``interrupted`` record, non-zero exit, resume.
 
 A plan is a tuple of :class:`FaultSpec` entries plus a filesystem *state
 directory*.  Specs that must fire a bounded number of times across several
@@ -32,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import tempfile
 import time
 import zlib
@@ -41,7 +48,17 @@ from random import Random
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 #: The fault kinds the harness can inject.
-FAULT_KINDS = ("raise", "kill-worker", "hang", "truncate-store")
+FAULT_KINDS = (
+    "raise",
+    "kill-worker",
+    "hang",
+    "truncate-store",
+    "kill-generation",
+    "sigterm",
+)
+
+#: Kinds that fire at generation boundaries inside an optimizer loop.
+GENERATION_KINDS = ("kill-generation", "sigterm", "hang")
 
 
 class FaultInjected(RuntimeError):
@@ -80,6 +97,14 @@ class FaultSpec:
         How many bytes ``truncate-store`` removes from the end of the
         store file.  ``None`` picks a value deterministically from the
         plan's seed.
+    generation:
+        The 1-based generation boundary a ``kill-generation`` / ``sigterm``
+        fault fires at (required for those kinds).  A ``hang`` spec with a
+        generation set sleeps at that boundary (token-claimed, one-shot
+        per ``times``) instead of at job start — the deterministic way to
+        outlast ``--job-timeout`` *after* checkpoints exist.  Generation
+        firings are one-shot per state directory, so a resumed run passing
+        the same boundary does not re-fire them.
     message:
         Human-readable tag carried by the injected exception.
     """
@@ -90,6 +115,7 @@ class FaultSpec:
     times: int = 1
     duration: float = 0.25
     truncate_bytes: Optional[int] = 20
+    generation: Optional[int] = None
     message: str = "injected fault"
 
     def __post_init__(self) -> None:
@@ -103,6 +129,15 @@ class FaultSpec:
             raise ValueError(f"times must be >= 1, got {self.times}")
         if self.duration < 0:
             raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.generation is not None and self.generation < 1:
+            raise ValueError(
+                f"generation must be >= 1 when given, got {self.generation}"
+            )
+        if self.kind in ("kill-generation", "sigterm") and self.generation is None:
+            raise ValueError(
+                f"{self.kind!r} faults fire at generation boundaries and "
+                "need an explicit 'generation'"
+            )
 
     def matches(self, job_id: str, index: int, attempt: int) -> bool:
         """True when this spec applies to (job, attempt)."""
@@ -193,13 +228,49 @@ class FaultPlan:
         outlasts ``--job-timeout`` is observed as a job timeout.
         """
         for spec in self.specs:
-            if spec.kind == "hang" and spec.matches(job_id, index, attempt):
+            if (
+                spec.kind == "hang"
+                and spec.generation is None
+                and spec.matches(job_id, index, attempt)
+            ):
                 time.sleep(spec.duration)
         for spec in self.specs:
             if spec.kind == "raise" and spec.matches(job_id, index, attempt):
                 raise FaultInjected(
                     f"{spec.message} (job {job_id!r}, attempt {attempt})"
                 )
+
+    def on_generation(self, run_label: str, generation: int) -> None:
+        """Tracker hook: fire generation-boundary faults for this search.
+
+        Called by :meth:`SearchTracker.checkpoint_generation` at the top of
+        every generation — *before* the boundary's checkpoint save, so a
+        firing observes the previous boundary's checkpoint, exactly like a
+        real preemption.  ``job`` matches as a substring of the run label
+        (job id under the sweep runner); positional ``int`` matching is
+        meaningless inside a search and never fires.  Every firing claims a
+        one-shot token, so a resumed run re-entering the same boundary does
+        not re-fire.
+        """
+        for position, spec in enumerate(self.specs):
+            if spec.kind not in GENERATION_KINDS or spec.generation is None:
+                continue
+            if spec.generation != generation:
+                continue
+            if isinstance(spec.job, int):
+                continue
+            if isinstance(spec.job, str) and spec.job not in run_label:
+                continue
+            for shot in range(spec.times):
+                if not self._claim(f"{spec.kind}-gen-{position}-{shot}"):
+                    continue
+                if spec.kind == "hang":
+                    time.sleep(spec.duration)
+                elif spec.kind == "kill-generation":
+                    os._exit(1)
+                else:
+                    os.kill(os.getpid(), signal.SIGTERM)
+                break
 
     def on_worker_chunk(self) -> None:
         """Worker hook: die hard if a ``kill-worker`` firing is unclaimed.

@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import threading
 import time
@@ -62,7 +63,7 @@ from repro.experiments.settings import (
     ExperimentSettings,
 )
 from repro.framework.pareto import ParetoResult
-from repro.framework.search import SearchResult
+from repro.framework.search import SearchInterrupted, SearchResult
 from repro.serialization import result_from_dict, result_to_dict
 
 #: Either kind of search outcome: a single best or a Pareto front.
@@ -73,8 +74,14 @@ Outcome = Tuple[JobSpec, AnyResult]
 
 #: Job statuses a store record can carry.  Success records predate the
 #: field and stay unmarked for backward (and byte-) compatibility, so a
-#: missing ``"status"`` key reads as ``"ok"``.
-JOB_STATUSES = ("ok", "failed", "quarantined")
+#: missing ``"status"`` key reads as ``"ok"``.  ``failed`` and
+#: ``interrupted`` are both resumable (``--resume`` re-runs them);
+#: ``interrupted`` additionally promises a mid-search checkpoint exists
+#: when the sweep ran with ``--checkpoint-dir``.
+JOB_STATUSES = ("ok", "failed", "quarantined", "interrupted")
+
+#: Statuses ``--resume`` re-runs instead of skipping.
+RESUMABLE_STATUSES = ("failed", "interrupted")
 
 #: Smoke-sweep shape: one tiny model, three cheap-but-representative
 #: optimizers (CMA included so the tables' normalization reference exists),
@@ -86,6 +93,31 @@ SMOKE_BUDGET = 40
 
 class JobTimeout(RuntimeError):
     """A job exceeded the runner's per-job wall-clock timeout."""
+
+
+class SweepInterrupted(RuntimeError):
+    """The sweep stopped on SIGINT/SIGTERM after an orderly shutdown.
+
+    Raised by :class:`SweepRunner` once the in-flight job has been wound
+    down (checkpoint saved, ``interrupted`` record appended, store write
+    completed).  Carries the signal number so the CLI can exit with the
+    conventional ``128 + signum`` code.
+    """
+
+    def __init__(self, signum: int, job_id: Optional[str] = None):
+        self.signum = signum
+        self.job_id = job_id
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        detail = f" during job {job_id!r}" if job_id else " between jobs"
+        super().__init__(f"received {name}{detail}")
+
+    @property
+    def exit_code(self) -> int:
+        """Conventional shell exit code for death-by-signal."""
+        return 128 + self.signum
 
 
 class ResultStoreCorruption(UserWarning):
@@ -147,18 +179,31 @@ class ResultStore:
         self._append_record(record)
 
     def append_failure(
-        self, spec: JobSpec, failure: dict, quarantined: bool = False
+        self,
+        spec: JobSpec,
+        failure: dict,
+        quarantined: bool = False,
+        status: Optional[str] = None,
     ) -> None:
         """Persist one failed attempt as a structured failure record.
 
         ``failure`` carries the boundary's diagnosis (``error``,
         ``traceback``, ``attempt``, ``elapsed``); ``quarantined`` marks the
         terminal attempt after which ``--resume`` stops retrying the job.
+        ``status`` overrides the failed/quarantined choice with another
+        non-``ok`` member of :data:`JOB_STATUSES` (``"interrupted"``).
         """
+        if status is None:
+            status = "quarantined" if quarantined else "failed"
+        if status not in JOB_STATUSES or status == "ok":
+            raise ValueError(
+                f"failure status must be a non-ok member of {JOB_STATUSES}, "
+                f"got {status!r}"
+            )
         record = {
             "job_id": spec.job_id,
             "spec": job_to_dict(spec),
-            "status": "quarantined" if quarantined else "failed",
+            "status": status,
             "failure": dict(failure),
         }
         self._append_record(record)
@@ -316,9 +361,9 @@ class ResultStore:
         }
 
     def statuses(self, only: Optional[set] = None) -> Dict[str, str]:
-        """Latest status per job id (``"ok"`` / ``"failed"`` /
-        ``"quarantined"``); later records win, success records (which carry
-        no status field) read as ``"ok"``."""
+        """Latest status per job id (a member of :data:`JOB_STATUSES`);
+        later records win, success records (which carry no status field)
+        read as ``"ok"``."""
         table: Dict[str, str] = {}
         for record in self.records():
             job_id = record.get("job_id")
@@ -468,6 +513,13 @@ class SweepRunner:
                 raise ValueError(f"invalid shard {shard!r}")
         self.shard = shard
         self.progress = progress
+        #: Signal number of a pending graceful-shutdown request, set by the
+        #: SIGINT/SIGTERM handler and polled at generation and job
+        #: boundaries.  Handlers only set this flag — all actual shutdown
+        #: work (checkpoint, store record, exit code) happens at the next
+        #: boundary, so no store append is ever torn by a signal.
+        self._interrupt: Optional[int] = None
+        self._previous_handlers: Dict[int, object] = {}
 
     @property
     def shard_jobs(self) -> List[JobSpec]:
@@ -485,7 +537,20 @@ class SweepRunner:
         suites under different labels — are executed once and the result is
         returned for each of them.  Failed and quarantined jobs contribute
         no outcome; their records live in the store.
+
+        SIGINT/SIGTERM are handled gracefully for the duration of the run:
+        the in-flight search checkpoints and stops at its next generation
+        boundary, an ``interrupted`` record is appended, and
+        :class:`SweepInterrupted` propagates so the CLI exits ``128 +
+        signum`` with a resume hint.  A second signal aborts immediately.
         """
+        self._install_signal_handlers()
+        try:
+            return self._run_jobs()
+        finally:
+            self._restore_signal_handlers()
+
+    def _run_jobs(self) -> List[Outcome]:
         jobs = self.shard_jobs
         completed: Dict[str, AnyResult] = {}
         quarantined: set = set()
@@ -520,6 +585,11 @@ class SweepRunner:
         shared_caches: Dict[tuple, object] = {}
         try:
             for position, spec in enumerate(jobs):
+                if self._interrupt is not None:
+                    # The signal arrived between jobs (or between a job's
+                    # store write and here): nothing is in flight, so stop
+                    # before starting the next search.
+                    raise SweepInterrupted(self._interrupt)
                 prefix = f"[{position + 1}/{len(jobs)}]"
                 known = completed.get(spec.job_id)
                 if known is not None:
@@ -584,6 +654,31 @@ class SweepRunner:
                 )
             except SweepAborted:
                 raise
+            except SearchInterrupted as stop:
+                # Graceful shutdown: the search already checkpointed and
+                # unwound at a generation boundary.  Record the job as
+                # interrupted (resumable) and stop the sweep.
+                elapsed = time.perf_counter() - start
+                failure = {
+                    "job_id": spec.job_id,
+                    "error": f"{type(stop).__name__}: {stop}",
+                    "attempt": attempt,
+                    "elapsed": round(elapsed, 6),
+                }
+                if self.store is not None:
+                    self.store.append_failure(
+                        spec, failure, status="interrupted"
+                    )
+                self._say(
+                    f"{prefix} INTERRUPTED: {spec.job_id} ({stop}); "
+                    "re-run with --resume to continue"
+                )
+                signum = (
+                    self._interrupt
+                    if self._interrupt is not None
+                    else signal.SIGINT
+                )
+                raise SweepInterrupted(signum, spec.job_id) from stop
             except Exception as error:
                 elapsed = time.perf_counter() - start
                 terminal = attempt == attempts
@@ -649,11 +744,22 @@ class SweepRunner:
                 if spec.is_multi_objective
                 else framework.search
             )
-            return run_search(
-                build_optimizer(spec),
-                sampling_budget=spec.sampling_budget,
-                seed=spec.seed,
-            )
+            kwargs: dict = {
+                "sampling_budget": spec.sampling_budget,
+                "seed": spec.seed,
+                "run_label": spec.job_id,
+                "interrupt_check": self._interrupt_requested,
+            }
+            if self.settings.checkpoint_dir is not None:
+                # Keyed by job_id: everything that affects the search is in
+                # the id, so a retry/resumed run (and nothing else) finds
+                # this search's checkpoint.
+                kwargs.update(
+                    checkpoint_dir=self.settings.checkpoint_dir,
+                    checkpoint_every=self.settings.checkpoint_every,
+                    checkpoint_key=spec.job_id,
+                )
+            return run_search(build_optimizer(spec), **kwargs)
 
         search = self._with_timeout(execute, spec)
         design_stats = evaluator.design_cache_stats.since(design_before)
@@ -725,11 +831,21 @@ class SweepRunner:
 
         A timed-out attempt may still be executing on its watchdog thread
         and a crashed one may hold a broken worker pool, so the framework
-        is shut down without waiting and never reused.
+        is shut down without waiting and never reused.  Its checkpoint
+        sessions are closed first: the abandoned thread must not overwrite
+        the checkpoint the retry is about to resume from.  (The close race
+        is benign — at most one already-in-flight save can land, and any
+        generation-boundary checkpoint of the same search resumes to the
+        same bit-identical end state.)
         """
         framework = frameworks.pop(spec.framework_key, None)
         if framework is None:
             return
+        for session in getattr(framework, "checkpoint_sessions", ()):
+            try:
+                session.close()
+            except Exception:
+                pass
         try:
             framework.evaluator.shutdown(wait=False)
         except Exception:
@@ -763,6 +879,53 @@ class SweepRunner:
             shared_caches[key] = framework.evaluator.cost_model.layer_cache
         else:
             framework.evaluator.cost_model.adopt_cache(cache)
+
+    # -- graceful shutdown ---------------------------------------------------
+
+    def _interrupt_requested(self) -> bool:
+        """Interrupt poll handed to every search (generation boundaries)."""
+        return self._interrupt is not None
+
+    def _handle_signal(self, signum: int, frame) -> None:
+        """SIGINT/SIGTERM handler: request a graceful stop, escalate on repeat.
+
+        Only sets the flag — the actual shutdown (checkpoint save, store
+        record) runs at the next generation/job boundary in normal code,
+        never inside the handler.  A second signal means the operator is
+        done waiting: escalate to KeyboardInterrupt immediately.
+        """
+        if self._interrupt is not None:
+            raise KeyboardInterrupt
+        self._interrupt = signum
+        self._say(
+            "interrupt requested; finishing at the next generation "
+            "boundary (signal again to abort immediately)"
+        )
+
+    def _install_signal_handlers(self) -> None:
+        """Install graceful handlers; a no-op off the main thread.
+
+        ``signal.signal`` only works in the main thread (and can fail in
+        exotic embeddings), so runners driven from worker threads simply
+        keep the process's existing behavior.
+        """
+        self._previous_handlers = {}
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous = signal.signal(signum, self._handle_signal)
+            except (ValueError, OSError):
+                continue
+            self._previous_handlers[signum] = previous
+
+    def _restore_signal_handlers(self) -> None:
+        for signum, handler in self._previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+        self._previous_handlers = {}
 
     def _say(self, message: str) -> None:
         if self.progress is not None:
@@ -955,6 +1118,23 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         "timed-out job counts as a failed attempt (default: none)",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="mid-search checkpoint directory: searches save their full "
+        "loop state at generation boundaries and a killed/timed-out/"
+        "interrupted job resumes bit-identically from its last checkpoint "
+        "instead of restarting (see repro.framework.checkpoint)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint cadence in generation boundaries (default: 1; "
+        "interruptions always checkpoint regardless)",
+    )
+    parser.add_argument(
         "--durability",
         choices=DURABILITY_MODES,
         default="flush",
@@ -999,6 +1179,8 @@ def settings_from_args(
         retry_backoff=getattr(args, "retry_backoff", 0.1),
         job_timeout=getattr(args, "job_timeout", None),
         durability=getattr(args, "durability", "flush"),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
         fault_plan=parse_fault_plan(getattr(args, "fault_plan", None)),
     )
 
@@ -1178,6 +1360,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine a store's undecodable lines into <store>.corrupt "
         "and atomically rewrite it clean, instead of running a sweep",
     )
+    parser.add_argument(
+        "--status",
+        default=None,
+        metavar="PATH",
+        help="report a store's fleet health (per-status job counts and "
+        "resumable job ids) instead of running a sweep",
+    )
     return parser
 
 
@@ -1189,6 +1378,7 @@ def _print_store_report(report: dict) -> None:
             f"{report['path']}: {report['records']} record(s), "
             f"{jobs['ok']} job(s) ok, {jobs['failed']} failed, "
             f"{jobs['quarantined']} quarantined, "
+            f"{jobs.get('interrupted', 0)} interrupted, "
             f"{report['corrupt_lines']} corrupt line(s)"
             + (
                 f" at line {', '.join(str(n) for n in report['corrupt_line_numbers'])}"
@@ -1208,11 +1398,32 @@ def _print_store_report(report: dict) -> None:
         )
 
 
+def _print_status_report(store: ResultStore) -> None:
+    """Render a store's fleet health: per-status counts + resumable ids."""
+    statuses = store.statuses()
+    counts = {status: 0 for status in JOB_STATUSES}
+    for status in statuses.values():
+        counts[status] = counts.get(status, 0) + 1
+    print(
+        f"{store.path}: {len(statuses)} job(s): "
+        + ", ".join(f"{counts[status]} {status}" for status in JOB_STATUSES)
+    )
+    resumable = sorted(
+        job_id
+        for job_id, status in statuses.items()
+        if status in RESUMABLE_STATUSES
+    )
+    if resumable:
+        print(f"{len(resumable)} resumable job(s) (re-run with --resume):")
+        for job_id in resumable:
+            print(f"  {job_id}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (``python -m repro experiments``)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.verify_store or args.repair_store:
+    if args.verify_store or args.repair_store or args.status:
         status = 0
         if args.repair_store:
             _print_store_report(ResultStore(args.repair_store).repair())
@@ -1220,6 +1431,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report = ResultStore(args.verify_store).verify()
             _print_store_report(report)
             status = 0 if report["ok"] else 1
+        if args.status:
+            _print_status_report(ResultStore(args.status))
         return status
     if args.smoke:
         args.models = list(SMOKE_MODELS)
@@ -1278,6 +1491,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except SweepAborted as crash:
         print(f"sweep aborted: {crash}", file=sys.stderr)
         return 1
+    except SweepInterrupted as stop:
+        hint = "re-run with --resume to continue"
+        if settings.checkpoint_dir is not None:
+            hint += " from the last mid-search checkpoint"
+        print(f"sweep interrupted: {stop}; {hint}", file=sys.stderr)
+        return stop.exit_code
 
     rendered_any = False
     # Other processes' results only matter when sharded; a whole-sweep run

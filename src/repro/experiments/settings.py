@@ -105,6 +105,16 @@ class ExperimentSettings:
     job_timeout: Optional[float] = None
     #: Result-store durability mode (see :data:`DURABILITY_MODES`).
     durability: str = "flush"
+    #: Optional mid-search checkpoint directory
+    #: (:mod:`repro.framework.checkpoint`).  Jobs write generation-granular
+    #: checkpoints keyed by job id and resume bit-identically after a
+    #: crash, timeout, retry or interruption; ``None`` disables
+    #: checkpointing.  Like ``cache_dir``, checkpoints never change what a
+    #: search computes, so the directory is not part of job identities.
+    checkpoint_dir: Optional[str] = None
+    #: Checkpoint cadence: save every N generation boundaries (pending
+    #: interruptions always force a save regardless).
+    checkpoint_every: int = 1
     #: Optional fault-injection plan for chaos testing; ``None`` in
     #: production.  Not part of any job identity — faults never change
     #: what a successful search computes, only whether an attempt fails.
@@ -132,6 +142,10 @@ class ExperimentSettings:
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise ValueError(
                 f"job_timeout must be > 0 when given, got {self.job_timeout}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
         if self.durability not in DURABILITY_MODES:
             raise ValueError(

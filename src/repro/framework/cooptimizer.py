@@ -8,7 +8,7 @@ run any plugged-in optimization algorithm under a sampling budget.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional, Protocol, Union
+from typing import Callable, Iterable, List, Optional, Protocol, Union
 
 import numpy as np
 
@@ -16,6 +16,11 @@ from repro.arch.area import AreaModel
 from repro.arch.energy import EnergyModel
 from repro.arch.hardware import HardwareConfig
 from repro.arch.platform import Platform
+from repro.framework.checkpoint import (
+    CheckpointSession,
+    CheckpointStore,
+    restore_search_state,
+)
 from repro.framework.evaluator import DesignEvaluator
 from repro.framework.objective import Objective, ObjectiveSet
 from repro.framework.pareto import (
@@ -133,9 +138,17 @@ class CoOptimizationFramework:
             cache_dir=cache_dir,
         )
         self.space = self.evaluator.genome_space(num_levels=num_levels)
+        #: Live checkpoint sessions of in-flight searches.  The sweep
+        #: runner closes these when it discards a timed-out framework so a
+        #: search still running on an abandoned watchdog thread can no
+        #: longer write checkpoints its retry is resuming from.
+        self.checkpoint_sessions: List[CheckpointSession] = []
 
     def close(self) -> None:
-        """Release evaluator resources (worker pool, caches)."""
+        """Release evaluator resources (worker pool, caches, checkpoints)."""
+        for session in self.checkpoint_sessions:
+            session.close()
+        self.checkpoint_sessions.clear()
         self.evaluator.shutdown()
 
     def __enter__(self) -> "CoOptimizationFramework":
@@ -149,14 +162,44 @@ class CoOptimizationFramework:
         optimizer: SupportsRun,
         sampling_budget: int = 2000,
         seed: int = 0,
+        *,
+        run_label: Optional[str] = None,
+        interrupt_check: Optional[Callable[[], bool]] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        checkpoint_key: Optional[str] = None,
     ) -> SearchResult:
-        """Run one optimization algorithm under the given sampling budget."""
+        """Run one optimization algorithm under the given sampling budget.
+
+        With ``checkpoint_dir`` set (and an optimizer that declares
+        ``supports_checkpoint``), the search writes a crash-safe checkpoint
+        every ``checkpoint_every`` generation boundaries under
+        ``checkpoint_key`` (derived from model/platform/objective/label/
+        budget/seed when omitted), resumes bit-identically from an existing
+        checkpoint, and clears it on successful completion.
+        ``interrupt_check`` is polled at generation boundaries; when it
+        turns truthy the search checkpoints and raises
+        :class:`~repro.framework.search.SearchInterrupted`.
+        """
         tracker = SearchTracker(
             evaluator=self.evaluator,
             space=self.space,
             sampling_budget=sampling_budget,
         )
         rng = np.random.default_rng(seed)
+        session = self._prepare_search(
+            tracker,
+            rng,
+            optimizer,
+            run_label=run_label,
+            interrupt_check=interrupt_check,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_key=checkpoint_key,
+            sampling_budget=sampling_budget,
+            seed=seed,
+            pareto=False,
+        )
         start = time.perf_counter()
         try:
             optimizer.run(tracker, rng)
@@ -164,6 +207,14 @@ class CoOptimizationFramework:
             # The optimizer kept asking after the budget ran out; that is the
             # expected way for budget-oblivious algorithms to terminate.
             pass
+        finally:
+            # SearchInterrupted (and any crash) leaves the checkpoint on
+            # disk for the resume; only a *completed* search clears it.
+            if session is not None and session in self.checkpoint_sessions:
+                self.checkpoint_sessions.remove(session)
+        if session is not None:
+            session.close()
+            session.store.clear()
         elapsed = time.perf_counter() - start
         return SearchResult(
             optimizer_name=optimizer.name,
@@ -180,6 +231,12 @@ class CoOptimizationFramework:
         sampling_budget: int = 2000,
         seed: int = 0,
         archive_capacity: int = DEFAULT_ARCHIVE_CAPACITY,
+        *,
+        run_label: Optional[str] = None,
+        interrupt_check: Optional[Callable[[], bool]] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        checkpoint_key: Optional[str] = None,
     ) -> ParetoResult:
         """Run one algorithm and return the Pareto front of its evaluations.
 
@@ -202,11 +259,30 @@ class CoOptimizationFramework:
             archive=ParetoArchive(archive_capacity),
         )
         rng = np.random.default_rng(seed)
+        session = self._prepare_search(
+            tracker,
+            rng,
+            optimizer,
+            run_label=run_label,
+            interrupt_check=interrupt_check,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_key=checkpoint_key,
+            sampling_budget=sampling_budget,
+            seed=seed,
+            pareto=True,
+        )
         start = time.perf_counter()
         try:
             optimizer.run(tracker, rng)
         except BudgetExhausted:
             pass
+        finally:
+            if session is not None and session in self.checkpoint_sessions:
+                self.checkpoint_sessions.remove(session)
+        if session is not None:
+            session.close()
+            session.store.clear()
         elapsed = time.perf_counter() - start
         return ParetoResult(
             optimizer_name=optimizer.name,
@@ -218,3 +294,63 @@ class CoOptimizationFramework:
             batch_calls=tracker.batch_calls,
             batched_evaluations=tracker.batched_evaluations,
         )
+
+    # -- checkpoint plumbing -------------------------------------------------
+
+    def _prepare_search(
+        self,
+        tracker: SearchTracker,
+        rng: np.random.Generator,
+        optimizer: SupportsRun,
+        *,
+        run_label: Optional[str],
+        interrupt_check: Optional[Callable[[], bool]],
+        checkpoint_dir: Optional[str],
+        checkpoint_every: int,
+        checkpoint_key: Optional[str],
+        sampling_budget: int,
+        seed: int,
+        pareto: bool,
+    ) -> Optional[CheckpointSession]:
+        """Wire labels/interrupts into the tracker; attach a checkpoint session.
+
+        Returns the session, or None when checkpointing is off or the
+        optimizer does not participate in the checkpoint protocol (those
+        run fresh on every attempt and observe interrupts only if their
+        loop happens to announce generation boundaries).
+        """
+        label = (
+            run_label
+            if run_label is not None
+            else getattr(optimizer, "name", "search")
+        )
+        tracker.run_label = label
+        tracker.interrupt_check = interrupt_check
+        if checkpoint_dir is None or not getattr(
+            optimizer, "supports_checkpoint", False
+        ):
+            return None
+        key = checkpoint_key
+        if key is None:
+            parts = [
+                self.model.name,
+                self.platform.name,
+                self.objective.value,
+                label,
+                f"b{sampling_budget}",
+                f"s{seed}",
+            ]
+            if pareto:
+                axes = ",".join(
+                    objective.value for objective in self.objectives.objectives
+                )
+                parts.insert(3, f"pareto={axes}")
+            key = "/".join(parts)
+        store = CheckpointStore(checkpoint_dir, key)
+        loaded = store.load()
+        if loaded is not None:
+            restore_search_state(tracker, rng, loaded)
+        session = CheckpointSession(store, rng, checkpoint_every)
+        tracker.checkpoint_session = session
+        self.checkpoint_sessions.append(session)
+        return session

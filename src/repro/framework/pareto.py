@@ -210,6 +210,28 @@ class ParetoArchive:
         """The archived results, sorted by objective vector."""
         return [self._entries[vector] for vector in sorted(self._entries)]
 
+    def entries_in_order(self) -> List[EvaluationResult]:
+        """The archived results in *insertion* order (checkpoint snapshots).
+
+        Eviction tie-breaking under crowding depends on entry order, so a
+        checkpoint must capture — and :meth:`restore_entries` must rebuild —
+        this order exactly for resumed searches to stay bit-identical.
+        """
+        return list(self._entries.values())
+
+    def restore_entries(self, results) -> None:
+        """Reload a checkpoint snapshot, preserving its insertion order.
+
+        Entries are reinserted directly (not through :meth:`add`): a
+        snapshot is already deduplicated and mutually non-dominated, and
+        re-filtering could reorder ties.
+        """
+        self._entries = {}
+        for result in results:
+            if result.objective_vector is None:
+                raise ValueError("archive results need an objective_vector")
+            self._entries[tuple(result.objective_vector)] = result
+
     def front_values(self) -> List[Tuple[float, ...]]:
         """The archived objective vectors, sorted."""
         return sorted(self._entries)

@@ -31,6 +31,16 @@ class BudgetExhausted(RuntimeError):
     """Raised when an optimizer requests an evaluation beyond the budget."""
 
 
+class SearchInterrupted(RuntimeError):
+    """Raised at a generation boundary when an interrupt was requested.
+
+    Unlike :class:`BudgetExhausted` this is *not* swallowed by the
+    framework: it propagates to the caller (the sweep runner records an
+    ``interrupted`` result), leaving the just-written checkpoint on disk
+    so a later run resumes instead of restarting.
+    """
+
+
 class SearchTracker:
     """Budget-enforcing fitness function with best-so-far tracking."""
 
@@ -60,6 +70,21 @@ class SearchTracker:
         self.best: Optional[EvaluationResult] = None
         #: (evaluation index, best fitness so far) recorded at every improvement.
         self.history: List[Tuple[int, float]] = []
+        #: 1-based generation boundary counter, advanced by
+        #: :meth:`checkpoint_generation` (0 while in the initial population).
+        self.generation = 0
+        #: Human-facing label of this run (job id under the sweep runner);
+        #: generation-targeted fault specs match against it.
+        self.run_label = ""
+        #: Attached :class:`~repro.framework.checkpoint.CheckpointSession`,
+        #: or None when the search runs without checkpointing.
+        self.checkpoint_session = None
+        #: Zero-arg callable polled at generation boundaries; truthy means
+        #: "checkpoint now and raise :class:`SearchInterrupted`".
+        self.interrupt_check = None
+        #: Optimizer loop state restored from a checkpoint, consumed once
+        #: by the optimizer via :func:`repro.optim.base.resume_state`.
+        self.resume_state = None
 
     # -- budget ------------------------------------------------------------
 
@@ -189,6 +214,47 @@ class SearchTracker:
     def cache_stats(self) -> CacheStats:
         """Combined evaluation-cache counters of the underlying evaluator."""
         return self.evaluator.cache_stats
+
+    # -- generation boundaries ---------------------------------------------
+
+    def checkpoint_generation(self, state) -> None:
+        """Mark a generation boundary; the first statement of a loop iteration.
+
+        ``state`` is a zero-argument callable returning the optimizer's
+        JSON-able loop-state dict — a callable so normal, uncheckpointed
+        runs never pay the serialization cost.  In boundary order: the
+        generation counter advances, generation-targeted fault specs fire
+        (chaos testing of exactly this machinery), a checkpoint is saved
+        when the cadence — or a pending interrupt — calls for one, and a
+        pending interrupt then raises :class:`SearchInterrupted`.
+
+        Because this runs *before* the boundary's breeding/evaluation, a
+        restore that rewinds the counter by one re-enters the same
+        boundary: numbering, cadence and fault matching are identical to
+        the uninterrupted run.
+        """
+        self.generation += 1
+        fault_plan = getattr(self.evaluator, "fault_plan", None)
+        if fault_plan is not None:
+            on_generation = getattr(fault_plan, "on_generation", None)
+            if on_generation is not None:
+                on_generation(self.run_label, self.generation)
+        interrupted = self.interrupt_check is not None and bool(
+            self.interrupt_check()
+        )
+        session = self.checkpoint_session
+        if session is not None and (
+            interrupted or session.due(self.generation)
+        ):
+            session.save(self, state())
+        if interrupted:
+            detail = (
+                " (checkpoint saved)" if session is not None else ""
+            )
+            raise SearchInterrupted(
+                f"search interrupted at generation boundary "
+                f"{self.generation}{detail}"
+            )
 
     # -- internals ---------------------------------------------------------
 

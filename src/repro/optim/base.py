@@ -3,12 +3,66 @@
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.encoding.genome import Genome
 from repro.framework.search import SearchTracker
+
+
+def checkpoint_generation(
+    tracker: SearchTracker, state: Callable[[], Dict[str, Any]]
+) -> None:
+    """Announce a generation boundary to the tracker, if it supports them.
+
+    Checkpointable loops call this as the first statement of every
+    ``while not tracker.exhausted`` iteration, passing a zero-argument
+    callable that captures the loop's JSON-able state.  Tracker stubs
+    without the hook (plain fitness functions in unit tests) are a no-op.
+    """
+    hook = getattr(tracker, "checkpoint_generation", None)
+    if hook is not None:
+        hook(state)
+
+
+def resume_state(
+    tracker: SearchTracker, kind: str
+) -> Optional[Dict[str, Any]]:
+    """The tracker's restored loop state for this optimizer, or None.
+
+    Consumes ``tracker.resume_state`` (set by a checkpoint restore) after
+    validating that the stored ``kind`` matches the running loop — a
+    checkpoint taken under one optimizer must never silently seed another.
+    """
+    state = getattr(tracker, "resume_state", None)
+    if state is None:
+        return None
+    tracker.resume_state = None
+    found = state.get("kind")
+    if found != kind:
+        raise ValueError(
+            f"checkpoint holds {found!r} loop state, this loop is {kind!r}"
+        )
+    return state
+
+
+def reject_resume(tracker: SearchTracker) -> None:
+    """Fail loudly when restored loop state reaches a non-resumable loop.
+
+    A checkpoint restore also rewinds the tracker's budget counters, so a
+    loop that cannot consume the optimizer state must not quietly run
+    "fresh" on a half-spent tracker — that would end anywhere but the
+    uninterrupted trajectory.  Only a configuration change between the
+    checkpointed run and its resume (e.g. a different engine flipping an
+    optimizer off its matrix path) can get here.
+    """
+    if getattr(tracker, "resume_state", None) is not None:
+        raise ValueError(
+            "a checkpoint was restored but this search configuration "
+            "cannot resume it; rerun the original configuration or clear "
+            "the checkpoint directory"
+        )
 
 
 def evaluate_genomes(tracker: SearchTracker, genomes: Sequence[Genome]) -> List[float]:
@@ -58,6 +112,13 @@ class Optimizer(abc.ABC):
 
     #: Display name used in experiment tables.
     name: str = "optimizer"
+
+    #: True when the optimizer's loop participates in the checkpoint
+    #: protocol (calls :func:`checkpoint_generation` and can consume
+    #: :func:`resume_state`).  The framework only creates checkpoint
+    #: stores/sessions for optimizers that declare support; others run
+    #: fresh on every attempt and observe interrupts at job boundaries.
+    supports_checkpoint: bool = False
 
     @abc.abstractmethod
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer, evaluate_vectors
+from repro.optim.base import (
+    Optimizer,
+    checkpoint_generation,
+    evaluate_vectors,
+    resume_state,
+)
 
 
 class DifferentialEvolution(Optimizer):
@@ -23,6 +28,7 @@ class DifferentialEvolution(Optimizer):
     """
 
     name = "DE"
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -42,14 +48,27 @@ class DifferentialEvolution(Optimizer):
 
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         dimension = tracker.vector_dimension
-        population = rng.random((self.population_size, dimension))
-        fitness = np.asarray(
-            evaluate_vectors(tracker, list(population)), dtype=float
-        )
-        if fitness.size < self.population_size:
-            return
+        state = resume_state(tracker, "de")
+        if state is not None:
+            population = np.asarray(state["population"], dtype=float)
+            fitness = np.asarray(state["fitness"], dtype=float)
+        else:
+            population = rng.random((self.population_size, dimension))
+            fitness = np.asarray(
+                evaluate_vectors(tracker, list(population)), dtype=float
+            )
+            if fitness.size < self.population_size:
+                return
+
+        def loop_state():
+            return {
+                "kind": "de",
+                "population": population.tolist(),
+                "fitness": fitness.tolist(),
+            }
 
         while not tracker.exhausted:
+            checkpoint_generation(tracker, loop_state)
             trials = np.empty_like(population)
             for index in range(self.population_size):
                 candidates = [i for i in range(self.population_size) if i != index]

@@ -18,7 +18,13 @@ import numpy as np
 from repro.encoding.genome import Genome
 from repro.encoding.genome_matrix import GenomeMatrix, genome_to_genes
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer, evaluate_genomes
+from repro.optim.base import (
+    Optimizer,
+    checkpoint_generation,
+    evaluate_genomes,
+    reject_resume,
+    resume_state,
+)
 from repro.optim.digamma import operators
 
 
@@ -97,6 +103,7 @@ class DiGamma(Optimizer):
     """
 
     name = "DiGamma"
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -141,15 +148,33 @@ class DiGamma(Optimizer):
         num_elites = max(1, int(population_size * params.elite_ratio))
         num_immigrants = int(population_size * params.immigration_ratio)
 
-        population = GenomeMatrix.from_genomes(
-            self._initial_population(space, population_size, rng)
-        )
-        num_levels = population.num_levels
-        fitnesses = tracker.evaluate_matrix(population)
-        if len(fitnesses) < len(population):
-            return
+        state = resume_state(tracker, "digamma-matrix")
+        if state is not None:
+            population = GenomeMatrix(
+                np.array(state["rows"], dtype=np.int64),
+                int(state["num_levels"]),
+            )
+            num_levels = population.num_levels
+            fitnesses = [float(value) for value in state["fitnesses"]]
+        else:
+            population = GenomeMatrix.from_genomes(
+                self._initial_population(space, population_size, rng)
+            )
+            num_levels = population.num_levels
+            fitnesses = tracker.evaluate_matrix(population)
+            if len(fitnesses) < len(population):
+                return
+
+        def loop_state():
+            return {
+                "kind": "digamma-matrix",
+                "rows": population.data.tolist(),
+                "num_levels": num_levels,
+                "fitnesses": [float(value) for value in fitnesses],
+            }
 
         while not tracker.exhausted:
+            checkpoint_generation(tracker, loop_state)
             order = np.argsort(fitnesses)[::-1]
             parents = population.data.tolist()
             pool = [parents[i] for i in order[: max(2, population_size // 2)]]
@@ -172,7 +197,10 @@ class DiGamma(Optimizer):
     def _run_genomes(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         """The original per-genome loop (compatibility shim for trackers
         without the matrix view; pinned against the matrix loop by the
-        trajectory-parity tests)."""
+        trajectory-parity tests).  Not checkpointable: configurations on
+        this path never write checkpoints, and resuming one written by the
+        matrix loop is rejected loudly rather than silently restarted."""
+        reject_resume(tracker)
         params = self.hyper_parameters
         space = tracker.space
         population_size = params.resolved_population(tracker.sampling_budget)

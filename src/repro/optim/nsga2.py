@@ -32,7 +32,12 @@ from repro.encoding.genome_matrix import GenomeMatrix
 from repro.framework.evaluator import EvaluationResult
 from repro.framework.pareto import crowding_distances, fast_non_dominated_sort
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer
+from repro.optim.base import (
+    Optimizer,
+    checkpoint_generation,
+    reject_resume,
+    resume_state,
+)
 from repro.optim.digamma import operators
 
 
@@ -94,6 +99,7 @@ class NSGA2(Optimizer):
     """
 
     name = "NSGA-II"
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -138,17 +144,41 @@ class NSGA2(Optimizer):
         population_size = params.resolved_population(tracker.sampling_budget)
         num_objectives = self._num_objectives(tracker)
 
-        population = GenomeMatrix.from_genomes(
-            self._initial_population(space, population_size, rng)
-        )
-        num_levels = population.num_levels
-        rows = population.data.tolist()
-        results = tracker.evaluate_matrix_results(population)
-        if len(results) < len(rows):
-            return
-        values = [self._ranking_vector(result, num_objectives) for result in results]
+        state = resume_state(tracker, "nsga2-matrix")
+        if state is not None:
+            num_levels = int(state["num_levels"])
+            rows = [list(map(int, row)) for row in state["rows"]]
+            values = [
+                tuple(float(value) for value in vector)
+                for vector in state["values"]
+            ]
+        else:
+            population = GenomeMatrix.from_genomes(
+                self._initial_population(space, population_size, rng)
+            )
+            num_levels = population.num_levels
+            rows = population.data.tolist()
+            results = tracker.evaluate_matrix_results(population)
+            if len(results) < len(rows):
+                return
+            values = [
+                self._ranking_vector(result, num_objectives)
+                for result in results
+            ]
+
+        # Selection and reproduction consult only rows + ranking vectors
+        # (full EvaluationResults live in the tracker's archive), so the
+        # carried — and checkpointed — loop state is exactly these two.
+        def loop_state():
+            return {
+                "kind": "nsga2-matrix",
+                "rows": rows,
+                "num_levels": num_levels,
+                "values": [list(vector) for vector in values],
+            }
 
         while not tracker.exhausted:
+            checkpoint_generation(tracker, loop_state)
             ranks, crowding = self._rank(values)
             children = [
                 self._make_child_row(
@@ -163,7 +193,6 @@ class NSGA2(Optimizer):
                 return  # budget ran out mid-generation; tracker has the rest
 
             combined_rows = rows + children
-            combined_results = results + child_results
             combined_values = values + [
                 self._ranking_vector(result, num_objectives)
                 for result in child_results
@@ -172,12 +201,12 @@ class NSGA2(Optimizer):
                 combined_values, population_size
             )
             rows = [combined_rows[i] for i in survivors]
-            results = [combined_results[i] for i in survivors]
             values = [combined_values[i] for i in survivors]
 
     def _run_genomes(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         """The original per-genome loop (compatibility shim; pinned against
         the matrix loop by the trajectory-parity tests)."""
+        reject_resume(tracker)
         evaluate = getattr(tracker, "evaluate_batch_results", None)
         if evaluate is None:
             raise TypeError(

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer, evaluate_vectors
+from repro.optim.base import (
+    Optimizer,
+    checkpoint_generation,
+    evaluate_vectors,
+    resume_state,
+)
 
 
 class ParticleSwarm(Optimizer):
@@ -18,6 +23,7 @@ class ParticleSwarm(Optimizer):
     """
 
     name = "PSO"
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -37,24 +43,47 @@ class ParticleSwarm(Optimizer):
 
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         dimension = tracker.vector_dimension
-        positions = rng.random((self.swarm_size, dimension))
-        velocities = (rng.random((self.swarm_size, dimension)) - 0.5) * 0.1
-        personal_best = positions.copy()
-        personal_fitness = np.full(self.swarm_size, -np.inf)
+        state = resume_state(tracker, "pso")
+        if state is not None:
+            positions = np.asarray(state["positions"], dtype=float)
+            velocities = np.asarray(state["velocities"], dtype=float)
+            personal_best = np.asarray(state["personal_best"], dtype=float)
+            personal_fitness = np.asarray(
+                state["personal_fitness"], dtype=float
+            )
+            global_best = np.asarray(state["global_best"], dtype=float)
+            global_fitness = float(state["global_fitness"])
+        else:
+            positions = rng.random((self.swarm_size, dimension))
+            velocities = (rng.random((self.swarm_size, dimension)) - 0.5) * 0.1
+            personal_best = positions.copy()
+            personal_fitness = np.full(self.swarm_size, -np.inf)
 
-        global_best = positions[0].copy()
-        global_fitness = -np.inf
+            global_best = positions[0].copy()
+            global_fitness = -np.inf
 
-        fitnesses = evaluate_vectors(tracker, list(positions))
-        for index, fitness in enumerate(fitnesses):
-            personal_fitness[index] = fitness
-            if fitness > global_fitness:
-                global_fitness = fitness
-                global_best = positions[index].copy()
-        if len(fitnesses) < self.swarm_size:
-            return
+            fitnesses = evaluate_vectors(tracker, list(positions))
+            for index, fitness in enumerate(fitnesses):
+                personal_fitness[index] = fitness
+                if fitness > global_fitness:
+                    global_fitness = fitness
+                    global_best = positions[index].copy()
+            if len(fitnesses) < self.swarm_size:
+                return
+
+        def loop_state():
+            return {
+                "kind": "pso",
+                "positions": positions.tolist(),
+                "velocities": velocities.tolist(),
+                "personal_best": personal_best.tolist(),
+                "personal_fitness": personal_fitness.tolist(),
+                "global_best": global_best.tolist(),
+                "global_fitness": global_fitness,
+            }
 
         while not tracker.exhausted:
+            checkpoint_generation(tracker, loop_state)
             # One batched draw per sweep: rng.random((n, 2, d)) fills in C
             # order, which is exactly the per-particle cognitive-then-social
             # sequence the scalar loop drew — same stream, and the whole

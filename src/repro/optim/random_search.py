@@ -5,10 +5,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer
+from repro.optim.base import Optimizer, checkpoint_generation, resume_state
 
 #: Samples drawn per batched evaluation call.
 _CHUNK = 64
+
+
+def _chunk_state():
+    # Random search carries no loop state between chunks: the RNG stream
+    # and the tracker bookkeeping (both checkpointed by the session) are
+    # the whole search.
+    return {"kind": "random"}
 
 
 class RandomSearch(Optimizer):
@@ -22,10 +29,13 @@ class RandomSearch(Optimizer):
     """
 
     name = "Random"
+    supports_checkpoint = True
 
     def run(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        resume_state(tracker, "random")
         batch = getattr(tracker, "evaluate_batch", None)
         while not tracker.exhausted:
+            checkpoint_generation(tracker, _chunk_state)
             chunk = min(_CHUNK, tracker.remaining)
             samples = []
             for _ in range(chunk):

@@ -15,7 +15,13 @@ import numpy as np
 from repro.encoding.genome import Genome, log_uniform_int
 from repro.encoding.genome_matrix import LEVEL_WIDTH, GenomeMatrix
 from repro.framework.search import SearchTracker
-from repro.optim.base import Optimizer, evaluate_genomes
+from repro.optim.base import (
+    Optimizer,
+    checkpoint_generation,
+    evaluate_genomes,
+    reject_resume,
+    resume_state,
+)
 from repro.workloads.dims import DIMS
 
 
@@ -30,6 +36,7 @@ class StandardGA(Optimizer):
     """
 
     name = "stdGA"
+    supports_checkpoint = True
 
     def __init__(
         self,
@@ -60,16 +67,34 @@ class StandardGA(Optimizer):
 
     def _run_matrix(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
         space = tracker.space
-        population = GenomeMatrix.from_genomes(
-            space.random_population(self.population_size, rng)
-        )
-        num_levels = population.num_levels
-        fitnesses = tracker.evaluate_matrix(population)
-        if len(fitnesses) < len(population):
-            return
+        state = resume_state(tracker, "stdga-matrix")
+        if state is not None:
+            population = GenomeMatrix(
+                np.array(state["rows"], dtype=np.int64),
+                int(state["num_levels"]),
+            )
+            num_levels = population.num_levels
+            fitnesses = [float(value) for value in state["fitnesses"]]
+        else:
+            population = GenomeMatrix.from_genomes(
+                space.random_population(self.population_size, rng)
+            )
+            num_levels = population.num_levels
+            fitnesses = tracker.evaluate_matrix(population)
+            if len(fitnesses) < len(population):
+                return
+
+        def loop_state():
+            return {
+                "kind": "stdga-matrix",
+                "rows": population.data.tolist(),
+                "num_levels": num_levels,
+                "fitnesses": [float(value) for value in fitnesses],
+            }
 
         num_elites = max(1, int(self.population_size * self.elite_ratio))
         while not tracker.exhausted:
+            checkpoint_generation(tracker, loop_state)
             order = np.argsort(fitnesses)[::-1]
             parents = population.data.tolist()
 
@@ -93,6 +118,7 @@ class StandardGA(Optimizer):
                 return
 
     def _run_genomes(self, tracker: SearchTracker, rng: np.random.Generator) -> None:
+        reject_resume(tracker)
         space = tracker.space
         population = space.random_population(self.population_size, rng)
         fitnesses = evaluate_genomes(tracker, population)

@@ -113,6 +113,65 @@ class TestFaultPlanParsing:
         plan.on_job_start("other-job", 1, 1)  # other jobs unaffected
 
 
+class TestGenerationFaults:
+    def test_generation_kinds_require_a_generation(self):
+        with pytest.raises(ValueError, match="generation"):
+            FaultSpec(kind="kill-generation")
+        with pytest.raises(ValueError, match="generation"):
+            FaultSpec(kind="sigterm")
+        with pytest.raises(ValueError, match="generation"):
+            FaultSpec(kind="sigterm", generation=0)
+        FaultSpec(kind="sigterm", generation=1)  # valid
+
+    def test_from_json_round_trips_generation(self, tmp_path):
+        plan = FaultPlan.from_json(
+            '[{"kind": "kill-generation", "job": "digamma", "generation": 3}]',
+            state_dir=tmp_path,
+        )
+        rebuilt = FaultPlan.from_json(plan.to_json(), state_dir=tmp_path)
+        assert rebuilt.specs == plan.specs
+        assert plan.specs[0].generation == 3
+
+    def test_generation_hang_fires_once_at_its_boundary(
+        self, tmp_path, monkeypatch
+    ):
+        sleeps = []
+        monkeypatch.setattr("repro.experiments.faults.time.sleep", sleeps.append)
+        plan = FaultPlan(
+            [FaultSpec(kind="hang", job="digamma", generation=2, duration=0.5)],
+            state_dir=tmp_path,
+        )
+        plan.on_generation("ncf-edge-digamma-b40-s0", 1)  # wrong boundary
+        plan.on_generation("ncf-edge-random-b40-s0", 2)  # wrong job
+        assert sleeps == []
+        plan.on_generation("ncf-edge-digamma-b40-s0", 2)
+        assert sleeps == [0.5]
+        # One-shot: a resumed run re-entering the boundary does not refire.
+        plan.on_generation("ncf-edge-digamma-b40-s0", 2)
+        assert sleeps == [0.5]
+
+    def test_positional_job_match_never_fires_at_generation(
+        self, tmp_path, monkeypatch
+    ):
+        sleeps = []
+        monkeypatch.setattr("repro.experiments.faults.time.sleep", sleeps.append)
+        plan = FaultPlan(
+            [FaultSpec(kind="hang", job=0, generation=1, duration=0.5)],
+            state_dir=tmp_path,
+        )
+        plan.on_generation("anything", 1)
+        assert sleeps == []
+
+    def test_generation_hang_skips_job_start(self, tmp_path, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.experiments.faults.time.sleep", sleeps.append)
+        plan = FaultPlan(
+            [FaultSpec(kind="hang", generation=3)], state_dir=tmp_path
+        )
+        plan.on_job_start("job", 0, 1)
+        assert sleeps == []
+
+
 class TestErrorBoundary:
     def test_injected_failure_is_recorded_then_retried_to_success(self, tmp_path):
         jobs = tiny_jobs()

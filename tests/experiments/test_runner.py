@@ -158,7 +158,9 @@ class TestResultStore:
         assert report["records"] == 1
         assert report["corrupt_lines"] == 1
         assert report["corrupt_line_numbers"] == [2]
-        assert report["jobs"] == {"ok": 1, "failed": 0, "quarantined": 0}
+        assert report["jobs"] == {
+            "ok": 1, "failed": 0, "quarantined": 0, "interrupted": 0,
+        }
 
         repair_report = store.repair()
         assert repair_report["removed_lines"] == 1
@@ -189,7 +191,9 @@ class TestResultStore:
         assert store.completed_ids() == {spec.job_id}
         report = store.verify()
         assert report["failure_records"] == 2
-        assert report["jobs"] == {"ok": 1, "failed": 0, "quarantined": 0}
+        assert report["jobs"] == {
+            "ok": 1, "failed": 0, "quarantined": 0, "interrupted": 0,
+        }
 
     def test_fsync_durability_mode(self, tmp_path):
         store = ResultStore(tmp_path / "sweep.jsonl", durability="fsync")
